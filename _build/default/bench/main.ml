@@ -1,0 +1,981 @@
+(* Benchmark harness: regenerates every experiment of DESIGN.md §3.
+
+   The paper (PODC 2013) is a theory paper without an experimental
+   section, so each "table" here validates one theorem or lemma's claimed
+   complexity shape empirically: who wins, what the slopes are, where the
+   crossovers sit.  EXPERIMENTS.md records the outcomes against the
+   paper's claims.
+
+   Usage: dune exec bench/main.exe                 (all experiments)
+          dune exec bench/main.exe -- E1 E5        (a subset)
+          dune exec bench/main.exe -- micro        (Bechamel micro-benchmarks)
+          dune exec bench/main.exe -- --csv out/   (also write CSV tables) *)
+
+open Rn_util
+open Rn_graph
+module Topo = Rn_graph.Gen
+open Rn_broadcast
+
+let seeds = [ 1; 2; 3 ]
+let many_seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+let median_of runs = Stats.median (Array.of_list (List.map float_of_int runs))
+
+let rounds_outcome o = Rn_radio.Engine.rounds_of_outcome o
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Theorem 1.1: single-message broadcast, rounds vs D and vs n     *)
+
+let layered ~seed ~depth ~width =
+  Topo.layered_random ~rng:(Rng.create ~seed) ~depth ~width ~p:0.3
+
+let e1 () =
+  Table.section
+    "E1  Theorem 1.1: O(D + polylog) vs D.log baselines (single message)";
+  (* Sweep D at (almost) fixed n = 1 + 128. *)
+  let t =
+    Table.create
+      ~title:
+        "E1a  rounds vs diameter, n = 257 (layered graphs, median of 3 seeds)"
+      ~columns:[ "D"; "thm1.1 total"; "thm1.1 spread"; "decay"; "cr" ]
+  in
+  let pts_cd = ref []
+  and pts_spread = ref []
+  and pts_decay = ref []
+  and pts_cr = ref [] in
+  (* (D.log n, log^2 n, decay rounds) across both sweeps, for the joint
+     two-predictor check of Decay's D.log n + log^2 n shape. *)
+  let joint_pts = ref [] in
+  List.iter
+    (fun depth ->
+      let width = 256 / depth in
+      let tot = ref [] and spr = ref [] and dec = ref [] and cr = ref [] in
+      List.iter
+        (fun seed ->
+          let g = layered ~seed ~depth ~width in
+          let rng = Rng.create ~seed:(seed * 977) in
+          let r = Single_broadcast.run ~rng:(Rng.split rng) ~graph:g ~source:0 () in
+          assert r.Single_broadcast.delivered;
+          tot := r.Single_broadcast.rounds_total :: !tot;
+          spr :=
+            (r.Single_broadcast.rounds_layering
+            + r.Single_broadcast.rounds_broadcast)
+            :: !spr;
+          let d = Decay.broadcast ~rng:(Rng.split rng) ~graph:g ~source:0 () in
+          dec := rounds_outcome d.Decay.outcome :: !dec;
+          let c =
+            Baselines.cr_broadcast ~rng:(Rng.split rng) ~graph:g ~source:0
+              ~diameter:depth ()
+          in
+          cr := rounds_outcome c.Decay.outcome :: !cr)
+        seeds;
+      let m l = median_of !l in
+      pts_cd := (float_of_int depth, m tot) :: !pts_cd;
+      pts_spread := (float_of_int depth, m spr) :: !pts_spread;
+      pts_decay := (float_of_int depth, m dec) :: !pts_decay;
+      pts_cr := (float_of_int depth, m cr) :: !pts_cr;
+      let l = float_of_int (Ilog.clog 257) in
+      joint_pts := (float_of_int depth *. l, l *. l, m dec) :: !joint_pts;
+      Table.add_row t
+        [
+          string_of_int depth;
+          Table.cell_f (m tot);
+          Table.cell_f (m spr);
+          Table.cell_f (m dec);
+          Table.cell_f (m cr);
+        ])
+    [ 8; 16; 32; 64; 128; 256 ];
+  Table.print t;
+  let fit name pts =
+    let f = Stats.linear_fit !pts in
+    Table.note
+      (Printf.sprintf "%s: rounds ~ %.1f.D + %.0f   (r2=%.2f)" name
+         f.Stats.slope f.Stats.intercept f.Stats.r2)
+  in
+  fit "thm1.1 total   " pts_cd;
+  fit "thm1.1 spread  " pts_spread;
+  fit "decay          " pts_decay;
+  fit "cr             " pts_cr;
+
+  Table.note
+    "shape check: the CD algorithm's D-coefficient is a small constant \
+     (additive D); Decay/CR pay ~log-factor slopes.";
+  (* Sweep n at fixed D = 12. *)
+  let t =
+    Table.create
+      ~title:"E1b  rounds vs n, D = 12 (layered graphs, median of 3 seeds)"
+      ~columns:[ "n"; "thm1.1 total"; "thm1.1 spread"; "decay"; "decay/D" ]
+  in
+  List.iter
+    (fun width ->
+      let depth = 12 in
+      let n = 1 + (depth * width) in
+      let tot = ref [] and spr = ref [] and dec = ref [] in
+      List.iter
+        (fun seed ->
+          let g = layered ~seed ~depth ~width in
+          let rng = Rng.create ~seed:(seed * 31) in
+          let r = Single_broadcast.run ~rng:(Rng.split rng) ~graph:g ~source:0 () in
+          tot := r.Single_broadcast.rounds_total :: !tot;
+          spr :=
+            (r.Single_broadcast.rounds_layering
+            + r.Single_broadcast.rounds_broadcast)
+            :: !spr;
+          let d = Decay.broadcast ~rng:(Rng.split rng) ~graph:g ~source:0 () in
+          dec := rounds_outcome d.Decay.outcome :: !dec)
+        seeds;
+      let l = float_of_int (Ilog.clog n) in
+      joint_pts := (12.0 *. l, l *. l, median_of !dec) :: !joint_pts;
+      Table.add_row t
+        [
+          string_of_int n;
+          Table.cell_f (median_of !tot);
+          Table.cell_f (median_of !spr);
+          Table.cell_f (median_of !dec);
+          Table.cell_f (median_of !dec /. 12.0);
+        ])
+    [ 2; 4; 8; 16; 32 ];
+  Table.print t;
+  Table.note
+    "shape check: decay's per-hop cost (decay/D) grows with log n; the CD \
+     algorithm's spread part stays ~D + polylog.";
+  let joint = Stats.two_predictor_fit !joint_pts in
+  Table.note
+    (Printf.sprintf
+       "decay joint fit over both sweeps: rounds ~ %.2f.(D.log n) + \
+        %.2f.log^2 n + %.0f  (r2=%.2f) — the O(D log n + log^2 n) shape of \
+        [2]."
+       joint.Stats.a joint.Stats.b joint.Stats.c joint.Stats.r2_2)
+
+(* ------------------------------------------------------------------ *)
+(* E2 — Theorem 2.1: distributed GST construction cost                  *)
+
+let e2 () =
+  Table.section
+    "E2  Theorem 2.1: distributed GST construction, O(D polylog) rounds";
+  let t =
+    Table.create
+      ~title:"E2  layered graphs (width 4), median of 3 seeds; L = ceil(log2 n)"
+      ~columns:
+        [
+          "D"; "n"; "seq rounds"; "pipe rounds"; "pipe/(D.L^2)"; "valid";
+          "overrides";
+        ]
+  in
+  List.iter
+    (fun depth ->
+      let width = 4 in
+      let n = 1 + (depth * width) in
+      let l = Ilog.clog n in
+      let seq = ref [] and pipe = ref [] and ovr = ref [] and valid = ref true in
+      List.iter
+        (fun seed ->
+          let g = layered ~seed ~depth ~width in
+          let run mode =
+            Gst_distributed.construct ~mode
+              ~layering:Gst_distributed.Collision_wave_layering
+              ~rng:(Rng.create ~seed:(seed * 131))
+              ~graph:g ~roots:[| 0 |] ()
+          in
+          let rs = run Gst_distributed.Sequential in
+          let rp = run Gst_distributed.Pipelined in
+          (match Gst.validate rp.Gst_distributed.gst with
+          | Ok () -> ()
+          | Error _ -> valid := false);
+          seq := rs.Gst_distributed.total_rounds :: !seq;
+          pipe := rp.Gst_distributed.total_rounds :: !pipe;
+          ovr := Gst.override_count rp.Gst_distributed.gst :: !ovr)
+        seeds;
+      Table.add_row t
+        [
+          string_of_int depth;
+          string_of_int n;
+          Table.cell_f (median_of !seq);
+          Table.cell_f (median_of !pipe);
+          Table.cell_f (median_of !pipe /. float_of_int (depth * l * l));
+          string_of_bool !valid;
+          Table.cell_f (median_of !ovr);
+        ])
+    [ 4; 8; 16; 32 ];
+  Table.print t;
+  (* And versus n at fixed depth. *)
+  let t =
+    Table.create
+      ~title:"E2b  rounds vs n at fixed D = 8 (pipelined, median of 3 seeds)"
+      ~columns:[ "width"; "n"; "pipe rounds"; "rounds/L^2" ]
+  in
+  List.iter
+    (fun width ->
+      let depth = 8 in
+      let n = 1 + (depth * width) in
+      let l = Ilog.clog n in
+      let pipe = ref [] in
+      List.iter
+        (fun seed ->
+          let g = layered ~seed ~depth ~width in
+          let r =
+            Gst_distributed.construct ~mode:Gst_distributed.Pipelined
+              ~layering:Gst_distributed.Collision_wave_layering
+              ~rng:(Rng.create ~seed:(seed * 17))
+              ~graph:g ~roots:[| 0 |] ()
+          in
+          pipe := r.Gst_distributed.total_rounds :: !pipe)
+        seeds;
+      Table.add_row t
+        [
+          string_of_int width; string_of_int n; Table.cell_f (median_of !pipe);
+          Table.cell_f (median_of !pipe /. float_of_int (l * l));
+        ])
+    [ 2; 4; 8; 16; 32 ];
+  Table.print t;
+  Table.note
+    "shape check: rounds/(D.L^2) roughly flat => construction linear in D \
+     with a polylog factor (the adaptive schedule exits far below the \
+     worst-case log^4/log^5 budgets); every output is a valid GST."
+
+(* ------------------------------------------------------------------ *)
+(* E3 — Lemma 2.3: recruiting protocol                                  *)
+
+let e3 () =
+  Table.section
+    "E3  Lemma 2.3: recruiting on bipartite graphs, Theta(log^3 n) rounds";
+  let t =
+    Table.create ~title:"E3  10 seeds each; L = ceil(log2 n)"
+      ~columns:[ "reds x blues, p"; "median rounds"; "L^3"; "covered"; "classes ok" ]
+  in
+  List.iter
+    (fun (reds, blues, p) ->
+      let rounds = ref [] and cov = ref 0 and cons = ref 0 in
+      List.iter
+        (fun seed ->
+          let rng = Rng.create ~seed in
+          let g = Topo.bipartite_random ~rng ~reds ~blues ~p in
+          let o =
+            Recruiting.run_standalone ~rng:(Rng.split rng)
+              ~params:Params.default ~graph:g
+              ~reds:(Array.init reds (fun i -> i))
+              ~blues:(Array.init blues (fun i -> reds + i))
+              ()
+          in
+          rounds := o.Recruiting.rounds :: !rounds;
+          if o.Recruiting.all_covered then incr cov;
+          if o.Recruiting.classes_consistent then incr cons)
+        many_seeds;
+      let n = reds + blues in
+      let l = Ilog.clog n in
+      Table.add_row t
+        [
+          Printf.sprintf "%dx%d, p=%.1f" reds blues p;
+          Table.cell_f (median_of !rounds);
+          string_of_int (l * l * l);
+          Printf.sprintf "%d/10" !cov;
+          Printf.sprintf "%d/10" !cons;
+        ])
+    [ (8, 20, 0.3); (16, 40, 0.2); (32, 80, 0.1); (32, 80, 0.4) ];
+  Table.print t;
+  (* Regular degrees select the loner regime exactly: degree 1 = all
+     loners, larger degrees = none. *)
+  let t =
+    Table.create ~title:"E3b  blue-regular bipartite graphs (10 seeds)"
+      ~columns:[ "reds x blues, degree"; "median rounds"; "covered"; "classes ok" ]
+  in
+  List.iter
+    (fun (reds, blues, degree) ->
+      let rounds = ref [] and cov = ref 0 and cons = ref 0 in
+      List.iter
+        (fun seed ->
+          let rng = Rng.create ~seed:(seed * 71) in
+          let g = Topo.bipartite_regular ~rng ~reds ~blues ~degree in
+          let o =
+            Recruiting.run_standalone ~rng:(Rng.split rng) ~params:Params.default
+              ~graph:g
+              ~reds:(Array.init reds (fun i -> i))
+              ~blues:(Array.init blues (fun i -> reds + i))
+              ()
+          in
+          rounds := o.Recruiting.rounds :: !rounds;
+          if o.Recruiting.all_covered then incr cov;
+          if o.Recruiting.classes_consistent then incr cons)
+        many_seeds;
+      Table.add_row t
+        [
+          Printf.sprintf "%dx%d, d=%d" reds blues degree;
+          Table.cell_f (median_of !rounds);
+          Printf.sprintf "%d/10" !cov;
+          Printf.sprintf "%d/10" !cons;
+        ])
+    [ (16, 40, 1); (16, 40, 2); (16, 40, 8); (16, 40, 16) ];
+  Table.print t;
+  Table.note
+    "shape check: every blue is recruited with a consistent class, within \
+     the same order as the L^3 bound (adaptive exit usually well below)."
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Lemma 2.4: epoch shrinkage of the assignment problem            *)
+
+let e4 () =
+  Table.section "E4  Lemma 2.4: active reds shrink geometrically per epoch";
+  let reds = 16 and blues = 40 in
+  let sums = Hashtbl.create 8 and counts = Hashtbl.create 8 in
+  List.iter
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let g = Topo.bipartite_random ~rng ~reds ~blues ~p:0.3 in
+      let blue_ranks = Array.make (reds + blues) 1 in
+      let o =
+        Bipartite_assignment.run_standalone ~rng:(Rng.split rng)
+          ~params:Params.default ~graph:g
+          ~reds:(Array.init reds (fun i -> i))
+          ~blues:(Array.init blues (fun i -> reds + i))
+          ~blue_ranks ()
+      in
+      List.iteri
+        (fun e (_, active) ->
+          Hashtbl.replace sums e
+            (active + Option.value ~default:0 (Hashtbl.find_opt sums e));
+          Hashtbl.replace counts e
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts e)))
+        o.Bipartite_assignment.epoch_history)
+    (List.init 20 (fun i -> i + 1));
+  let t =
+    Table.create
+      ~title:"E4  mean active reds at epoch start (16x40 bipartite, 20 seeds)"
+      ~columns:[ "epoch"; "mean active reds"; "runs reaching epoch" ]
+  in
+  let epochs = Hashtbl.fold (fun e _ acc -> max acc e) sums 0 in
+  for e = 0 to epochs do
+    match (Hashtbl.find_opt sums e, Hashtbl.find_opt counts e) with
+    | Some s, Some c ->
+        Table.add_row t
+          [
+            string_of_int (e + 1);
+            Table.cell_f (float_of_int s /. float_of_int c);
+            string_of_int c;
+          ]
+    | _ -> ()
+  done;
+  Table.print t;
+  Table.note
+    "shape check: the count decays by a constant factor per epoch (the \
+     paper proves an 8/7 shrink w.p. 1/7; observed decay is much faster)."
+
+(* ------------------------------------------------------------------ *)
+(* E5 — Theorem 1.2: k-message broadcast, known topology                *)
+
+let e5 () =
+  Table.section "E5  Theorem 1.2: O(D + k.log n + log^2 n), known topology";
+  let depth = 12 and width = 8 in
+  let n = 1 + (depth * width) in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E5  rounds vs k on a layered graph (D=%d, n=%d), median of 3 seeds"
+           depth n)
+      ~columns:[ "k"; "rlnc rounds"; "rounds/k"; "routing"; "sequential" ]
+  in
+  let pts = ref [] in
+  List.iter
+    (fun k ->
+      let rl = ref [] and ro = ref [] and sq = ref [] in
+      List.iter
+        (fun seed ->
+          let g = layered ~seed ~depth ~width in
+          let rng = Rng.create ~seed:(seed * 7177) in
+          let r =
+            Multi_broadcast.known ~rng:(Rng.split rng) ~graph:g ~source:0 ~k ()
+          in
+          assert (r.Multi_broadcast.delivered && r.Multi_broadcast.payloads_ok);
+          rl := r.Multi_broadcast.rounds :: !rl;
+          let b =
+            Baselines.routing_multi ~rng:(Rng.split rng) ~graph:g ~source:0 ~k ()
+          in
+          ro := b.Baselines.rounds :: !ro;
+          let s =
+            Baselines.sequential_multi ~rng:(Rng.split rng) ~graph:g ~source:0
+              ~k ()
+          in
+          sq := s.Baselines.rounds :: !sq)
+        seeds;
+      let m = median_of !rl in
+      pts := (float_of_int k, m) :: !pts;
+      Table.add_row t
+        [
+          string_of_int k;
+          Table.cell_f m;
+          Table.cell_f (m /. float_of_int k);
+          Table.cell_f (median_of !ro);
+          Table.cell_f (median_of !sq);
+        ])
+    [ 1; 2; 4; 8; 16; 32; 64 ];
+  Table.print t;
+  let f = Stats.linear_fit !pts in
+  Table.note
+    (Printf.sprintf
+       "rlnc: rounds ~ %.1f.k + %.0f (r2=%.2f); log2 n = %d, so the \
+        per-message cost is ~%.1f.log n — the optimal k.log n throughput."
+       f.Stats.slope f.Stats.intercept f.Stats.r2 (Ilog.clog n)
+       (f.Stats.slope /. float_of_int (Ilog.clog n)))
+
+(* ------------------------------------------------------------------ *)
+(* E6 — Theorem 1.3: k-message broadcast, unknown topology + CD         *)
+
+let e6 () =
+  Table.section
+    "E6  Theorem 1.3: O(D + k.log n + polylog), unknown topology + CD";
+  let depth = 12 and width = 8 in
+  let t =
+    Table.create ~title:"E6  rounds vs k (layered D=12 n=97), median of 3 seeds"
+      ~columns:
+        [
+          "k"; "total"; "layering"; "construction"; "dissemination"; "rings";
+          "batches";
+        ]
+  in
+  let pts = ref [] in
+  List.iter
+    (fun k ->
+      let tot = ref [] and dis = ref [] and con = ref [] in
+      let rc = ref 0 and bc = ref 0 in
+      List.iter
+        (fun seed ->
+          let g = layered ~seed ~depth ~width in
+          let rng = Rng.create ~seed:(seed * 911) in
+          let r = Multi_broadcast.unknown ~rng ~graph:g ~source:0 ~k () in
+          assert (r.Multi_broadcast.delivered && r.Multi_broadcast.payloads_ok);
+          tot := r.Multi_broadcast.rounds_total :: !tot;
+          dis := r.Multi_broadcast.rounds_dissemination :: !dis;
+          con := r.Multi_broadcast.rounds_construction :: !con;
+          rc := r.Multi_broadcast.ring_count;
+          bc := r.Multi_broadcast.batch_count)
+        seeds;
+      pts := (float_of_int k, median_of !dis) :: !pts;
+      Table.add_row t
+        [
+          string_of_int k;
+          Table.cell_f (median_of !tot);
+          "12";
+          Table.cell_f (median_of !con);
+          Table.cell_f (median_of !dis);
+          string_of_int !rc;
+          string_of_int !bc;
+        ])
+    [ 1; 4; 16; 32 ];
+  Table.print t;
+  let f = Stats.linear_fit !pts in
+  Table.note
+    (Printf.sprintf
+       "dissemination ~ %.1f.k + %.0f: linear in k as claimed; construction \
+        is the k-independent polylog setup."
+       f.Stats.slope f.Stats.intercept)
+
+(* ------------------------------------------------------------------ *)
+(* E7 — Lemma 3.2: Decay is multi-message viable                        *)
+
+let e7 () =
+  Table.section
+    "E7  Lemma 3.2: Decay stays fast when have-nots transmit noise (MMV)";
+  let t =
+    Table.create
+      ~title:"E7  level-keyed Decay, noising vs silent (median of 10 seeds)"
+      ~columns:[ "graph"; "silent"; "noising"; "ratio"; "both deliver" ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let levels = Bfs.levels g ~src:0 in
+      let sil = ref [] and noi = ref [] and ok = ref true in
+      List.iter
+        (fun seed ->
+          let rng = Rng.create ~seed:(seed * 13) in
+          let s =
+            Decay.mmv_broadcast ~noising:false ~rng:(Rng.split rng) ~graph:g
+              ~levels ~source:0 ()
+          in
+          let z =
+            Decay.mmv_broadcast ~noising:true ~rng:(Rng.split rng) ~graph:g
+              ~levels ~source:0 ()
+          in
+          (match (s.Decay.outcome, z.Decay.outcome) with
+          | Rn_radio.Engine.Completed _, Rn_radio.Engine.Completed _ -> ()
+          | _ -> ok := false);
+          sil := rounds_outcome s.Decay.outcome :: !sil;
+          noi := rounds_outcome z.Decay.outcome :: !noi)
+        many_seeds;
+      Table.add_row t
+        [
+          name;
+          Table.cell_f (median_of !sil);
+          Table.cell_f (median_of !noi);
+          Table.cell_f (median_of !noi /. median_of !sil);
+          string_of_bool !ok;
+        ])
+    [
+      ("path 48", Topo.path 48);
+      ("grid 8x6", Topo.grid ~w:8 ~h:6);
+      ("layered D=10", layered ~seed:3 ~depth:10 ~width:5);
+      ("tree arity 2 depth 5", Topo.balanced_tree ~arity:2 ~depth:5);
+    ];
+  Table.print t;
+  Table.note
+    "shape check: noise costs only a constant factor — the MMV property \
+     that makes the schedule usable under concurrent messages."
+
+(* ------------------------------------------------------------------ *)
+(* E8 — §3.2 ablation: virtual-distance vs level-keyed slow steps       *)
+
+let e8 () =
+  Table.section
+    "E8  Ablation: MMV-GST slow steps keyed by virtual distance (paper) vs by level [7,19]";
+  let t =
+    Table.create
+      ~title:"E8  k=4 messages under MMV noise, median of 5 seeds (budgeted runs)"
+      ~columns:[ "graph"; "vd-keyed"; "level-keyed"; "vd ok"; "level ok" ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let run slow_key seed =
+        let gst = Gst.build_centralized ~graph:g ~roots:[| 0 |] () in
+        let vd = Gst.virtual_distances gst in
+        let rng = Rng.create ~seed:(seed * 37) in
+        let msgs = Multi_broadcast.random_messages rng ~k:4 ~msg_len:16 in
+        Gst_broadcast.run ~slow_key ~rng:(Rng.split rng) ~gst ~vd ~msgs
+          ~sources:[| 0 |] ()
+      in
+      let vd_r = ref [] and lv_r = ref [] and vd_ok = ref 0 and lv_ok = ref 0 in
+      List.iter
+        (fun seed ->
+          let a = run Gst_broadcast.By_virtual_distance seed in
+          let b = run Gst_broadcast.By_level seed in
+          (match a.Gst_broadcast.outcome with
+          | Rn_radio.Engine.Completed _ -> incr vd_ok
+          | _ -> ());
+          (match b.Gst_broadcast.outcome with
+          | Rn_radio.Engine.Completed _ -> incr lv_ok
+          | _ -> ());
+          vd_r := a.Gst_broadcast.rounds :: !vd_r;
+          lv_r := b.Gst_broadcast.rounds :: !lv_r)
+        [ 1; 2; 3; 4; 5 ];
+      Table.add_row t
+        [
+          name;
+          Table.cell_f (median_of !vd_r);
+          Table.cell_f (median_of !lv_r);
+          Printf.sprintf "%d/5" !vd_ok;
+          Printf.sprintf "%d/5" !lv_ok;
+        ])
+    [
+      ("path 48", Topo.path 48);
+      ("tree arity 2 depth 5", Topo.balanced_tree ~arity:2 ~depth:5);
+      ("layered D=10", layered ~seed:5 ~depth:10 ~width:5);
+      ("caterpillar 16x3", Topo.caterpillar ~spine:16 ~legs:3);
+    ];
+  Table.print t;
+  Table.note
+    "shape check: pushing slow packets toward fast-stretch entry points \
+     (virtual distance) is never worse and is what the backwards analysis \
+     needs; level-keyed slow steps only push away from the source."
+
+(* ------------------------------------------------------------------ *)
+(* E9 — structural properties (§2.1, Lemmas 3.4, 3.5)                   *)
+
+let e9 () =
+  Table.section "E9  Structural invariants: rank bound, vd bound, wave safety";
+  let t =
+    Table.create ~title:"E9  random connected graphs, 5 seeds each"
+      ~columns:
+        [ "n"; "max rank"; "clog n"; "max vd"; "2.clog n"; "overrides"; "hazards" ]
+  in
+  List.iter
+    (fun n ->
+      let mr = ref 0 and mvd = ref 0 and ovr = ref 0 and haz = ref 0 in
+      List.iter
+        (fun seed ->
+          let g =
+            Topo.random_connected
+              ~rng:(Rng.create ~seed:(seed + (n * 17)))
+              ~n ~extra:(n * 3 / 2)
+          in
+          let gst = Gst.build_centralized ~graph:g ~roots:[| 0 |] () in
+          mr := max !mr (Ranked_bfs.max_rank gst.Gst.ranks);
+          mvd := max !mvd (Array.fold_left max 0 (Gst.virtual_distances gst));
+          ovr := !ovr + Gst.override_count gst;
+          haz := !haz + List.length (Gst.wave_unsafe gst))
+        (List.init 5 (fun i -> i + 1));
+      Table.add_row t
+        [
+          string_of_int n;
+          string_of_int !mr;
+          string_of_int (Ilog.clog n);
+          string_of_int !mvd;
+          string_of_int (2 * Ilog.clog n);
+          string_of_int !ovr;
+          string_of_int !haz;
+        ])
+    [ 32; 64; 128; 256 ];
+  Table.print t;
+  Table.note
+    "shape check: max rank <= ceil(log2 n) (§2.1), virtual distances <= \
+     2.ceil(log2 n) (Lemma 3.4, + the counted repairs), and zero remaining \
+     fast-wave hazards (Lemma 3.5) after the wave-safety repair."
+
+(* ------------------------------------------------------------------ *)
+(* E10 — coding vs routing throughput ([11] discussion)                 *)
+
+let e10 () =
+  Table.section "E10  Network coding vs routing for k messages";
+  let g =
+    Topo.cluster_path ~rng:(Rng.create ~seed:6) ~clusters:6 ~size:10
+      ~p_intra:0.35
+  in
+  let t =
+    Table.create ~title:"E10  cluster corridor (n=60), median of 3 seeds"
+      ~columns:[ "k"; "rlnc"; "routing"; "sequential"; "routing/rlnc" ]
+  in
+  List.iter
+    (fun k ->
+      let rl = ref [] and ro = ref [] and sq = ref [] in
+      List.iter
+        (fun seed ->
+          let rng = Rng.create ~seed:(seed * 41) in
+          let a =
+            Multi_broadcast.known ~rng:(Rng.split rng) ~graph:g ~source:0 ~k ()
+          in
+          rl := a.Multi_broadcast.rounds :: !rl;
+          let b =
+            Baselines.routing_multi ~rng:(Rng.split rng) ~graph:g ~source:0 ~k ()
+          in
+          ro := b.Baselines.rounds :: !ro;
+          let c =
+            Baselines.sequential_multi ~rng:(Rng.split rng) ~graph:g ~source:0
+              ~k ()
+          in
+          sq := c.Baselines.rounds :: !sq)
+        seeds;
+      Table.add_row t
+        [
+          string_of_int k;
+          Table.cell_f (median_of !rl);
+          Table.cell_f (median_of !ro);
+          Table.cell_f (median_of !sq);
+          Table.cell_f (median_of !ro /. median_of !rl);
+        ])
+    [ 4; 8; 16; 32; 64 ];
+  Table.print t;
+  Table.note
+    "shape check: the coded schedule's advantage grows with k — the \
+     throughput separation the Ω(k log n) discussion in [11] is about."
+
+(* ------------------------------------------------------------------ *)
+(* E11 — footnote 2: beep-wave 2-approximation of the diameter          *)
+
+let e11 () =
+  Table.section
+    "E11  Footnote 2: distributed 2-approximation of D in O(D) rounds (CD)";
+  let t =
+    Table.create ~title:"E11  doubling beep-wave estimator"
+      ~columns:[ "graph"; "ecc"; "estimate"; "rounds"; "rounds/ecc" ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let r = Diameter_estimate.run ~graph:g ~source:0 () in
+      let ecc = max 1 r.Diameter_estimate.eccentricity in
+      Table.add_row t
+        [
+          name;
+          string_of_int r.Diameter_estimate.eccentricity;
+          string_of_int r.Diameter_estimate.estimate;
+          string_of_int r.Diameter_estimate.rounds;
+          Table.cell_f (float_of_int r.Diameter_estimate.rounds /. float_of_int ecc);
+        ])
+    [
+      ("path 128", Topo.path 128);
+      ("grid 12x12", Topo.grid ~w:12 ~h:12);
+      ("barbell 10+20", Topo.barbell ~clique:10 ~bridge:20);
+      ("random n=128", Topo.random_connected ~rng:(Rng.create ~seed:8) ~n:128 ~extra:128);
+      ("disk n=100", Topo.unit_disk ~rng:(Rng.create ~seed:9) ~n:100 ~radius:0.15);
+    ];
+  Table.print t;
+  Table.note
+    "shape check: estimate in [ecc, 2.ecc] and total cost a small constant \
+     times D — the assumption `nodes know D up to a constant' is removable \
+     exactly as the paper's footnote claims."
+
+(* ------------------------------------------------------------------ *)
+(* E12 — §3.4 strips: bounded-memory restarts                           *)
+
+let e12 () =
+  Table.section
+    "E12  §3.4 strips: buffer-reset steps keep the schedule correct with bounded memory";
+  let t =
+    Table.create
+      ~title:"E12  k=4 messages, step = c.log^2 n resets vs unbounded buffers (median of 5 seeds)"
+      ~columns:[ "graph"; "unbounded"; "step 8L^2"; "step 4L^2"; "all deliver" ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let gst = Gst.build_centralized ~graph:g ~roots:[| 0 |] () in
+      let vd = Gst.virtual_distances gst in
+      let l = Ilog.clog (Graph.n g) in
+      let run ?step_reset seed =
+        let rng = Rng.create ~seed:(seed * 59) in
+        let msgs = Multi_broadcast.random_messages rng ~k:4 ~msg_len:16 in
+        Gst_broadcast.run ?step_reset ~rng:(Rng.split rng) ~gst ~vd ~msgs
+          ~sources:[| 0 |] ()
+      in
+      let unb = ref [] and s8 = ref [] and s4 = ref [] and ok = ref true in
+      List.iter
+        (fun seed ->
+          let a = run seed in
+          let b = run ~step_reset:(8 * l * l) seed in
+          let c = run ~step_reset:(4 * l * l) seed in
+          List.iter
+            (fun (r : Gst_broadcast.result) ->
+              match r.Gst_broadcast.outcome with
+              | Rn_radio.Engine.Completed _ -> ()
+              | _ -> ok := false)
+            [ a; b; c ];
+          unb := a.Gst_broadcast.rounds :: !unb;
+          s8 := b.Gst_broadcast.rounds :: !s8;
+          s4 := c.Gst_broadcast.rounds :: !s4)
+        [ 1; 2; 3; 4; 5 ];
+      Table.add_row t
+        [
+          name; Table.cell_f (median_of !unb); Table.cell_f (median_of !s8);
+          Table.cell_f (median_of !s4); string_of_bool !ok;
+        ])
+    [
+      ("grid 6x5", Topo.grid ~w:6 ~h:5);
+      ("layered D=10", layered ~seed:2 ~depth:10 ~width:5);
+      ("tree arity 2 depth 5", Topo.balanced_tree ~arity:2 ~depth:5);
+    ];
+  Table.print t;
+  Table.note
+    "shape check: with steps of c.log^2 n rounds the restart discipline \
+     still delivers every batch (one strip of progress survives each \
+     step), at a modest constant-factor cost — memory per node is bounded \
+     by one step of receptions instead of the whole run."
+
+(* ------------------------------------------------------------------ *)
+(* E13 — fault injection: intermittent jammers                          *)
+
+let e13 () =
+  Table.section
+    "E13  Fault injection: intermittent jammers (6 nodes transmit noise w.p. p)";
+  let g = Topo.grid ~w:8 ~h:8 in
+  let n = Graph.n g in
+  let gst = Gst.build_centralized ~graph:g ~roots:[| 0 |] () in
+  let vd = Gst.virtual_distances gst in
+  let t =
+    Table.create
+      ~title:"E13  8x8 grid, 6 jammers, median of 5 seeds (0 = no jamming)"
+      ~columns:[ "p"; "decay"; "gst schedule"; "decay ok"; "gst ok" ]
+  in
+  List.iter
+    (fun p ->
+      let dec = ref [] and gstr = ref [] and dok = ref 0 and gok = ref 0 in
+      List.iter
+        (fun seed ->
+          let rng = Rng.create ~seed:(seed * 97) in
+          let jammers =
+            Faults.pick_jammers ~rng:(Rng.split rng) ~n ~count:6 ~exclude:[| 0 |]
+          in
+          let faults = { Faults.jammers; p } in
+          let d =
+            Decay.broadcast ~faults ~rng:(Rng.split rng) ~graph:g ~source:0 ()
+          in
+          (match d.Decay.outcome with
+          | Rn_radio.Engine.Completed _ -> incr dok
+          | _ -> ());
+          dec := rounds_outcome d.Decay.outcome :: !dec;
+          let msgs = Multi_broadcast.random_messages rng ~k:1 ~msg_len:16 in
+          let b =
+            Gst_broadcast.run ~faults ~rng:(Rng.split rng) ~gst ~vd ~msgs
+              ~sources:[| 0 |] ()
+          in
+          (match b.Gst_broadcast.outcome with
+          | Rn_radio.Engine.Completed _ -> incr gok
+          | _ -> ());
+          gstr := b.Gst_broadcast.rounds :: !gstr)
+        [ 1; 2; 3; 4; 5 ];
+      Table.add_row t
+        [
+          Table.cell_f p; Table.cell_f (median_of !dec);
+          Table.cell_f (median_of !gstr); Printf.sprintf "%d/5" !dok;
+          Printf.sprintf "%d/5" !gok;
+        ])
+    [ 0.0; 0.1; 0.3; 0.6 ];
+  Table.print t;
+  Table.note
+    "shape check: both randomized schedules keep delivering under heavy \
+     intermittent jamming at a graceful round-count cost — the resilience \
+     the MMV analysis formalizes for protocol-internal noise."
+
+(* ------------------------------------------------------------------ *)
+(* E14 — sensitivity of the explicit Theta(.) constants                 *)
+
+let e14 () =
+  Table.section
+    "E14  Sensitivity: distributed construction vs the explicit whp budgets";
+  let g = layered ~seed:4 ~depth:12 ~width:5 in
+  let t =
+    Table.create
+      ~title:"E14  layered D=12 n=61, median of 3 seeds per setting"
+      ~columns:
+        [ "c_whp"; "c_recruit"; "rounds"; "valid"; "fallbacks"; "fixups" ]
+  in
+  List.iter
+    (fun (c_whp, c_recruit) ->
+      let params = { Params.default with Params.c_whp; c_recruit } in
+      let rounds = ref [] and valid = ref true in
+      let fb = ref 0 and fx = ref 0 in
+      List.iter
+        (fun seed ->
+          match
+            Gst_distributed.construct ~params ~rng:(Rng.create ~seed:(seed * 53))
+              ~graph:g ~roots:[| 0 |] ()
+          with
+          | r ->
+              (match Gst.validate r.Gst_distributed.gst with
+              | Ok () -> ()
+              | Error _ -> valid := false);
+              rounds := r.Gst_distributed.total_rounds :: !rounds;
+              fb := !fb + r.Gst_distributed.fallback_reactivations;
+              fx := !fx + r.Gst_distributed.class_fixups
+          | exception Failure _ -> valid := false)
+        seeds;
+      Table.add_row t
+        [
+          string_of_int c_whp; string_of_int c_recruit;
+          (if !rounds = [] then "-" else Table.cell_f (median_of !rounds));
+          string_of_bool !valid; string_of_int !fb; string_of_int !fx;
+        ])
+    [ (2, 3); (4, 6); (8, 12); (16, 24) ];
+  Table.print t;
+  Table.note
+    "shape check: doubling every safety budget costs well under 2x rounds \
+     (only the fixed-epoch layering scales with c_whp; the adaptive phases \
+     exit at success), and even the smallest setting stays valid here — \
+     failures would appear as fallbacks/late attaches first."
+
+(* ------------------------------------------------------------------ *)
+(* F1 — Figure 1 reproduction                                           *)
+
+let f1 () =
+  Table.section
+    "F1  Figure 1: ranked BFS vs GST (see examples/gst_explorer.exe)";
+  let g =
+    Graph.create ~n:8
+      ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3); (2, 4); (3, 5); (4, 6); (5, 7) ]
+  in
+  let levels, naive_parents = Bfs.levels_and_parents g ~src:0 in
+  let naive_ranks = Ranked_bfs.ranks ~parents:naive_parents ~levels in
+  let naive =
+    Gst.make ~graph:g ~levels ~parents:naive_parents ~ranks:naive_ranks ()
+  in
+  let gst = Gst.build_centralized ~graph:g ~roots:[| 0 |] () in
+  Table.note
+    (Printf.sprintf "naive ranked BFS: %d collision-freeness violations"
+       (List.length (Gst.collision_violations naive)));
+  Table.note
+    (Printf.sprintf "constructed GST:  %s"
+       (match Gst.validate gst with
+       | Ok () -> "valid (0 violations)"
+       | Error e -> e));
+  Table.note "run `dune exec examples/gst_explorer.exe` for the full rendering."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                            *)
+
+let micro () =
+  Table.section "B   Bechamel micro-benchmarks (wall-clock per operation)";
+  let open Bechamel in
+  let rng = Rng.create ~seed:1 in
+  let grid = Topo.grid ~w:32 ~h:32 in
+  let big_rand = Topo.random_connected ~rng ~n:256 ~extra:512 in
+  let vec_a = Rn_coding.Bitvec.random rng 256 in
+  let vec_b = Rn_coding.Bitvec.random rng 256 in
+  let msgs = Multi_broadcast.random_messages rng ~k:32 ~msg_len:64 in
+  let decoder = Rn_coding.Rlnc.create ~k:32 ~msg_len:64 in
+  Rn_coding.Rlnc.seed_with_sources decoder ~msgs;
+  let tests =
+    Test.make_grouped ~name:"micro"
+      [
+        Test.make ~name:"rng_bits64" (Staged.stage (fun () -> Rng.bits64 rng));
+        Test.make ~name:"bitvec_xor_256"
+          (Staged.stage (fun () -> Rn_coding.Bitvec.xor_into ~dst:vec_a vec_b));
+        Test.make ~name:"bitvec_dot_256"
+          (Staged.stage (fun () -> Rn_coding.Bitvec.dot vec_a vec_b));
+        Test.make ~name:"rlnc_encode_k32"
+          (Staged.stage (fun () -> Rn_coding.Rlnc.encode rng decoder));
+        Test.make ~name:"bfs_grid_32x32"
+          (Staged.stage (fun () -> Bfs.levels grid ~src:0));
+        Test.make ~name:"gst_centralized_n256"
+          (Staged.stage (fun () ->
+               Gst.build_centralized ~graph:big_rand ~roots:[| 0 |] ()));
+        Test.make ~name:"engine_round_grid1024"
+          (Staged.stage (fun () ->
+               let p =
+                 {
+                   Rn_radio.Engine.decide =
+                     (fun ~round:_ ~node ->
+                       if node land 7 = 0 then Rn_radio.Engine.Transmit 0
+                       else Rn_radio.Engine.Listen);
+                   deliver = (fun ~round:_ ~node:_ _ -> ());
+                 }
+               in
+               Rn_radio.Engine.run ~graph:grid
+                 ~detection:Rn_radio.Engine.Collision_detection ~protocol:p
+                 ~stop:(fun ~round:_ -> false)
+                 ~max_rounds:1 ()));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  let t =
+    Table.create ~title:"B  monotonic-clock estimates"
+      ~columns:[ "operation"; "ns/op" ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  List.iter
+    (fun (name, est) -> Table.add_row t [ name; Table.cell_f est ])
+    (List.sort compare !rows);
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
+    ("E12", e12); ("E13", e13); ("E14", e14); ("F1", f1); ("micro", micro);
+  ]
+
+let () =
+  let args = match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest in
+  let rec strip_csv acc = function
+    | "--csv" :: dir :: rest ->
+        Table.csv_dir := Some dir;
+        strip_csv acc rest
+    | x :: rest -> strip_csv (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = strip_csv [] args in
+  let requested = match args with [] -> None | ids -> Some ids in
+  let wanted id =
+    match requested with None -> true | Some ids -> List.mem id ids
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (id, f) -> if wanted id then f ()) experiments;
+  Printf.printf "\nall requested experiments done in %.1fs\n"
+    (Unix.gettimeofday () -. t0)

@@ -1,0 +1,279 @@
+(* rbcast — command-line driver for the radio-broadcast library.
+
+   Subcommands:
+     rbcast broadcast  single-message broadcast with a chosen algorithm
+     rbcast multi      k-message broadcast (Theorems 1.2 / 1.3, baselines)
+     rbcast gst        build a GST (centralized or distributed) and report
+     rbcast topo       describe or export a generated topology *)
+
+open Cmdliner
+open Rn_util
+open Rn_graph
+open Rn_broadcast
+
+(* ------------------------------------------------------------------ *)
+(* Topology specification *)
+
+type topo =
+  | Path
+  | Cycle
+  | Star
+  | Grid
+  | Tree
+  | Random
+  | Layered
+  | Clusters
+  | Disk
+
+let topo_conv =
+  Arg.enum
+    [
+      ("path", Path); ("cycle", Cycle); ("star", Star); ("grid", Grid);
+      ("tree", Tree); ("random", Random); ("layered", Layered);
+      ("clusters", Clusters); ("disk", Disk);
+    ]
+
+let build_graph topo n depth seed =
+  let rng = Rng.create ~seed in
+  match topo with
+  | Path -> Gen.path n
+  | Cycle -> Gen.cycle (max 3 n)
+  | Star -> Gen.star n
+  | Grid ->
+      let w = max 1 (Ilog.isqrt n) in
+      Gen.grid ~w ~h:(max 1 (Ilog.cdiv n w))
+  | Tree ->
+      let d = max 1 depth in
+      Gen.balanced_tree ~arity:2 ~depth:d
+  | Random -> Gen.random_connected ~rng ~n ~extra:(n * 3 / 2)
+  | Layered ->
+      let d = max 1 depth in
+      Gen.layered_random ~rng ~depth:d ~width:(max 1 ((n - 1) / d)) ~p:0.3
+  | Clusters ->
+      let d = max 1 depth in
+      Gen.cluster_path ~rng ~clusters:d ~size:(max 1 (n / d)) ~p_intra:0.4
+  | Disk -> Gen.unit_disk ~rng ~n ~radius:(1.8 /. sqrt (float_of_int n))
+
+let topo_args =
+  let topo =
+    Arg.(value & opt topo_conv Random & info [ "topo" ] ~docv:"TOPO"
+           ~doc:"Topology: path, cycle, star, grid, tree, random, layered, \
+                 clusters or disk.")
+  in
+  let n =
+    Arg.(value & opt int 64 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+  in
+  let depth =
+    Arg.(value & opt int 8 & info [ "depth" ] ~docv:"DEPTH"
+           ~doc:"Depth parameter for layered/clusters/tree topologies.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  in
+  Term.(const build_graph $ topo $ n $ depth $ seed)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "run-seed" ] ~docv:"SEED"
+         ~doc:"Seed for the protocol's randomness.")
+
+(* ------------------------------------------------------------------ *)
+(* broadcast *)
+
+type algo = Decay_a | Cr_a | Gst_a | Thm11_a
+
+let algo_conv =
+  Arg.enum [ ("decay", Decay_a); ("cr", Cr_a); ("gst", Gst_a); ("thm11", Thm11_a) ]
+
+let broadcast_cmd =
+  let run graph algo seed =
+    let rng = Rng.create ~seed in
+    let source = 0 in
+    let d = Bfs.eccentricity graph source in
+    Printf.printf "n=%d m=%d eccentricity=%d\n" (Graph.n graph) (Graph.m graph) d;
+    (match algo with
+    | Decay_a ->
+        let r = Baselines.decay_broadcast ~rng ~graph ~source () in
+        Printf.printf "decay: %d rounds (tx=%d collisions=%d)\n"
+          (Rn_radio.Engine.rounds_of_outcome r.Decay.outcome)
+          r.Decay.stats.Rn_radio.Engine.transmissions
+          r.Decay.stats.Rn_radio.Engine.collisions
+    | Cr_a ->
+        let r = Baselines.cr_broadcast ~rng ~graph ~source ~diameter:d () in
+        Printf.printf "cr: %d rounds\n"
+          (Rn_radio.Engine.rounds_of_outcome r.Decay.outcome)
+    | Gst_a ->
+        let gst = Gst.build_centralized ~graph ~roots:[| source |] () in
+        let vd = Gst.virtual_distances gst in
+        let msgs = [| Rn_coding.Bitvec.random rng 32 |] in
+        let r = Gst_broadcast.run ~rng ~gst ~vd ~msgs ~sources:[| source |] () in
+        Printf.printf "gst schedule (known topology): %d rounds\n"
+          r.Gst_broadcast.rounds
+    | Thm11_a ->
+        let r = Single_broadcast.run ~rng ~graph ~source () in
+        Printf.printf
+          "theorem 1.1: %d rounds (layering %d, construction %d, spread %d, \
+           %d rings) delivered=%b\n"
+          r.Single_broadcast.rounds_total r.Single_broadcast.rounds_layering
+          r.Single_broadcast.rounds_construction
+          r.Single_broadcast.rounds_broadcast r.Single_broadcast.ring_count
+          r.Single_broadcast.delivered);
+    0
+  in
+  let algo =
+    Arg.(value & opt algo_conv Thm11_a & info [ "algo" ] ~docv:"ALGO"
+           ~doc:"decay, cr, gst or thm11.")
+  in
+  Cmd.v
+    (Cmd.info "broadcast" ~doc:"Single-message broadcast from node 0.")
+    Term.(const run $ topo_args $ algo $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* multi *)
+
+type malgo = Known_a | Unknown_a | Routing_a | Sequential_a
+
+let malgo_conv =
+  Arg.enum
+    [
+      ("known", Known_a); ("unknown", Unknown_a); ("routing", Routing_a);
+      ("sequential", Sequential_a);
+    ]
+
+let multi_cmd =
+  let run graph algo k seed =
+    let rng = Rng.create ~seed in
+    let source = 0 in
+    (match algo with
+    | Known_a ->
+        let r = Multi_broadcast.known ~rng ~graph ~source ~k () in
+        Printf.printf "theorem 1.2: %d rounds delivered=%b payloads=%b\n"
+          r.Multi_broadcast.rounds r.Multi_broadcast.delivered
+          r.Multi_broadcast.payloads_ok
+    | Unknown_a ->
+        let r = Multi_broadcast.unknown ~rng ~graph ~source ~k () in
+        Printf.printf
+          "theorem 1.3: %d rounds (%d rings, %d batches, %d epochs) \
+           delivered=%b payloads=%b\n"
+          r.Multi_broadcast.rounds_total r.Multi_broadcast.ring_count
+          r.Multi_broadcast.batch_count r.Multi_broadcast.epochs
+          r.Multi_broadcast.delivered r.Multi_broadcast.payloads_ok
+    | Routing_a ->
+        let r = Baselines.routing_multi ~rng ~graph ~source ~k () in
+        Printf.printf "routing: %d rounds delivered=%b\n" r.Baselines.rounds
+          r.Baselines.delivered
+    | Sequential_a ->
+        let r = Baselines.sequential_multi ~rng ~graph ~source ~k () in
+        Printf.printf "sequential: %d rounds delivered=%b\n" r.Baselines.rounds
+          r.Baselines.delivered);
+    0
+  in
+  let algo =
+    Arg.(value & opt malgo_conv Known_a & info [ "algo" ]
+           ~doc:"known, unknown, routing or sequential.")
+  in
+  let k =
+    Arg.(value & opt int 8 & info [ "k"; "messages" ] ~docv:"K" ~doc:"Number of messages.")
+  in
+  Cmd.v
+    (Cmd.info "multi" ~doc:"k-message broadcast from node 0.")
+    Term.(const run $ topo_args $ algo $ k $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gst *)
+
+let gst_cmd =
+  let run graph distributed pipelined seed =
+    let source = 0 in
+    if distributed then begin
+      let mode =
+        if pipelined then Gst_distributed.Pipelined else Gst_distributed.Sequential
+      in
+      let r =
+        Gst_distributed.construct ~mode ~learn_vd:true ~rng:(Rng.create ~seed)
+          ~graph ~roots:[| source |] ()
+      in
+      Printf.printf
+        "distributed GST: %d rounds (layering %d, assignment %d, self-test %d, \
+         vd %d)\n"
+        r.Gst_distributed.total_rounds r.Gst_distributed.layering_rounds
+        r.Gst_distributed.assignment_rounds r.Gst_distributed.selftest_rounds
+        r.Gst_distributed.vd_rounds;
+      (match Gst.validate r.Gst_distributed.gst with
+      | Ok () -> Printf.printf "validated: yes\n"
+      | Error e -> Printf.printf "INVALID: %s\n" e);
+      Printf.printf "max rank=%d overrides=%d\n"
+        (Ranked_bfs.max_rank r.Gst_distributed.gst.Gst.ranks)
+        (Gst.override_count r.Gst_distributed.gst)
+    end
+    else begin
+      let gst = Gst.build_centralized ~graph ~roots:[| source |] () in
+      (match Gst.validate gst with
+      | Ok () -> Printf.printf "centralized GST: valid\n"
+      | Error e -> Printf.printf "centralized GST INVALID: %s\n" e);
+      let vd = Gst.virtual_distances gst in
+      Printf.printf "max rank=%d max vd=%d overrides=%d\n"
+        (Ranked_bfs.max_rank gst.Gst.ranks)
+        (Array.fold_left max 0 vd) (Gst.override_count gst)
+    end;
+    0
+  in
+  let distributed =
+    Arg.(value & flag & info [ "distributed" ]
+           ~doc:"Use the distributed construction (Theorem 2.1).")
+  in
+  let pipelined =
+    Arg.(value & flag & info [ "pipelined" ]
+           ~doc:"Pipeline level pairs (with --distributed).")
+  in
+  Cmd.v
+    (Cmd.info "gst" ~doc:"Build a gathering spanning tree rooted at node 0.")
+    Term.(const run $ topo_args $ distributed $ pipelined $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* estimate *)
+
+let estimate_cmd =
+  let run graph =
+    let r = Diameter_estimate.run ~graph ~source:0 () in
+    Printf.printf
+      "eccentricity(0)=%d estimate=%d (2-approximation) in %d rounds\n"
+      r.Diameter_estimate.eccentricity r.Diameter_estimate.estimate
+      r.Diameter_estimate.rounds;
+    0
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Beep-wave diameter 2-approximation from node 0 (footnote 2).")
+    Term.(const run $ topo_args)
+
+(* ------------------------------------------------------------------ *)
+(* topo *)
+
+let topo_cmd =
+  let run graph dot =
+    if dot then print_string (Gen.dot graph)
+    else begin
+      Printf.printf "n=%d m=%d max_degree=%d connected=%b" (Graph.n graph)
+        (Graph.m graph) (Graph.max_degree graph) (Bfs.is_connected graph);
+      if Bfs.is_connected graph && Graph.n graph > 0 then
+        Printf.printf " diameter=%d" (Bfs.diameter graph);
+      print_newline ()
+    end;
+    0
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of a summary.")
+  in
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Describe or export a generated topology.")
+    Term.(const run $ topo_args $ dot)
+
+let () =
+  let info =
+    Cmd.info "rbcast" ~version:"1.0.0"
+      ~doc:"Randomized broadcast in radio networks with collision detection"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ broadcast_cmd; multi_cmd; gst_cmd; estimate_cmd; topo_cmd ]))

@@ -1,0 +1,1 @@
+examples/firmware_update.ml: Baselines Multi_broadcast Printf Rn_broadcast Rn_graph Rn_util Rng

@@ -1,0 +1,1 @@
+examples/gst_explorer.ml: Array Bfs Graph Gst Gst_distributed List Printf Ranked_bfs Rn_broadcast Rn_graph Rn_util Rng String

@@ -1,0 +1,1 @@
+examples/gst_explorer.mli:

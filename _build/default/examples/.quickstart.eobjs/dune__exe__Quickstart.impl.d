@@ -1,0 +1,1 @@
+examples/quickstart.ml: Baselines Decay Printf Rn_broadcast Rn_graph Rn_radio Rn_util Rng Single_broadcast

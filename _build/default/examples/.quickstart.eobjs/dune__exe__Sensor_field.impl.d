@@ -1,0 +1,1 @@
+examples/sensor_field.ml: Array Baselines Bfs Decay Gen Graph Printf Rn_broadcast Rn_graph Rn_radio Rn_util Rng Single_broadcast String

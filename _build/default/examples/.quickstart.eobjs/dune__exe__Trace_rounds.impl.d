@@ -1,0 +1,1 @@
+examples/trace_rounds.ml: Array Decay Engine List Params Printf Rn_broadcast Rn_graph Rn_radio Rn_util Rng String

@@ -1,0 +1,59 @@
+(* Firmware update: a gateway pushes a k-chunk image to every node of a
+   mesh, the k-message broadcast problem of §3.
+
+   Compares the paper's network-coded schedule (Theorem 1.2 with known
+   topology, Theorem 1.3 without) against store-and-forward routing and
+   against k back-to-back single-message floods.
+
+   Run with: dune exec examples/firmware_update.exe *)
+
+open Rn_util
+open Rn_broadcast
+
+let () =
+  let rng = Rng.create ~seed:99 in
+  (* A mesh of dense clusters chained along a corridor: long diameter,
+     heavy local contention — the hard regime for multi-message traffic. *)
+  let graph =
+    Rn_graph.Gen.cluster_path ~rng ~clusters:6 ~size:10 ~p_intra:0.35
+  in
+  let source = 0 in
+  let k = 24 in
+  let d = Rn_graph.Bfs.eccentricity graph source in
+  Printf.printf
+    "mesh: n=%d, diameter-from-gateway=%d; firmware image: %d chunks\n\n"
+    (Rn_graph.Graph.n graph) d k;
+
+  let known = Multi_broadcast.known ~rng:(Rng.split rng) ~graph ~source ~k () in
+  assert (known.Multi_broadcast.delivered && known.Multi_broadcast.payloads_ok);
+
+  let unknown = Multi_broadcast.unknown ~rng:(Rng.split rng) ~graph ~source ~k () in
+
+  let routing = Baselines.routing_multi ~rng:(Rng.split rng) ~graph ~source ~k () in
+  let seq = Baselines.sequential_multi ~rng:(Rng.split rng) ~graph ~source ~k () in
+
+  Printf.printf "%-52s %8s %10s\n" "strategy" "rounds" "rounds/chunk";
+  let row name rounds =
+    Printf.printf "%-52s %8d %10.1f\n" name rounds
+      (float_of_int rounds /. float_of_int k)
+  in
+  row "RLNC + MMV-GST schedule, known topology (Thm 1.2)"
+    known.Multi_broadcast.rounds;
+  row "RLNC + rings + FEC, unknown topology + CD (Thm 1.3)"
+    unknown.Multi_broadcast.rounds_total;
+  row "store-and-forward routing (uncoded)" routing.Baselines.rounds;
+  row "k sequential Decay floods" seq.Baselines.rounds;
+
+  print_newline ();
+  Printf.printf
+    "Per-chunk cost of the coded schedule approaches Θ(log n); routing\n\
+     repeats itself and the sequential flood pays the full diameter per\n\
+     chunk.  Experiment E5/E10 in bench/main.exe sweeps k to show the\n\
+     slopes.\n";
+  Printf.printf
+    "Unknown-topology breakdown: layering %d + construction %d + pipelined\n\
+     dissemination %d over %d rings x %d batches.\n"
+    unknown.Multi_broadcast.rounds_layering
+    unknown.Multi_broadcast.rounds_construction
+    unknown.Multi_broadcast.rounds_dissemination
+    unknown.Multi_broadcast.ring_count unknown.Multi_broadcast.batch_count

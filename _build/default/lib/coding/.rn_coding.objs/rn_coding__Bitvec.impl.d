@@ -1,0 +1,1 @@
+lib/coding/bitvec.ml: Array List Rn_util String

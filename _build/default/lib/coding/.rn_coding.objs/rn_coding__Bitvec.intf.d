@@ -1,0 +1,1 @@
+lib/coding/bitvec.mli: Rn_util

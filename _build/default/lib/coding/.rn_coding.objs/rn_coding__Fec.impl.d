@@ -1,0 +1,1 @@
+lib/coding/fec.ml: Array Bitvec Rlnc

@@ -1,0 +1,1 @@
+lib/coding/fec.mli: Bitvec Rlnc Rn_util

@@ -1,0 +1,1 @@
+lib/coding/rlnc.ml: Array Bitvec List Rn_util

@@ -1,0 +1,1 @@
+lib/coding/rlnc.mli: Bitvec Rn_util

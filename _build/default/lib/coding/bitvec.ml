@@ -1,0 +1,110 @@
+type t = { len : int; words : int array }
+
+let bits_per_word = 63
+
+let words_for len = (len + bits_per_word - 1) / bits_per_word
+
+let create len =
+  if len < 0 then invalid_arg "Bitvec.create";
+  { len; words = Array.make (words_for len) 0 }
+
+let length t = t.len
+
+let copy t = { len = t.len; words = Array.copy t.words }
+
+let check_index t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitvec: index out of bounds"
+
+let get t i =
+  check_index t i;
+  t.words.(i / bits_per_word) lsr (i mod bits_per_word) land 1 = 1
+
+let set t i b =
+  check_index t i;
+  let w = i / bits_per_word and o = i mod bits_per_word in
+  if b then t.words.(w) <- t.words.(w) lor (1 lsl o)
+  else t.words.(w) <- t.words.(w) land lnot (1 lsl o)
+
+let unit len i =
+  let t = create len in
+  set t i true;
+  t
+
+let is_zero t = Array.for_all (fun w -> w = 0) t.words
+
+let equal a b = a.len = b.len && a.words = b.words
+
+let check_lengths a b op =
+  if a.len <> b.len then invalid_arg ("Bitvec." ^ op ^ ": length mismatch")
+
+let xor_into ~dst src =
+  check_lengths dst src "xor_into";
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) lxor src.words.(i)
+  done
+
+let word_parity w =
+  let w = w lxor (w lsr 32) in
+  let w = w lxor (w lsr 16) in
+  let w = w lxor (w lsr 8) in
+  let w = w lxor (w lsr 4) in
+  let w = w lxor (w lsr 2) in
+  let w = w lxor (w lsr 1) in
+  w land 1
+
+let dot a b =
+  check_lengths a b "dot";
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc lxor word_parity (a.words.(i) land b.words.(i))
+  done;
+  !acc = 1
+
+let first_set t =
+  let rec find_word w =
+    if w >= Array.length t.words then None
+    else if t.words.(w) = 0 then find_word (w + 1)
+    else begin
+      let rec find_bit o =
+        if t.words.(w) lsr o land 1 = 1 then Some ((w * bits_per_word) + o)
+        else find_bit (o + 1)
+      in
+      find_bit 0
+    end
+  in
+  find_word 0
+
+let popcount t =
+  let count_word w =
+    let rec go acc w = if w = 0 then acc else go (acc + (w land 1)) (w lsr 1) in
+    go 0 w
+  in
+  Array.fold_left (fun acc w -> acc + count_word w) 0 t.words
+
+let random rng len =
+  let t = create len in
+  for i = 0 to len - 1 do
+    if Rn_util.Rng.bool rng then set t i true
+  done;
+  t
+
+let of_bools bs =
+  let t = create (List.length bs) in
+  List.iteri (fun i b -> if b then set t i true) bs;
+  t
+
+let to_bools t = List.init t.len (get t)
+
+let to_string t =
+  String.init t.len (fun i -> if get t i then '1' else '0')
+
+let of_string s =
+  let t = create (String.length s) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '1' -> set t i true
+      | '0' -> ()
+      | _ -> invalid_arg "Bitvec.of_string: expected only '0'/'1'")
+    s;
+  t

@@ -1,0 +1,23 @@
+(** Forward error correction for the ring handoff (§3.4).
+
+    When a batch of k' messages crosses from the outer boundary of one ring
+    to the inner boundary of the next, boundary nodes emit Θ(k') coded
+    packets such that any receiver that collects enough of them decodes the
+    whole batch.  As the paper notes, this is a degenerate form of network
+    coding (no intermediate recombination), so we realize it with random
+    GF(2) combinations: [k' + slack] random packets decode w.h.p.; the
+    [slack] accounts for the ~0.71 probability that a random k'×k' GF(2)
+    matrix is singular. *)
+
+val encode :
+  Rn_util.Rng.t -> msgs:Bitvec.t array -> count:int -> Rlnc.packet array
+(** [count] independent uniformly random combinations of the batch
+    (zero rows are re-drawn, so every packet is useful). *)
+
+val decoder : k:int -> msg_len:int -> Rlnc.t
+(** A fresh decoder for a batch; feed it packets with {!Rlnc.receive} and
+    extract with {!Rlnc.decode}. *)
+
+val packets_needed : k:int -> whp_slack:int -> int
+(** [k + whp_slack]; receiving this many random packets decodes with
+    probability ≥ 1 - 2^{-whp_slack}. *)

@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Array Cmsg Decay Engine Graph Params Rn_graph Rn_radio Rn_util Rng

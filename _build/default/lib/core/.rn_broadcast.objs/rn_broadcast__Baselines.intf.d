@@ -1,0 +1,1 @@
+lib/core/baselines.mli: Decay Engine Params Rn_graph Rn_radio Rn_util Rng

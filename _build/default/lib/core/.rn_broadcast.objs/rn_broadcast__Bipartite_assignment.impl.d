@@ -1,0 +1,1 @@
+lib/core/bipartite_assignment.ml: Array Cmsg Engine Graph Ilog List Params Recruiting Rn_graph Rn_radio Rn_util Rng

@@ -1,0 +1,1 @@
+lib/core/bipartite_assignment.mli: Cmsg Engine Params Rn_graph Rn_radio Rn_util Rng

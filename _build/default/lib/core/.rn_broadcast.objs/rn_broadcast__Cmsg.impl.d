@@ -1,0 +1,1 @@
+lib/core/cmsg.ml: Format Rn_util

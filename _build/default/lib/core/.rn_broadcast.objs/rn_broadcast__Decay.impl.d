@@ -1,0 +1,1 @@
+lib/core/decay.ml: Array Engine Faults Graph Ilog Params Rn_graph Rn_radio Rn_util Rng

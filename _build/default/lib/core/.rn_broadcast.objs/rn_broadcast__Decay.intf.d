@@ -1,0 +1,1 @@
+lib/core/decay.mli: Engine Faults Params Rn_graph Rn_radio Rn_util Rng

@@ -1,0 +1,1 @@
+lib/core/diameter_estimate.ml: Array Bfs Cmsg Engine Graph Rn_graph Rn_radio

@@ -1,0 +1,1 @@
+lib/core/diameter_estimate.mli: Rn_graph

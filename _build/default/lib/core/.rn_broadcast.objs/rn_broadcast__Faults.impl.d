@@ -1,0 +1,1 @@
+lib/core/faults.ml: Array Engine Hashtbl List Rn_radio Rn_util Rng

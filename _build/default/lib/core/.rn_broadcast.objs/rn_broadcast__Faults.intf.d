@@ -1,0 +1,1 @@
+lib/core/faults.mli: Engine Rn_radio Rn_util Rng

@@ -1,0 +1,1 @@
+lib/core/gst.ml: Array Bfs Graph Hashtbl Ilog List Printf Queue Ranked_bfs Rn_graph Rn_util

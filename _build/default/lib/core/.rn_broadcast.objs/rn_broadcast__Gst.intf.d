@@ -1,0 +1,1 @@
+lib/core/gst.mli: Graph Rn_graph

@@ -1,0 +1,1 @@
+lib/core/gst_broadcast.ml: Array Bfs Bitvec Engine Faults Graph Gst Ilog Params Rlnc Rn_coding Rn_graph Rn_radio Rn_util Rng

@@ -1,0 +1,1 @@
+lib/core/gst_broadcast.mli: Bitvec Engine Faults Gst Params Rn_coding Rn_radio Rn_util Rng

@@ -1,0 +1,1 @@
+lib/core/gst_distributed.ml: Array Bfs Bipartite_assignment Cmsg Engine Graph Gst Ilog Layering Params Rn_graph Rn_radio Rn_util Rng

@@ -1,0 +1,1 @@
+lib/core/gst_distributed.mli: Engine Gst Params Rn_graph Rn_radio Rn_util Rng

@@ -1,0 +1,1 @@
+lib/core/layering.ml: Array Cmsg Engine Graph Params Rn_graph Rn_radio Rn_util Rng

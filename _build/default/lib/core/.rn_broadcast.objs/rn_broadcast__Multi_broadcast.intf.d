@@ -1,0 +1,1 @@
+lib/core/multi_broadcast.mli: Bitvec Gst_broadcast Params Rn_coding Rn_graph Rn_util Rng Single_broadcast

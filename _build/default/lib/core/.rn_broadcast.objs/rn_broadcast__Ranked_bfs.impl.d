@@ -1,0 +1,1 @@
+lib/core/ranked_bfs.ml: Array List Printf Queue

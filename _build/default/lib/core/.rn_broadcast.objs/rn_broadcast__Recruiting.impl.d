@@ -1,0 +1,1 @@
+lib/core/recruiting.ml: Array Cmsg Engine Graph Hashtbl List Params Rn_graph Rn_radio Rn_util Rng

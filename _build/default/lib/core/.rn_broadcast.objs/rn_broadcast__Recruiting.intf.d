@@ -1,0 +1,1 @@
+lib/core/recruiting.mli: Cmsg Engine Params Rn_graph Rn_radio Rn_util Rng

@@ -1,0 +1,1 @@
+lib/core/rings.ml: Array Bfs Bitvec Cmsg Engine Fec Graph List Params Rlnc Rn_coding Rn_graph Rn_radio Rn_util Rng

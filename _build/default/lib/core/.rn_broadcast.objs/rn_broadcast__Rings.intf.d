@@ -1,0 +1,1 @@
+lib/core/rings.mli: Bitvec Params Rn_coding Rn_graph Rn_util Rng

@@ -1,0 +1,1 @@
+lib/core/single_broadcast.ml: Array Bfs Bitvec Diameter_estimate Graph Gst_broadcast Gst_distributed Ilog Layering List Params Rings Rn_coding Rn_graph Rn_radio Rn_util Rng

@@ -1,0 +1,1 @@
+lib/core/single_broadcast.mli: Gst_distributed Params Rn_graph Rn_util Rng

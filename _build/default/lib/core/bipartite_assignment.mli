@@ -1,0 +1,108 @@
+(** The distributed Bipartite Assignment algorithm (§2.2.3).
+
+    One instance solves the assignment problem between a {e red} level
+    [l−1] and a {e blue} level [l] of the BFS layering: every blue obtains
+    a red parent, adopting reds obtain GST ranks, and the assignment is
+    collision-free w.h.p. (Lemma 2.5).  Ranks are processed from
+    [⌈log n⌉] down to 1; each rank runs epochs of
+
+    - Stage I — loner detection: one all-active-reds beacon round (a blue
+      that receives cleanly has exactly one active red neighbor), then a
+      Decay stage in which loners inform their reds;
+    - Stage II — three recruiting parts: loner-parents (permanent),
+      {e brisk} reds (coin = heads), {e lazy} reds (coin = tails); a blue
+      recruited by a many-recruit red is permanently assigned, a single
+      recruit is temporary and is released at the epoch end;
+    - Stage III — freshly marked reds are ranked ([i] for one rank-[i]
+      child, [i+1] for several) and announce [(id, rank)] through Decay so
+      unassigned blues of lower ranks can permanently attach to them.
+
+    Reds marked with zero recruits leave the current rank phase unranked
+    and become eligible again at lower ranks (see the wave-safety
+    discussion in {!Gst}); a red that never adopts ends as a leaf.
+
+    Like {!Recruiting}, the instance is an embeddable state machine driven
+    by a scheduler, so the pipelined construction (§2.2.4) can interleave
+    many instances.  The [ready] callback gates each rank phase on its
+    pipeline dependency (rank [i] here needs rank [i−1] finished one level
+    deeper); the sequential construction passes [fun ~rank:_ -> true]. *)
+
+open Rn_util
+open Rn_radio
+
+type t
+
+val create :
+  rng:Rng.t ->
+  params:Params.t ->
+  scale_n:int ->
+  graph:Rn_graph.Graph.t ->
+  reds:int array ->
+  blues:int array ->
+  parents:int array ->
+  ranks:int array ->
+  parent_rank:int array ->
+  ready:(rank:int -> bool) ->
+  unit ->
+  t
+(** [parents], [ranks] and [parent_rank] are shared result arrays indexed
+    by node id, written in place ([-1] / [0] / [-1] when unknown): the
+    orchestrator passes the same arrays to every level's instance so that
+    blue ranks are visible to the pair below as soon as they are final. *)
+
+(** {1 Scheduler interface} *)
+
+val decide : t -> node:int -> Cmsg.t Engine.action
+val deliver : t -> node:int -> Cmsg.t Engine.reception -> unit
+val advance : t -> unit
+val finished : t -> bool
+
+val current_rank : t -> int
+(** Rank phase currently being processed (0 once finished). *)
+
+val waiting : t -> bool
+(** True while the instance idles on its [ready] dependency. *)
+
+(** {1 Instrumentation} *)
+
+val rounds_used : t -> int
+
+val epoch_active_history : t -> (int * int) list
+(** [(rank, active-red-count)] at the start of every epoch — the shrinkage
+    series of Lemma 2.4 (experiment E4). *)
+
+val class_fixups : t -> int
+(** Number of recruit-class inconsistencies that had to be oracle-repaired
+    after a recruiting part exhausted its budget (expected 0). *)
+
+val fallback_reactivations : t -> int
+(** Number of times a stranded blue forced re-identification of active
+    reds (expected 0; counts robustness-fallback activations). *)
+
+val late_attaches : t -> int
+(** Number of primaries attached by the last-resort Stage-III-style rule
+    after their whole upper neighborhood was already ranked (expected 0;
+    each is a recovered w.h.p. failure). *)
+
+(** {1 Standalone run (tests, experiment E4)} *)
+
+type outcome = {
+  rounds : int;
+  parents : int array;
+  ranks : int array;
+  parent_rank : int array;
+  epoch_history : (int * int) list;
+}
+
+val run_standalone :
+  ?detection:Engine.detection ->
+  rng:Rng.t ->
+  params:Params.t ->
+  graph:Rn_graph.Graph.t ->
+  reds:int array ->
+  blues:int array ->
+  blue_ranks:int array ->
+  unit ->
+  outcome
+(** Solve a single level pair on [graph] where [blue_ranks] gives each
+    blue's (already final) rank; node ids index [blue_ranks] directly. *)

@@ -1,0 +1,33 @@
+type t =
+  | Beacon
+  | Probe
+  | Blue_here
+  | Loner_here
+  | Red_id of int
+  | Claim of { blue : int; red : int }
+  | Confirm of { red : int; blue : int }
+  | Sigma of int
+  | Marked of { red : int; rank : int }
+  | Vd_label of { from_node : int; vd : int }
+
+let pp fmt = function
+  | Beacon -> Format.fprintf fmt "Beacon"
+  | Probe -> Format.fprintf fmt "Probe"
+  | Blue_here -> Format.fprintf fmt "Blue_here"
+  | Loner_here -> Format.fprintf fmt "Loner_here"
+  | Red_id r -> Format.fprintf fmt "Red_id %d" r
+  | Claim { blue; red } -> Format.fprintf fmt "Claim{blue=%d; red=%d}" blue red
+  | Confirm { red; blue } -> Format.fprintf fmt "Confirm{red=%d; blue=%d}" red blue
+  | Sigma r -> Format.fprintf fmt "Sigma %d" r
+  | Marked { red; rank } -> Format.fprintf fmt "Marked{red=%d; rank=%d}" red rank
+  | Vd_label { from_node; vd } -> Format.fprintf fmt "Vd{from=%d; vd=%d}" from_node vd
+
+let bits ~n t =
+  let id = Rn_util.Ilog.clog (max 2 n) in
+  let tag = 4 in
+  tag
+  +
+  match t with
+  | Beacon | Probe | Blue_here | Loner_here -> 0
+  | Red_id _ | Sigma _ -> id
+  | Claim _ | Confirm _ | Marked _ | Vd_label _ -> 2 * id

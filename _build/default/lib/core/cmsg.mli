@@ -1,0 +1,31 @@
+(** Packet vocabulary of the distributed GST construction (§2.2).
+
+    Every packet fits the model's [B = Ω(log n)] bits: at most two node ids
+    plus a small tag.  One shared type keeps the layering, recruiting,
+    assignment and virtual-distance stages composable inside a single
+    engine run (needed for pipelining, §2.2.4). *)
+
+type t =
+  | Beacon  (** content-free transmission (collision wave, "empty message") *)
+  | Probe  (** BFS-layering relay token *)
+  | Blue_here  (** an unassigned blue of the current rank announces itself *)
+  | Loner_here  (** a loner blue informs adjacent reds (Stage I) *)
+  | Red_id of int  (** recruiting, announce round: red's id *)
+  | Claim of { blue : int; red : int }
+      (** recruiting, Decay rounds: blue echoes the red it heard *)
+  | Confirm of { red : int; blue : int }
+      (** recruiting, confirm round: red heard exactly [blue] *)
+  | Sigma of int
+      (** recruiting, confirm round: red heard (or already has) ≥ 2 *)
+  | Marked of { red : int; rank : int }
+      (** Stage III: a freshly ranked red announces id and rank *)
+  | Vd_label of { from_node : int; vd : int }
+      (** virtual-distance learning (Lemma 3.10) *)
+
+val pp : Format.formatter -> t -> unit
+
+val bits : n:int -> t -> int
+(** Size of the packet in bits under the model's encoding: tags cost
+    O(1), node ids and small integers [⌈log₂ n⌉] bits each.  Every
+    construction packet fits [B = Θ(log n)] (§1.1); the test-suite audits
+    this. *)

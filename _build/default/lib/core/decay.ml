@@ -1,0 +1,120 @@
+open Rn_util
+open Rn_graph
+open Rn_radio
+
+let probability ~ladder r =
+  if ladder < 1 then invalid_arg "Decay.probability";
+  let i = (r mod ladder) + 1 in
+  1.0 /. float_of_int (1 lsl min i 62)
+
+type result = {
+  outcome : Engine.outcome;
+  received_round : int array;
+  stats : Engine.stats;
+}
+
+type msg = Payload | Noise
+
+let broadcast ?(params = Params.default) ?ladder
+    ?(detection = Engine.No_collision_detection) ?max_rounds ?faults ~rng
+    ~graph ~source () =
+  let n = Graph.n graph in
+  if source < 0 || source >= n then invalid_arg "Decay.broadcast: bad source";
+  let ladder = match ladder with Some l -> l | None -> Params.phase_len ~n in
+  let max_rounds =
+    match max_rounds with
+    | Some m -> m
+    | None -> params.Params.max_round_factor * (n + 1) * Params.phase_len ~n
+  in
+  let node_rng = Rng.split_n rng n in
+  let received_round = Array.make n (-1) in
+  received_round.(source) <- 0;
+  let missing = ref (n - 1) in
+  let decide ~round ~node =
+    if received_round.(node) >= 0 then begin
+      if Rng.bernoulli node_rng.(node) (probability ~ladder round) then
+        Engine.Transmit Payload
+      else Engine.Listen
+    end
+    else Engine.Listen
+  in
+  let deliver ~round ~node reception =
+    match reception with
+    | Engine.Received Payload ->
+        if received_round.(node) < 0 then begin
+          received_round.(node) <- round;
+          decr missing
+        end
+    | Engine.Received Noise | Engine.Silence | Engine.Collision -> ()
+  in
+  let protocol = { Engine.decide; deliver } in
+  let protocol =
+    match faults with
+    | None -> protocol
+    | Some { Faults.jammers; p } ->
+        Faults.with_jammers ~rng:(Rng.split rng) ~jammers ~p ~noise:Noise
+          protocol
+  in
+  let stats = Engine.fresh_stats () in
+  let outcome =
+    Engine.run ~stats ~graph ~detection ~protocol
+      ~stop:(fun ~round:_ -> !missing = 0)
+      ~max_rounds ()
+  in
+  { outcome; received_round; stats }
+
+let cr_ladder ~n ~diameter =
+  if n < 1 || diameter < 0 then invalid_arg "Decay.cr_ladder";
+  let ratio = max 2 (Ilog.cdiv n (max 1 diameter)) in
+  Ilog.clog ratio + 1
+
+let mmv_broadcast ?(params = Params.default) ?(noising = true) ?max_rounds ~rng
+    ~graph ~levels ~source () =
+  let n = Graph.n graph in
+  if Array.length levels <> n then invalid_arg "Decay.mmv_broadcast: levels";
+  let ladder = Params.phase_len ~n in
+  let max_rounds =
+    match max_rounds with
+    | Some m -> m
+    | None -> params.Params.max_round_factor * 3 * (n + 1) * ladder
+  in
+  let node_rng = Rng.split_n rng n in
+  let received_round = Array.make n (-1) in
+  received_round.(source) <- 0;
+  let missing = ref (n - 1) in
+  let decide ~round ~node =
+    let l = levels.(node) in
+    if l < 0 then Engine.Sleep
+    else if round mod 3 = (l + 1) mod 3 then begin
+      let step = (round - l - 1) / 3 in
+      (* The paper's exponent is [step mod ⌈log n⌉] starting at 0; the
+         probability-1 round (exponent 0) is what lets single-neighbor
+         nodes receive deterministically. *)
+      let e = ((step mod ladder) + ladder) mod ladder in
+      let p = 1.0 /. float_of_int (1 lsl min e 62) in
+      if Rng.bernoulli node_rng.(node) p then begin
+        if received_round.(node) >= 0 then Engine.Transmit Payload
+        else if noising then Engine.Transmit Noise
+        else Engine.Listen
+      end
+      else Engine.Listen
+    end
+    else Engine.Listen
+  in
+  let deliver ~round ~node reception =
+    match reception with
+    | Engine.Received Payload ->
+        if received_round.(node) < 0 then begin
+          received_round.(node) <- round;
+          decr missing
+        end
+    | Engine.Received Noise | Engine.Silence | Engine.Collision -> ()
+  in
+  let stats = Engine.fresh_stats () in
+  let outcome =
+    Engine.run ~stats ~graph ~detection:Engine.No_collision_detection
+      ~protocol:{ Engine.decide; deliver }
+      ~stop:(fun ~round:_ -> !missing = 0)
+      ~max_rounds ()
+  in
+  { outcome; received_round; stats }

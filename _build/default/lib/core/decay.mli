@@ -1,0 +1,73 @@
+(** The Decay protocol of Bar-Yehuda, Goldreich and Itai (BGI) [2].
+
+    Decay is the standard randomized technique for coping with collisions:
+    rounds are grouped into phases of [⌈log n⌉] rounds and in the i-th
+    round of a phase every participating node transmits independently with
+    probability 2^{-i}.  Lemma 2.2: whichever the set of participating
+    neighbors, a listener receives something in a phase with probability
+    ≥ 1/8, hence Θ(log n) phases deliver w.h.p.
+
+    This module provides
+    - the probability ladder used as a building block by every construction
+      in the paper,
+    - the classic single-message Decay broadcast
+      (the [O(D log n + log² n)] baseline of §1.3),
+    - a truncated-ladder variant that serves as the Czumaj–Rytter /
+      Kowalski–Pelc [O(D log(n/D) + log² n)] stand-in (see DESIGN.md §4),
+    - the multi-message-viable Decay schedule of §3.1 (Lemma 3.2), in which
+      prompted nodes that do not yet have the message transmit noise. *)
+
+open Rn_util
+open Rn_radio
+
+val probability : ladder:int -> int -> float
+(** [probability ~ladder r] is the transmit probability in round [r] of a
+    Decay schedule whose phase cycles through exponents 1 … [ladder]:
+    [2^{-((r mod ladder) + 1)}]. *)
+
+type result = {
+  outcome : Engine.outcome;
+  received_round : int array;
+      (** first round in which each node held the message; [-1] = never,
+          [0] = source *)
+  stats : Engine.stats;
+}
+
+val broadcast :
+  ?params:Params.t ->
+  ?ladder:int ->
+  ?detection:Engine.detection ->
+  ?max_rounds:int ->
+  ?faults:Faults.spec ->
+  rng:Rng.t ->
+  graph:Rn_graph.Graph.t ->
+  source:int ->
+  unit ->
+  result
+(** Classic Decay broadcast: every node holding the message participates in
+    every phase; delivery to all nodes w.h.p. in [O(D log n + log² n)]
+    rounds.  [ladder] defaults to [⌈log n⌉]; passing a smaller ladder gives
+    the truncated variant (progress [O(log(n/D))] per hop when layer degrees
+    are ≤ n/D).  Collision detection is irrelevant to Decay; the default is
+    [No_collision_detection] as in [2]. *)
+
+val cr_ladder : n:int -> diameter:int -> int
+(** The truncated ladder [⌈log(n/D)⌉ + 1] used by the Czumaj–Rytter-style
+    baseline. *)
+
+val mmv_broadcast :
+  ?params:Params.t ->
+  ?noising:bool ->
+  ?max_rounds:int ->
+  rng:Rng.t ->
+  graph:Rn_graph.Graph.t ->
+  levels:int array ->
+  source:int ->
+  unit ->
+  result
+(** The level-keyed Decay schedule of Lemma 3.2: a node at BFS level [l] is
+    prompted only in rounds [r ≡ l + 1 (mod 3)], with probability
+    [2^{-((r - l - 1)/3 mod ⌈log n⌉)}].  With [noising = true] (default)
+    prompted nodes without the message send noise — the MMV framework of
+    Definition 3.1; with [noising = false] they stay silent (classic
+    behaviour), the comparison point for experiment E7. *)

@@ -1,0 +1,88 @@
+open Rn_graph
+open Rn_radio
+
+type result = {
+  estimate : int;
+  eccentricity : int;
+  rounds : int;
+  levels : int array;
+}
+
+(* One guess: forward wave (rounds 0..T-1), coverage probe (round T),
+   aligned echo (rounds T+1..2T+1).  Returns (levels, too_small). *)
+let run_guess ~graph ~source ~t =
+  let n = Graph.n graph in
+  let level = Array.make n (-1) in
+  level.(source) <- 0;
+  let boundary_hit = Array.make n false in
+  let echo = Array.make n false in
+  let source_heard_echo = ref false in
+  let decide ~round ~node =
+    if round < t then
+      (* Forward wave: level l beeps exactly in round l. *)
+      if level.(node) = round then Engine.Transmit Cmsg.Beacon
+      else if level.(node) < 0 then Engine.Listen
+      else Engine.Sleep
+    else if round = t then
+      (* Coverage probe: the unreached beep, the reached listen. *)
+      if level.(node) < 0 then Engine.Transmit Cmsg.Beacon else Engine.Listen
+    else begin
+      (* Echo: level l owns slot 2T+1-l, deeper levels first. *)
+      let l = level.(node) in
+      if l < 0 then Engine.Sleep
+      else if round = (2 * t) + 1 - l then begin
+        if boundary_hit.(node) || echo.(node) then Engine.Transmit Cmsg.Beacon
+        else Engine.Sleep
+      end
+      else if round = (2 * t) - l then Engine.Listen (* the deeper slot *)
+      else Engine.Sleep
+    end
+  in
+  let deliver ~round ~node reception =
+    let heard =
+      match reception with
+      | Engine.Received _ | Engine.Collision -> true
+      | Engine.Silence -> false
+    in
+    if heard then begin
+      if round < t then begin
+        if level.(node) < 0 then level.(node) <- round + 1
+      end
+      else if round = t then boundary_hit.(node) <- true
+      else begin
+        (* Hearing anything in the slot just below ours relays the bit. *)
+        let l = level.(node) in
+        if l >= 0 && round = (2 * t) - l then begin
+          echo.(node) <- true;
+          if node = source then source_heard_echo := true
+        end
+      end
+    end
+  in
+  ignore
+    (Engine.run ~graph ~detection:Engine.Collision_detection
+       ~protocol:{ Engine.decide; deliver }
+       ~stop:(fun ~round:_ -> false)
+       ~max_rounds:((2 * t) + 2)
+       ());
+  let too_small =
+    !source_heard_echo
+    || (* the source itself may border the uncovered region *)
+    boundary_hit.(source)
+  in
+  (level, too_small)
+
+let run ?max_rounds ~graph ~source () =
+  let n = Graph.n graph in
+  if n = 0 then invalid_arg "Diameter_estimate.run: empty graph";
+  let eccentricity = Bfs.eccentricity graph source in
+  let max_rounds = match max_rounds with Some m -> m | None -> 16 * (n + 4) in
+  let rec go t spent =
+    if spent > max_rounds then
+      failwith "Diameter_estimate: no convergence (disconnected graph?)";
+    let levels, too_small = run_guess ~graph ~source ~t in
+    let spent = spent + (2 * t) + 2 in
+    if too_small then go (2 * t) spent
+    else { estimate = t; eccentricity; rounds = spent; levels }
+  in
+  go 1 0

@@ -1,0 +1,26 @@
+open Rn_util
+open Rn_radio
+
+type spec = { jammers : int array; p : float }
+
+let with_jammers ~rng ~jammers ~p ~noise (proto : 'msg Engine.protocol) =
+  let jam_rng = Hashtbl.create (Array.length jammers) in
+  Array.iter (fun v -> Hashtbl.replace jam_rng v (Rng.split rng)) jammers;
+  let decide ~round ~node =
+    match Hashtbl.find_opt jam_rng node with
+    | Some r when Rng.bernoulli r p -> Engine.Transmit noise
+    | Some _ | None -> proto.Engine.decide ~round ~node
+  in
+  { Engine.decide; deliver = proto.Engine.deliver }
+
+let pick_jammers ~rng ~n ~count ~exclude =
+  if count < 0 then invalid_arg "Faults.pick_jammers";
+  let banned = Array.to_list exclude in
+  let candidates =
+    Array.of_list
+      (List.filter (fun v -> not (List.mem v banned)) (List.init n (fun i -> i)))
+  in
+  if count > Array.length candidates then
+    invalid_arg "Faults.pick_jammers: not enough candidates";
+  Rng.shuffle rng candidates;
+  Array.sub candidates 0 count

@@ -1,0 +1,38 @@
+(** Fault injection: intermittent jammers.
+
+    The MMV framework (Definition 3.1) models {e protocol-internal} noise:
+    scheduled nodes without the message transmit garbage.  This module
+    injects {e adversarial} noise on top of any protocol: designated
+    jammer nodes transmit a noise packet with probability [p] each round
+    (regardless of what the protocol scheduled), and otherwise behave
+    normally.  Keeping the non-jamming behaviour intact preserves
+    connectivity, so the measurement isolates noise resilience — the
+    property the backwards analysis says Decay-style schedules have.
+
+    Used by the failure-injection tests and experiment E13. *)
+
+open Rn_util
+open Rn_radio
+
+type spec = { jammers : int array; p : float }
+(** Which nodes jam, and with what per-round probability. *)
+
+val with_jammers :
+  rng:Rng.t ->
+  jammers:int array ->
+  p:float ->
+  noise:'msg ->
+  'msg Engine.protocol ->
+  'msg Engine.protocol
+(** [with_jammers ~rng ~jammers ~p ~noise proto] wraps [proto]: each node
+    listed in [jammers] transmits [noise] with probability [p] in every
+    round, and delegates to [proto] otherwise.  Deliveries during a
+    jamming round are suppressed for the jammer itself (it is
+    transmitting); other nodes' receptions are garbled by the engine's
+    normal collision semantics. *)
+
+val pick_jammers :
+  rng:Rng.t -> n:int -> count:int -> exclude:int array -> int array
+(** [count] distinct jammer ids drawn uniformly from [\[0, n)] minus
+    [exclude] (e.g. the source).  @raise Invalid_argument if there are not
+    enough candidates. *)

@@ -1,0 +1,176 @@
+open Rn_util
+open Rn_graph
+open Rn_coding
+open Rn_radio
+
+type slow_key = By_virtual_distance | By_level
+
+type result = {
+  outcome : Engine.outcome;
+  decode_round : int array;
+  rounds : int;
+  stats : Engine.stats;
+  payloads_ok : bool;
+}
+
+let emod a m = ((a mod m) + m) mod m
+
+let fast_slot ~clogn ~level ~rank ~round =
+  round mod 2 = 0 && emod (round - (2 * (level + (3 * rank)))) (6 * clogn) = 0
+
+let slow_slot ~level_or_vd ~round =
+  round mod 2 = 1 && emod (round - 1 - (2 * level_or_vd)) 6 = 0
+
+let slow_exponent ~clogn ~level_or_vd ~round =
+  emod ((round - 1 - (2 * level_or_vd)) / 6) clogn
+
+type msg = Data of Rlnc.packet
+
+let run ?(noise_when_empty = true) ?(slow_key = By_virtual_distance)
+    ?step_reset ?faults ?max_rounds ?(params = Params.default) ~rng ~gst ~vd
+    ~msgs ~sources () =
+  let graph = gst.Gst.graph in
+  let n = Graph.n graph in
+  let k = Array.length msgs in
+  if k = 0 then invalid_arg "Gst_broadcast.run: no messages";
+  let msg_len = Bitvec.length msgs.(0) in
+  let clogn = Ilog.clog (max 2 n) in
+  let depth = Bfs.max_level gst.Gst.levels in
+  let max_rounds =
+    match max_rounds with
+    | Some m -> m
+    | None ->
+        params.Params.max_round_factor
+        * 6
+        * (depth + (k * clogn) + (2 * clogn * clogn) + (6 * clogn))
+  in
+  let in_forest v = Gst.in_forest gst v in
+  let slow_of v =
+    match slow_key with
+    | By_virtual_distance -> vd.(v)
+    | By_level -> gst.Gst.levels.(v)
+  in
+  Array.iteri
+    (fun v l ->
+      if l >= 0 && (vd.(v) < 0 || gst.Gst.ranks.(v) < 1) then
+        invalid_arg "Gst_broadcast.run: forest node lacks vd or rank")
+    gst.Gst.levels;
+  let node_rng = Rng.split_n rng n in
+  let buf = Array.init n (fun _ -> Rlnc.create ~k ~msg_len) in
+  Array.iter (fun s -> Rlnc.seed_with_sources buf.(s) ~msgs) sources;
+  let decode_round = Array.make n (-1) in
+  let missing = ref 0 in
+  Array.iteri
+    (fun v l ->
+      if l >= 0 then
+        if Rlnc.can_decode buf.(v) then decode_round.(v) <- 0
+        else incr missing)
+    gst.Gst.levels;
+  (* Relay buffer for the fast wave: packet received in an even round,
+     stamped with that round. *)
+  let last_fast : (int * Rlnc.packet) option array = Array.make n None in
+  let empty_packet () =
+    { Rlnc.coeffs = Bitvec.create k; payload = Bitvec.create msg_len }
+  in
+  let fresh_packet v =
+    match Rlnc.encode node_rng.(v) buf.(v) with
+    | Some p -> Some p
+    | None -> if noise_when_empty then Some (empty_packet ()) else None
+  in
+  let decide ~round ~node =
+    if not (in_forest node) then Engine.Sleep
+    else begin
+      let l = gst.Gst.levels.(node) and r = gst.Gst.ranks.(node) in
+      if fast_slot ~clogn ~level:l ~rank:r ~round then begin
+        if Gst.is_stretch_head gst node then
+          match fresh_packet node with
+          | Some p -> Engine.Transmit (Data p)
+          | None -> Engine.Listen
+        else
+          (* Interior: relay the wave packet from the previous fast round
+             (the parent's slot is exactly two rounds earlier). *)
+          match last_fast.(node) with
+          | Some (rcv, p) when rcv = round - 2 -> Engine.Transmit (Data p)
+          | Some _ | None ->
+              if noise_when_empty then Engine.Transmit (Data (empty_packet ()))
+              else Engine.Listen
+      end
+      else if slow_slot ~level_or_vd:(slow_of node) ~round then begin
+        let e = slow_exponent ~clogn ~level_or_vd:(slow_of node) ~round in
+        let p = 1.0 /. float_of_int (1 lsl min e 62) in
+        if Rng.bernoulli node_rng.(node) p then
+          match fresh_packet node with
+          | Some pkt -> Engine.Transmit (Data pkt)
+          | None -> Engine.Listen
+        else Engine.Listen
+      end
+      else Engine.Listen
+    end
+  in
+  let deliver ~round ~node reception =
+    match reception with
+    | Engine.Received (Data p) ->
+        if round mod 2 = 0 then last_fast.(node) <- Some (round, p);
+        if not (Bitvec.is_zero p.Rlnc.coeffs) then begin
+          ignore (Rlnc.receive buf.(node) p);
+          if decode_round.(node) < 0 && Rlnc.can_decode buf.(node) then begin
+            decode_round.(node) <- round;
+            decr missing
+          end
+        end
+    | Engine.Silence | Engine.Collision -> ()
+  in
+  let is_source = Array.make n false in
+  Array.iter (fun s -> is_source.(s) <- true) sources;
+  let after_round =
+    match step_reset with
+    | None -> None
+    | Some step ->
+        if step < 1 then invalid_arg "Gst_broadcast.run: step_reset";
+        Some
+          (fun ~round ->
+            if (round + 1) mod step = 0 then
+              for v = 0 to n - 1 do
+                if
+                  in_forest v && (not is_source.(v))
+                  && not (Rlnc.can_decode buf.(v))
+                then begin
+                  buf.(v) <- Rlnc.create ~k ~msg_len;
+                  last_fast.(v) <- None
+                end
+              done)
+  in
+  let protocol = { Engine.decide; deliver } in
+  let protocol =
+    match faults with
+    | None -> protocol
+    | Some { Faults.jammers; p } ->
+        Faults.with_jammers ~rng:(Rng.split rng) ~jammers ~p
+          ~noise:(Data (empty_packet ())) protocol
+  in
+  let stats = Engine.fresh_stats () in
+  let outcome =
+    Engine.run ?after_round ~stats ~graph
+      ~detection:Engine.No_collision_detection ~protocol
+      ~stop:(fun ~round:_ -> !missing = 0)
+      ~max_rounds ()
+  in
+  let payloads_ok =
+    let ok = ref true in
+    Array.iteri
+      (fun v dr ->
+        if dr >= 0 then
+          match Rlnc.decode buf.(v) with
+          | Some out ->
+              if not (Array.for_all2 Bitvec.equal out msgs) then ok := false
+          | None -> ok := false)
+      decode_round;
+    !ok
+  in
+  {
+    outcome;
+    decode_round;
+    rounds = Engine.rounds_of_outcome outcome;
+    stats;
+    payloads_ok;
+  }

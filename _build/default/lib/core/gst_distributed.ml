@@ -1,0 +1,372 @@
+open Rn_util
+open Rn_graph
+open Rn_radio
+
+type mode = Sequential | Pipelined
+
+type layering_spec =
+  | Decay_layering
+  | Collision_wave_layering
+  | Given_layering of int array
+
+type result = {
+  gst : Gst.t;
+  parent_rank : int array;
+  vd : int array;
+  layering_rounds : int;
+  assignment_rounds : int;
+  selftest_rounds : int;
+  vd_rounds : int;
+  total_rounds : int;
+  class_fixups : int;
+  fallback_reactivations : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: level-pair assignments *)
+
+let run_assignment ~mode ~params ~detection ~rng ~graph ~levels () =
+  let n = Graph.n graph in
+  let scale_n = n in
+  let depth = Bfs.max_level levels in
+  let parents = Array.make n (-1) in
+  let ranks = Array.make n 0 in
+  let parent_rank = Array.make n (-1) in
+  if depth <= 0 then begin
+    (* No level pairs: every root is a leaf. *)
+    Array.iteri (fun v l -> if l = 0 then ranks.(v) <- 1) levels;
+    (parents, ranks, parent_rank, 0, 0, 0)
+  end
+  else begin
+    let at_level l = Bfs.nodes_at_level levels l in
+    (* Deepest level: all leaves. *)
+    Array.iter (fun v -> ranks.(v) <- 1) (at_level depth);
+    let leaf_inited = Array.make (depth + 1) false in
+    leaf_inited.(depth) <- true;
+    let blocks = Array.make (depth + 1) None in
+    let block l = match blocks.(l) with Some b -> b | None -> assert false in
+    let finished_pair l = Bipartite_assignment.finished (block l) in
+    let leaf_init l =
+      if not leaf_inited.(l) then begin
+        Array.iter (fun v -> if ranks.(v) = 0 then ranks.(v) <- 1) (at_level l);
+        leaf_inited.(l) <- true
+      end
+    in
+    let ready_for l ~rank =
+      if l = depth then true
+      else begin
+        let below = block (l + 1) in
+        let fin = Bipartite_assignment.finished below in
+        (* Leaf ranks at level [l] become final the moment pair [l+1] is
+           done; install them lazily before our rank-1 phase starts. *)
+        if fin then leaf_init l;
+        fin || Bipartite_assignment.current_rank below < rank - 1
+      end
+    in
+    for l = 1 to depth do
+      blocks.(l) <-
+        Some
+          (Bipartite_assignment.create ~rng:(Rng.split rng) ~params ~scale_n
+             ~graph ~reds:(at_level (l - 1)) ~blues:(at_level l) ~parents
+             ~ranks ~parent_rank ~ready:(ready_for l) ())
+    done;
+    let current = ref depth (* sequential cursor *) in
+    let all_done () =
+      let rec go l = l < 1 || (finished_pair l && go (l - 1)) in
+      go depth
+    in
+    let owner_block ~round ~node =
+      let l = levels.(node) in
+      if l < 0 then None
+      else
+        match mode with
+        | Sequential ->
+            let c = !current in
+            if (l = c || l = c - 1) && not (finished_pair c) then Some (block c)
+            else None
+        | Pipelined ->
+            let slot = round mod 3 in
+            if l >= 1 && l <= depth && l mod 3 = slot && not (finished_pair l)
+            then Some (block l)
+            else if
+              l + 1 >= 1
+              && l + 1 <= depth
+              && (l + 1) mod 3 = slot
+              && not (finished_pair (l + 1))
+            then Some (block (l + 1))
+            else None
+    in
+    let decide ~round ~node =
+      match owner_block ~round ~node with
+      | Some b -> Bipartite_assignment.decide b ~node
+      | None -> Engine.Sleep
+    in
+    let deliver ~round ~node reception =
+      match owner_block ~round ~node with
+      | Some b -> Bipartite_assignment.deliver b ~node reception
+      | None -> ()
+    in
+    let after_round ~round =
+      match mode with
+      | Sequential ->
+          let c = !current in
+          if not (finished_pair c) then Bipartite_assignment.advance (block c);
+          while !current > 1 && finished_pair !current do
+            leaf_init (!current - 1);
+            decr current
+          done
+      | Pipelined ->
+          let slot = round mod 3 in
+          for l = 1 to depth do
+            if l mod 3 = slot && not (finished_pair l) then
+              Bipartite_assignment.advance (block l)
+          done
+    in
+    let ladder = Ilog.clog (max 2 scale_n) in
+    let max_rounds =
+      params.Params.max_round_factor * ((depth + 2) * Ilog.pow ladder 5)
+      + 10_000
+    in
+    let outcome =
+      Engine.run ~graph ~detection
+        ~protocol:{ Engine.decide; deliver }
+        ~after_round
+        ~stop:(fun ~round:_ -> all_done ())
+        ~max_rounds ()
+    in
+    let rounds =
+      match outcome with
+      | Engine.Completed r -> r
+      | Engine.Out_of_budget _ ->
+          failwith "Gst_distributed: assignment phase exhausted its budget"
+    in
+    leaf_init 0;
+    let fixups =
+      Array.fold_left
+        (fun acc b ->
+          match b with
+          | Some b -> acc + Bipartite_assignment.class_fixups b
+          | None -> acc)
+        0 blocks
+    in
+    let fallbacks =
+      Array.fold_left
+        (fun acc b ->
+          match b with
+          | Some b -> acc + Bipartite_assignment.fallback_reactivations b
+          | None -> acc)
+        0 blocks
+    in
+    (parents, ranks, parent_rank, rounds, fixups, fallbacks)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Phase 3: wave-safety self-test *)
+
+let run_selftest ~detection ~graph ~levels ~parents ~ranks () =
+  let n = Graph.n graph in
+  let max_rank = Array.fold_left max 0 ranks in
+  let safe = Array.make n true in
+  let listens = Array.make n false in
+  (* Round s: rank s/3 + 1, transmitter layer class s mod 3. *)
+  let total = 3 * max_rank in
+  let decide ~round ~node =
+    let r = (round / 3) + 1 and c = round mod 3 in
+    let l = levels.(node) in
+    if l < 0 || ranks.(node) <> r then Engine.Sleep
+    else if l mod 3 = c then
+      Engine.Transmit (Cmsg.Marked { red = node; rank = r })
+    else begin
+      let p = parents.(node) in
+      if p >= 0 && ranks.(p) = r && (l - 1) mod 3 = c then begin
+        listens.(node) <- true;
+        Engine.Listen
+      end
+      else Engine.Sleep
+    end
+  in
+  let deliver ~round:_ ~node reception =
+    (* The parent certainly transmitted, so anything but a clean reception
+       of exactly the parent betrays a same-rank contender. *)
+    match reception with
+    | Engine.Received (Cmsg.Marked { red; rank = _ }) ->
+        if red <> parents.(node) then safe.(node) <- false
+    | Engine.Received _ | Engine.Silence | Engine.Collision ->
+        safe.(node) <- false
+  in
+  let outcome =
+    Engine.run ~graph ~detection
+      ~protocol:{ Engine.decide; deliver }
+      ~stop:(fun ~round:_ -> false)
+      ~max_rounds:total ()
+  in
+  let head_override = Array.init n (fun v -> listens.(v) && not safe.(v)) in
+  (head_override, Engine.rounds_of_outcome outcome)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 4: virtual-distance learning (Lemma 3.10) *)
+
+let run_vd ~params ~detection ~rng ~graph ~levels ~parents ~ranks
+    ~parent_rank ~head_override () =
+  let n = Graph.n graph in
+  let scale_n = n in
+  let ladder = Params.phase_len ~n:scale_n in
+  let depth = Bfs.max_level levels in
+  let max_rank = Array.fold_left max 0 ranks in
+  let vd = Array.make n (-1) in
+  Array.iteri
+    (fun v l -> if l = 0 && ranks.(v) > 0 then vd.(v) <- 0)
+    levels;
+  let in_forest v = levels.(v) >= 0 && ranks.(v) > 0 in
+  let is_head v =
+    in_forest v
+    && (parents.(v) < 0 || head_override.(v) || parent_rank.(v) <> ranks.(v))
+  in
+  let unlabeled_remain () =
+    let rec go v = v < n && ((in_forest v && vd.(v) < 0) || go (v + 1)) in
+    go 0
+  in
+  let node_rng = Rng.split_n rng n in
+  let total_rounds = ref 0 in
+  (* One d-iteration: stretch sweeps for every rank, then Decay
+     relaxation.  [swept] marks nodes labeled d+1 by the current sweep so
+     epoch 2 only cascades fresh labels. *)
+  let d = ref 0 in
+  let iter_cap = (3 * ladder) + n in
+  let run_phase ~decide ~deliver ~stop ~max_rounds =
+    let outcome =
+      Engine.run ~graph ~detection
+        ~protocol:{ Engine.decide; deliver }
+        ~stop ~max_rounds ()
+    in
+    total_rounds := !total_rounds + Engine.rounds_of_outcome outcome
+  in
+  while unlabeled_remain () && !d <= iter_cap do
+    let dv = !d in
+    (* Stage 1: label whole stretches hanging off F_dv, rank by rank. *)
+    for r = 1 to max_rank do
+      let sweep_hit = Array.make n false in
+      let heads_exist =
+        let rec go v =
+          v < n
+          && ((is_head v && vd.(v) = dv && ranks.(v) = r) || go (v + 1))
+        in
+        go 0
+      in
+      if heads_exist || not params.Params.adaptive then begin
+        (* Epoch 1 then epoch 2, each a D-round layer sweep. *)
+        let epoch_len = depth + 1 in
+        let decide ~round ~node =
+          let epoch = round / epoch_len and l = round mod epoch_len in
+          if not (in_forest node) then Engine.Sleep
+          else if
+            levels.(node) = l && ranks.(node) = r
+            && ((epoch = 0 && is_head node && vd.(node) = dv)
+               || (epoch = 1 && sweep_hit.(node)))
+          then Engine.Transmit (Cmsg.Vd_label { from_node = node; vd = dv })
+          else if
+            levels.(node) = l + 1
+            && ranks.(node) = r
+            && vd.(node) < 0
+            && (not (is_head node))
+            && parents.(node) >= 0
+          then Engine.Listen
+          else Engine.Sleep
+        in
+        let deliver ~round:_ ~node reception =
+          match reception with
+          | Engine.Received (Cmsg.Vd_label { from_node; vd = _ })
+            when from_node = parents.(node) && vd.(node) < 0 ->
+              vd.(node) <- dv + 1;
+              sweep_hit.(node) <- true
+          | Engine.Received _ | Engine.Silence | Engine.Collision -> ()
+        in
+        run_phase ~decide ~deliver
+          ~stop:(fun ~round:_ -> false)
+          ~max_rounds:(2 * epoch_len)
+      end
+    done;
+    (* Stage 2: Decay relaxation across ordinary G-edges. *)
+    let budget = Params.whp_phases params ~n:scale_n * ladder in
+    let goal () =
+      Array.for_all
+        (fun v ->
+          (not (in_forest v))
+          || vd.(v) >= 0
+          || not
+               (Graph.fold_neighbors graph v
+                  (fun acc u -> acc || (in_forest u && vd.(u) = dv))
+                  false))
+        (Array.init n (fun i -> i))
+    in
+    let decide ~round ~node =
+      if in_forest node && vd.(node) = dv then begin
+        let p = 1.0 /. float_of_int (1 lsl min ((round mod ladder) + 1) 62) in
+        if Rng.bernoulli node_rng.(node) p then
+          Engine.Transmit (Cmsg.Vd_label { from_node = node; vd = dv })
+        else Engine.Listen
+      end
+      else if in_forest node && vd.(node) < 0 then Engine.Listen
+      else Engine.Sleep
+    in
+    let deliver ~round:_ ~node reception =
+      match reception with
+      | Engine.Received (Cmsg.Vd_label _) when vd.(node) < 0 ->
+          vd.(node) <- dv + 1
+      | Engine.Received _ | Engine.Silence | Engine.Collision -> ()
+    in
+    run_phase ~decide ~deliver
+      ~stop:(fun ~round ->
+        params.Params.adaptive && round mod ladder = 0 && goal ())
+      ~max_rounds:budget;
+    incr d
+  done;
+  if unlabeled_remain () then
+    failwith "Gst_distributed: virtual-distance learning did not converge";
+  (vd, !total_rounds)
+
+(* ------------------------------------------------------------------ *)
+
+let construct ?(mode = Pipelined) ?(layering = Decay_layering)
+    ?(learn_vd = false) ?(params = Params.default)
+    ?(detection = Engine.No_collision_detection) ~rng ~graph ~roots () =
+  let n = Graph.n graph in
+  let levels, layering_rounds =
+    match layering with
+    | Given_layering levels ->
+        if Array.length levels <> n then
+          invalid_arg "Gst_distributed.construct: levels length";
+        (levels, 0)
+    | Decay_layering ->
+        let r = Layering.decay_bfs ~params ~rng:(Rng.split rng) ~graph ~sources:roots () in
+        (r.Layering.levels, r.Layering.rounds)
+    | Collision_wave_layering ->
+        let r = Layering.collision_wave ~graph ~sources:roots () in
+        (r.Layering.levels, r.Layering.rounds)
+  in
+  let parents, ranks, parent_rank, assignment_rounds, class_fixups,
+      fallback_reactivations =
+    run_assignment ~mode ~params ~detection ~rng ~graph ~levels ()
+  in
+  let head_override, selftest_rounds =
+    run_selftest ~detection ~graph ~levels ~parents ~ranks ()
+  in
+  let vd, vd_rounds =
+    if learn_vd then
+      run_vd ~params ~detection ~rng ~graph ~levels ~parents ~ranks
+        ~parent_rank ~head_override ()
+    else (Array.make n (-1), 0)
+  in
+  let gst = Gst.make ~graph ~levels ~parents ~ranks ~head_override () in
+  {
+    gst;
+    parent_rank;
+    vd;
+    layering_rounds;
+    assignment_rounds;
+    selftest_rounds;
+    vd_rounds;
+    total_rounds = layering_rounds + assignment_rounds + selftest_rounds + vd_rounds;
+    class_fixups;
+    fallback_reactivations;
+  }

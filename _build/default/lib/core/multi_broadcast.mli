@@ -1,0 +1,72 @@
+(** Multi-message broadcast: Theorems 1.2 and 1.3.
+
+    {!known}: with full topology knowledge (and no collision detection),
+    every node computes the same GST and virtual distances offline; the
+    source's [k] messages spread by the MMV schedule with random linear
+    network coding in [O(D + k log n + log² n)] rounds w.h.p. — optimal
+    against the [Ω(k log n)], [Ω(log² n)] and [Ω(D)] lower bounds cited in
+    §1.2.
+
+    {!unknown}: with unknown topology but collision detection (§3.4): a
+    collision wave layers the graph, rings are decomposed and per-ring
+    GSTs (with learned virtual distances) built in parallel, the messages
+    are split into batches of Θ(log n) — which also keeps RLNC coefficient
+    headers at O(log n) bits — and batches pipeline through the rings:
+    RLNC inside each ring, FEC across ring boundaries.  One batch crosses
+    one ring per epoch, so with [R] rings and [B] batches the dissemination
+    takes [(R + B − 1)] epochs of twice the slowest stage (adjacent rings
+    alternate rounds), for [O(D + k log n + log⁶ n)] in total. *)
+
+open Rn_util
+open Rn_coding
+
+type known_result = {
+  rounds : int;
+  delivered : bool;
+  decode_round : int array;
+  payloads_ok : bool;
+}
+
+val known :
+  ?params:Params.t ->
+  ?msg_len:int ->
+  ?slow_key:Gst_broadcast.slow_key ->
+  rng:Rng.t ->
+  graph:Rn_graph.Graph.t ->
+  source:int ->
+  k:int ->
+  unit ->
+  known_result
+(** Theorem 1.2.  [msg_len] defaults to 32 bits of random payload per
+    message. *)
+
+type unknown_result = {
+  rounds_total : int;
+  rounds_layering : int;
+  rounds_construction : int;
+  rounds_dissemination : int;  (** charged pipelined cost *)
+  ring_count : int;
+  batch_count : int;
+  epochs : int;
+  delivered : bool;
+  payloads_ok : bool;
+}
+
+val unknown :
+  ?params:Params.t ->
+  ?msg_len:int ->
+  ?rings:Single_broadcast.ring_choice ->
+  ?batch_size:int ->
+  ?estimate_diameter:bool ->
+  rng:Rng.t ->
+  graph:Rn_graph.Graph.t ->
+  source:int ->
+  k:int ->
+  unit ->
+  unknown_result
+(** Theorem 1.3.  [batch_size] defaults to [⌈log n⌉];
+    [estimate_diameter = true] sizes rings from the footnote-2 beep-wave
+    2-approximation instead of the exact depth (no knowledge of [D]
+    assumed). *)
+
+val random_messages : Rng.t -> k:int -> msg_len:int -> Bitvec.t array

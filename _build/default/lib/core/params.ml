@@ -1,0 +1,30 @@
+open Rn_util
+
+type t = {
+  c_whp : int;
+  c_recruit : int;
+  c_epochs : int;
+  adaptive : bool;
+  whp_slack : int;
+  max_round_factor : int;
+}
+
+let default =
+  {
+    c_whp = 8;
+    c_recruit = 12;
+    c_epochs = 8;
+    adaptive = true;
+    whp_slack = 10;
+    max_round_factor = 64;
+  }
+
+let phase_len ~n = Ilog.clog (max 2 n)
+
+let whp_phases t ~n = t.c_whp * Ilog.clog (max 2 n)
+
+let recruit_iterations t ~n =
+  let l = Ilog.clog (max 2 n) in
+  t.c_recruit * l * l
+
+let max_epochs t ~n = t.c_epochs * Ilog.clog (max 2 n)

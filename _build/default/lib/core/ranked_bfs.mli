@@ -1,0 +1,24 @@
+(** Ranked BFS trees (§2.1).
+
+    Given a BFS tree (or forest) with per-node levels and parents, nodes are
+    ranked by the inductive rule: a leaf has rank 1; an internal node whose
+    children's maximum rank [r] is achieved by exactly one child gets rank
+    [r], and with two or more such children gets rank [r + 1].  The largest
+    rank is at most [⌈log₂ n⌉] (each rank increase doubles the subtree's
+    weight). *)
+
+val ranks : parents:int array -> levels:int array -> int array
+(** [ranks ~parents ~levels] computes the rank of every node of a BFS
+    forest.  [parents.(v) = -1] for roots; nodes with [levels.(v) < 0] are
+    outside the forest and receive rank 0.  @raise Invalid_argument if a
+    parent's level is not exactly one less than its child's. *)
+
+val max_rank : int array -> int
+
+val subtree_sizes : parents:int array -> int array
+(** Number of nodes in each node's subtree (used by the rank-bound
+    argument and tests). *)
+
+val check_rank_rule :
+  parents:int array -> ranks:int array -> (unit, string) result
+(** Verifies the inductive ranking rule node by node. *)

@@ -1,0 +1,106 @@
+(** The Recruiting protocol (§2.2.1, Lemma 2.3).
+
+    On a bipartite graph between {e red} and {e blue} nodes, recruiting
+    assigns to (w.h.p.) every blue node an adjacent red parent in
+    Θ(log³ n) rounds, such that
+
+    - (a) every blue with at least one participating red neighbor is
+      recruited,
+    - (b) every red knows whether it recruited zero, one, or ≥ 2 blues,
+    - (c) every recruited blue knows whether its parent recruited one or
+      ≥ 2 blues (the blue derives its parent's rank from this, footnote 3).
+
+    Each recruiting iteration has [2 + ⌈log n⌉] rounds: reds announce their
+    id with a probability that halves every [⌈log n⌉] iterations; blues that
+    heard a red cleanly echo a claim through one Decay phase; reds then
+    repeat their announce-round coin with a verdict — [Confirm] for exactly
+    one claim, [Sigma] for ≥ 2 (all clean round-1 receivers of a [Sigma]
+    red are recruited).
+
+    {b Class-consistency echoes} (implementation note): the paper's verdict
+    rule alone lets a red's recruit class silently upgrade from one to many
+    in a later iteration, leaving its first child with a stale class.  Our
+    reds therefore re-announce their standing verdict ([Confirm] of the
+    single child, or [Sigma]) in every confirm round they transmit in, so
+    children converge to the true class w.h.p. within the iteration budget;
+    the run is not considered complete until classes agree.  This repairs
+    property (c) without changing the round structure.
+
+    The module is an embeddable state machine: an enclosing protocol (the
+    bipartite assignment of §2.2.3) grants it rounds by calling [decide] /
+    [deliver] / [advance]; {!run_standalone} wraps it in an engine run for
+    direct use and tests. *)
+
+open Rn_util
+open Rn_radio
+
+type t
+
+val create :
+  rng:Rng.t ->
+  params:Params.t ->
+  scale_n:int ->
+  graph:Rn_graph.Graph.t ->
+  reds:int array ->
+  blues:int array ->
+  unit ->
+  t
+(** [scale_n] sets the [log n] in every schedule length (the network size,
+    which in the paper all nodes know up to a polynomial).  [graph] is used
+    only by the adaptive-termination oracle (deciding which blues are
+    coverable); node behaviour is purely local. *)
+
+(** {1 Scheduler interface} *)
+
+val decide : t -> node:int -> Cmsg.t Engine.action
+(** Action for one of the protocol's nodes in the current granted round.
+    Nodes not in [reds ∪ blues] must not be asked. *)
+
+val deliver : t -> node:int -> Cmsg.t Engine.reception -> unit
+
+val advance : t -> unit
+(** Advance the internal round counter; call exactly once per granted
+    round, after all deliveries. *)
+
+val finished : t -> bool
+(** True once the iteration budget is exhausted, or (with
+    [params.adaptive]) as soon as every coverable blue is recruited with
+    consistent classes. *)
+
+(** {1 Results} *)
+
+type red_class = Zero | One of int | Many
+(** What a red recruited: nothing, exactly the given blue, or ≥ 2 blues. *)
+
+val parent_of : t -> int -> int option
+(** Recruited parent of a blue, if any. *)
+
+val red_class : t -> int -> red_class
+
+val blue_sees_many : t -> int -> bool option
+(** Property (c): the recruited blue's belief about its parent's class
+    ([Some true] = many, [Some false] = only child); [None] if not
+    recruited. *)
+
+val rounds_used : t -> int
+
+(** {1 Standalone run} *)
+
+type outcome = {
+  recruited : (int * int) list;  (** (blue, red) pairs *)
+  rounds : int;
+  all_covered : bool;  (** every blue with a red neighbor was recruited *)
+  classes_consistent : bool;  (** beliefs of blues match red classes *)
+}
+
+val run_standalone :
+  ?detection:Engine.detection ->
+  rng:Rng.t ->
+  params:Params.t ->
+  graph:Rn_graph.Graph.t ->
+  reds:int array ->
+  blues:int array ->
+  unit ->
+  outcome
+(** Run recruiting alone on [graph] (e.g. a random bipartite graph) until
+    [finished]; used by experiment E3 and the test-suite. *)

@@ -1,0 +1,132 @@
+open Rn_util
+open Rn_graph
+open Rn_coding
+open Rn_radio
+
+type t = {
+  levels : int array;
+  width : int;
+  count : int;
+  ring_of : int array;
+}
+
+let decompose ~levels ~width =
+  if width < 1 then invalid_arg "Rings.decompose: width must be >= 1";
+  let depth = Bfs.max_level levels in
+  let count = if depth < 0 then 0 else (depth / width) + 1 in
+  let ring_of =
+    Array.map (fun l -> if l < 0 then -1 else l / width) levels
+  in
+  { levels; width; count; ring_of }
+
+let ring_levels t j =
+  Array.mapi
+    (fun v l -> if t.ring_of.(v) = j then l - (j * t.width) else -1)
+    t.levels
+
+let nodes_with t f =
+  let acc = ref [] in
+  Array.iteri (fun v _ -> if f v then acc := v :: !acc) t.levels;
+  Array.of_list (List.rev !acc)
+
+let roots t j = nodes_with t (fun v -> t.ring_of.(v) = j && t.levels.(v) = j * t.width)
+
+let outer_boundary t j =
+  nodes_with t (fun v -> t.levels.(v) = (((j + 1) * t.width) - 1))
+
+let charged_parallel_rounds rounds =
+  match rounds with [] -> 0 | l -> 2 * List.fold_left max 0 l
+
+type handoff_result = { rounds : int; delivered : bool }
+
+(* Shared Decay loop for both handoff flavours: [payload] builds the packet
+   a holder sends when its coin comes up; [receive] consumes a clean
+   reception and returns true once that receiver is satisfied. *)
+let decay_handoff ~params ~rng ~graph ~holders ~receivers ~payload ~receive
+    ~satisfied () =
+  let n = Graph.n graph in
+  let ladder = Params.phase_len ~n in
+  let node_rng = Rng.split_n rng n in
+  let is_holder = Array.make n false in
+  Array.iter (fun v -> is_holder.(v) <- true) holders;
+  let is_receiver = Array.make n false in
+  Array.iter (fun v -> is_receiver.(v) <- true) receivers;
+  let missing = ref 0 in
+  Array.iter (fun v -> if not (satisfied v) then incr missing) receivers;
+  let decide ~round ~node =
+    if is_holder.(node) then begin
+      let p = 1.0 /. float_of_int (1 lsl min ((round mod ladder) + 1) 62) in
+      if Rng.bernoulli node_rng.(node) p then Engine.Transmit (payload node)
+      else Engine.Listen
+    end
+    else if is_receiver.(node) && not (satisfied node) then Engine.Listen
+    else Engine.Sleep
+  in
+  let deliver ~round:_ ~node reception =
+    match reception with
+    | Engine.Received msg ->
+        if is_receiver.(node) && not (satisfied node) then
+          if receive node msg then decr missing
+    | Engine.Silence | Engine.Collision -> ()
+  in
+  let budget =
+    params.Params.max_round_factor * Params.whp_phases params ~n * ladder * 4
+  in
+  let outcome =
+    Engine.run ~graph ~detection:Engine.No_collision_detection
+      ~protocol:{ Engine.decide; deliver }
+      ~stop:(fun ~round:_ -> !missing = 0)
+      ~max_rounds:budget ()
+  in
+  {
+    rounds = Engine.rounds_of_outcome outcome;
+    delivered = (match outcome with Engine.Completed _ -> true | _ -> false);
+  }
+
+let handoff_single ?(params = Params.default) ~rng ~graph ~holders ~receivers
+    () =
+  if Array.length holders = 0 then { rounds = 0; delivered = false }
+  else begin
+    let got = Array.make (Graph.n graph) false in
+    decay_handoff ~params ~rng ~graph ~holders ~receivers
+      ~payload:(fun _ -> Cmsg.Beacon)
+      ~receive:(fun v _ ->
+        got.(v) <- true;
+        true)
+      ~satisfied:(fun v -> got.(v))
+      ()
+  end
+
+type fec_msg = Fec_packet of Rlnc.packet
+
+let handoff_fec ?(params = Params.default) ~rng ~graph ~holders ~receivers
+    ~msgs () =
+  let k = Array.length msgs in
+  if k = 0 then invalid_arg "Rings.handoff_fec: empty batch";
+  let msg_len = Bitvec.length msgs.(0) in
+  if Array.length holders = 0 then ({ rounds = 0; delivered = false }, None)
+  else begin
+    let n = Graph.n graph in
+    let fec_rng = Rng.split_n rng n in
+    let decoders = Array.init n (fun _ -> Rlnc.create ~k ~msg_len) in
+    let result =
+      decay_handoff ~params ~rng ~graph ~holders ~receivers
+        ~payload:(fun v ->
+          (* Fresh random combination per transmission — RLNC-grade FEC,
+             at least as decodable as the paper's fixed Θ(k′) codebook. *)
+          let pkts = Fec.encode fec_rng.(v) ~msgs ~count:1 in
+          Fec_packet pkts.(0))
+        ~receive:(fun v msg ->
+          match msg with
+          | Fec_packet p ->
+              ignore (Rlnc.receive decoders.(v) p);
+              Rlnc.can_decode decoders.(v))
+        ~satisfied:(fun v -> Rlnc.can_decode decoders.(v))
+        ()
+    in
+    let decoded =
+      if Array.length receivers = 0 then Some (Array.map Bitvec.copy msgs)
+      else Rlnc.decode decoders.(receivers.(0))
+    in
+    (result, decoded)
+  end

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Bfs Buffer Graph List Printf Rn_util Rng

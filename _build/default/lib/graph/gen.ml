@@ -1,0 +1,230 @@
+open Rn_util
+
+let path n =
+  if n < 1 then invalid_arg "Gen.path";
+  Graph.create ~n ~edges:(List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen.cycle";
+  let edges = (n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)) in
+  Graph.create ~n ~edges
+
+let star n =
+  if n < 1 then invalid_arg "Gen.star";
+  Graph.create ~n ~edges:(List.init (max 0 (n - 1)) (fun i -> (0, i + 1)))
+
+let complete n =
+  if n < 1 then invalid_arg "Gen.complete";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create ~n ~edges:!edges
+
+let grid ~w ~h =
+  if w < 1 || h < 1 then invalid_arg "Gen.grid";
+  let id x y = (y * w) + x in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if x + 1 < w then edges := (id x y, id (x + 1) y) :: !edges;
+      if y + 1 < h then edges := (id x y, id x (y + 1)) :: !edges
+    done
+  done;
+  Graph.create ~n:(w * h) ~edges:!edges
+
+let balanced_tree ~arity ~depth =
+  if arity < 1 || depth < 0 then invalid_arg "Gen.balanced_tree";
+  let edges = ref [] and next = ref 1 in
+  (* Frontier-by-frontier construction keeps ids in BFS order. *)
+  let rec expand frontier d =
+    if d < depth then begin
+      let children =
+        List.concat_map
+          (fun parent ->
+            List.init arity (fun _ ->
+                let c = !next in
+                incr next;
+                edges := (parent, c) :: !edges;
+                c))
+          frontier
+      in
+      expand children (d + 1)
+    end
+  in
+  expand [ 0 ] 0;
+  Graph.create ~n:!next ~edges:!edges
+
+let caterpillar ~spine ~legs =
+  if spine < 1 || legs < 0 then invalid_arg "Gen.caterpillar";
+  let n = spine * (1 + legs) in
+  let edges = ref [] in
+  for s = 0 to spine - 1 do
+    if s + 1 < spine then edges := (s, s + 1) :: !edges;
+    for l = 0 to legs - 1 do
+      edges := (s, spine + (s * legs) + l) :: !edges
+    done
+  done;
+  Graph.create ~n ~edges:!edges
+
+let gnp ~rng ~n ~p =
+  if n < 0 then invalid_arg "Gen.gnp";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.bernoulli rng p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create ~n ~edges:!edges
+
+let random_connected ~rng ~n ~extra =
+  if n < 1 then invalid_arg "Gen.random_connected";
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := (Rng.int rng v, v) :: !edges
+  done;
+  for _ = 1 to extra do
+    if n >= 2 then begin
+      let u = Rng.int rng n in
+      let v = Rng.int rng n in
+      if u <> v then edges := (u, v) :: !edges
+    end
+  done;
+  Graph.create ~n ~edges:!edges
+
+let layered_random ~rng ~depth ~width ~p =
+  if depth < 1 || width < 1 then invalid_arg "Gen.layered_random";
+  let n = 1 + (depth * width) in
+  let node layer j = if layer = 0 then 0 else 1 + ((layer - 1) * width) + j in
+  let edges = ref [] in
+  for layer = 1 to depth do
+    let prev_width = if layer = 1 then 1 else width in
+    for j = 0 to width - 1 do
+      let v = node layer j in
+      (* Guaranteed uplink keeps the BFS level equal to the layer index. *)
+      let forced = Rng.int rng prev_width in
+      edges := (node (layer - 1) forced, v) :: !edges;
+      for i = 0 to prev_width - 1 do
+        if i <> forced && Rng.bernoulli rng p then
+          edges := (node (layer - 1) i, v) :: !edges
+      done
+    done
+  done;
+  Graph.create ~n ~edges:!edges
+
+let cluster_path ~rng ~clusters ~size ~p_intra =
+  if clusters < 1 || size < 1 then invalid_arg "Gen.cluster_path";
+  let n = clusters * size in
+  let node c j = (c * size) + j in
+  let edges = ref [] in
+  for c = 0 to clusters - 1 do
+    (* Spanning path inside the cluster guarantees connectivity. *)
+    for j = 0 to size - 2 do
+      edges := (node c j, node c (j + 1)) :: !edges
+    done;
+    for j = 0 to size - 1 do
+      for i = j + 2 to size - 1 do
+        if Rng.bernoulli rng p_intra then edges := (node c j, node c i) :: !edges
+      done
+    done;
+    if c + 1 < clusters then edges := (node c (size - 1), node (c + 1) 0) :: !edges
+  done;
+  Graph.create ~n ~edges:!edges
+
+let barbell ~clique ~bridge =
+  if clique < 1 || bridge < 0 then invalid_arg "Gen.barbell";
+  let n = (2 * clique) + bridge in
+  let edges = ref [] in
+  let add_clique base =
+    for i = 0 to clique - 1 do
+      for j = i + 1 to clique - 1 do
+        edges := (base + i, base + j) :: !edges
+      done
+    done
+  in
+  add_clique 0;
+  add_clique (clique + bridge);
+  (* Path: last node of clique 1, the bridge nodes, first node of clique 2. *)
+  let left = clique - 1 and right = clique + bridge in
+  if bridge = 0 then edges := (left, right) :: !edges
+  else begin
+    edges := (left, clique) :: !edges;
+    for b = 0 to bridge - 2 do
+      edges := (clique + b, clique + b + 1) :: !edges
+    done;
+    edges := (clique + bridge - 1, right) :: !edges
+  end;
+  Graph.create ~n ~edges:!edges
+
+let unit_disk ~rng ~n ~radius =
+  if n < 1 then invalid_arg "Gen.unit_disk";
+  let xs = Array.init n (fun _ -> Rng.float rng 1.0) in
+  let ys = Array.init n (fun _ -> Rng.float rng 1.0) in
+  let dist2 u v = ((xs.(u) -. xs.(v)) ** 2.0) +. ((ys.(u) -. ys.(v)) ** 2.0) in
+  let r2 = radius *. radius in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if dist2 u v <= r2 then edges := (u, v) :: !edges
+    done
+  done;
+  (* Stitch components with their geometrically closest cross pair so the
+     broadcast problem is well-defined. *)
+  let rec stitch edges =
+    let g = Graph.create ~n ~edges in
+    let comp = Bfs.levels g ~src:0 in
+    if Array.for_all (fun d -> d >= 0) comp then g
+    else begin
+      let best = ref None in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if comp.(u) >= 0 && comp.(v) < 0 then begin
+            let d = dist2 u v in
+            match !best with
+            | Some (_, _, bd) when bd <= d -> ()
+            | _ -> best := Some (u, v, d)
+          end
+        done
+      done;
+      match !best with
+      | Some (u, v, _) -> stitch ((u, v) :: edges)
+      | None -> g
+    end
+  in
+  stitch !edges
+
+let bipartite_random ~rng ~reds ~blues ~p =
+  if reds < 1 || blues < 0 then invalid_arg "Gen.bipartite_random";
+  let edges = ref [] in
+  for b = 0 to blues - 1 do
+    let blue = reds + b in
+    let forced = Rng.int rng reds in
+    edges := (forced, blue) :: !edges;
+    for r = 0 to reds - 1 do
+      if r <> forced && Rng.bernoulli rng p then edges := (r, blue) :: !edges
+    done
+  done;
+  Graph.create ~n:(reds + blues) ~edges:!edges
+
+let bipartite_regular ~rng ~reds ~blues ~degree =
+  if reds < 1 || blues < 0 || degree < 1 || degree > reds then
+    invalid_arg "Gen.bipartite_regular";
+  let edges = ref [] in
+  for b = 0 to blues - 1 do
+    let blue = reds + b in
+    Array.iter
+      (fun r -> edges := (r, blue) :: !edges)
+      (Rng.sample_without_replacement rng degree reds)
+  done;
+  Graph.create ~n:(reds + blues) ~edges:!edges
+
+let dot g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "graph G {\n";
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,83 @@
+(** Topology generators for experiments and tests.
+
+    The benchmark harness needs workloads where network size [n] and
+    diameter [D] vary independently (the paper's bounds separate the two):
+    [layered_random] and [cluster_path] provide that control, while
+    [unit_disk] models the physical sensor deployments that motivate radio
+    networks, and the small deterministic shapes exercise edge cases. *)
+
+open Rn_util
+
+val path : int -> Graph.t
+(** Path on [n ≥ 1] nodes: diameter [n-1]. *)
+
+val cycle : int -> Graph.t
+(** Cycle on [n ≥ 3] nodes. *)
+
+val star : int -> Graph.t
+(** Star with center [0] and [n-1] leaves, [n ≥ 1]. *)
+
+val complete : int -> Graph.t
+(** Clique on [n ≥ 1] nodes: diameter 1, maximal collisions. *)
+
+val grid : w:int -> h:int -> Graph.t
+(** [w × h] grid, nodes in row-major order. *)
+
+val balanced_tree : arity:int -> depth:int -> Graph.t
+(** Complete [arity]-ary tree of the given [depth] (root = node 0,
+    depth 0 = just the root). *)
+
+val caterpillar : spine:int -> legs:int -> Graph.t
+(** A path of [spine] nodes, each with [legs] pendant leaves — long
+    diameter with local contention. *)
+
+val gnp : rng:Rng.t -> n:int -> p:float -> Graph.t
+(** Erdős–Rényi G(n,p); may be disconnected. *)
+
+val random_connected : rng:Rng.t -> n:int -> extra:int -> Graph.t
+(** Uniform random spanning tree (random attachment) plus [extra] random
+    non-tree edges; always connected. *)
+
+val layered_random :
+  rng:Rng.t -> depth:int -> width:int -> p:float -> Graph.t
+(** Node 0 is a source followed by [depth] layers of [width] nodes; every
+    node has at least one neighbor in the previous layer and further
+    previous-layer links with probability [p].  BFS level of a node equals
+    its layer, so diameter is exactly [depth]; [n = 1 + depth·width].  The
+    main workload for sweeping [D] and [n] independently. *)
+
+val cluster_path :
+  rng:Rng.t -> clusters:int -> size:int -> p_intra:float -> Graph.t
+(** A chain of [clusters] dense clusters of [size] nodes (intra-cluster
+    edges with probability [p_intra], forced connectivity), consecutive
+    clusters joined by a single bridge edge — dense local collisions along a
+    long path. *)
+
+val barbell : clique:int -> bridge:int -> Graph.t
+(** Two [clique]-cliques joined by a path of [bridge] extra nodes: extreme
+    contention at both ends of a long thin corridor.  [clique ≥ 1],
+    [bridge ≥ 0]; nodes [0..clique) and the last [clique] ids form the
+    cliques. *)
+
+val unit_disk : rng:Rng.t -> n:int -> radius:float -> Graph.t
+(** [n] points uniform in the unit square, edges within Euclidean distance
+    [radius].  Disconnected components are stitched by adding the shortest
+    inter-component link, so the result is always connected (documented
+    deviation from a pure disk graph, needed for broadcast workloads). *)
+
+val bipartite_random :
+  rng:Rng.t -> reds:int -> blues:int -> p:float -> Graph.t
+(** Random bipartite graph for exercising the recruiting protocol: reds are
+    nodes [0..reds), blues are [reds..reds+blues); each blue gets at least
+    one red neighbor, plus each red–blue pair independently with
+    probability [p]. *)
+
+val bipartite_regular :
+  rng:Rng.t -> reds:int -> blues:int -> degree:int -> Graph.t
+(** Blue-regular bipartite graph: every blue gets exactly [degree]
+    distinct red neighbors, chosen uniformly ([1 ≤ degree ≤ reds]).
+    The regular-degree workload for recruiting experiments (all loner /
+    no loner regimes are selected exactly by [degree]). *)
+
+val dot : Graph.t -> string
+(** Graphviz rendering (undirected), for the examples. *)

@@ -1,0 +1,83 @@
+type t = { adj : int array array; m : int }
+
+let create ~n ~edges =
+  if n < 0 then invalid_arg "Graph.create: negative n";
+  let check v =
+    if v < 0 || v >= n then
+      invalid_arg (Printf.sprintf "Graph.create: node %d out of range [0,%d)" v n)
+  in
+  let buckets = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      check u;
+      check v;
+      if u <> v then begin
+        buckets.(u) <- v :: buckets.(u);
+        buckets.(v) <- u :: buckets.(v)
+      end)
+    edges;
+  let dedup l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    let out = ref [] in
+    Array.iter
+      (fun v -> match !out with w :: _ when w = v -> () | _ -> out := v :: !out)
+      a;
+    let arr = Array.of_list !out in
+    (* [out] was built largest-first; restore ascending order. *)
+    let len = Array.length arr in
+    Array.init len (fun i -> arr.(len - 1 - i))
+  in
+  let adj = Array.map dedup buckets in
+  let deg_sum = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj in
+  { adj; m = deg_sum / 2 }
+
+let n t = Array.length t.adj
+let m t = t.m
+let degree t v = Array.length t.adj.(v)
+let neighbors t v = t.adj.(v)
+
+let iter_neighbors t v f = Array.iter f t.adj.(v)
+
+let fold_neighbors t v f init = Array.fold_left f init t.adj.(v)
+
+let mem_edge t u v =
+  let a = t.adj.(u) in
+  let rec bsearch lo hi =
+    if lo >= hi then false
+    else begin
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = v then true
+      else if a.(mid) < v then bsearch (mid + 1) hi
+      else bsearch lo mid
+    end
+  in
+  bsearch 0 (Array.length a)
+
+let edges t =
+  let acc = ref [] in
+  Array.iteri
+    (fun u a -> Array.iter (fun v -> if u < v then acc := (u, v) :: !acc) a)
+    t.adj;
+  List.rev !acc
+
+let max_degree t = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 t.adj
+
+let induced_bipartite g ~left ~right =
+  let nl = Array.length left and nr = Array.length right in
+  let back = Array.append left right in
+  let fwd = Hashtbl.create (nl + nr) in
+  Array.iteri (fun i v -> Hashtbl.replace fwd v (`L, i)) left;
+  Array.iteri (fun i v -> Hashtbl.replace fwd v (`R, nl + i)) right;
+  let es = ref [] in
+  Array.iteri
+    (fun i u ->
+      iter_neighbors g u (fun v ->
+          match Hashtbl.find_opt fwd v with
+          | Some (`R, j) -> es := (i, j) :: !es
+          | Some (`L, _) | None -> ()))
+    left;
+  ignore nr;
+  (create ~n:(nl + nr) ~edges:!es, back)
+
+let pp fmt t = Format.fprintf fmt "graph(n=%d, m=%d)" (n t) t.m

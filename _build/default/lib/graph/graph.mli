@@ -1,0 +1,44 @@
+(** Static undirected graphs.
+
+    The radio network model of the paper (§1.1) is a synchronous network on
+    an undirected graph [G = (V, E)]; this module is the immutable topology
+    substrate every protocol runs on.  Nodes are integers [0 .. n-1]. *)
+
+type t
+
+val create : n:int -> edges:(int * int) list -> t
+(** [create ~n ~edges] builds a graph on [n] nodes.  Self-loops and
+    duplicate edges are dropped; endpoints must lie in [\[0, n)].
+    @raise Invalid_argument on an out-of-range endpoint or [n < 0]. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of (undirected) edges. *)
+
+val degree : t -> int -> int
+
+val neighbors : t -> int -> int array
+(** The physical adjacency array of a node — do not mutate. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val mem_edge : t -> int -> int -> bool
+(** Edge test in O(log deg). *)
+
+val edges : t -> (int * int) list
+(** Each undirected edge once, as [(u, v)] with [u < v]. *)
+
+val max_degree : t -> int
+
+val induced_bipartite : t -> left:int array -> right:int array -> t * int array
+(** [induced_bipartite g ~left ~right] extracts the bipartite graph [H]
+    between the node sets [left] and [right] (edges inside a side are
+    ignored, as in §2.2.2).  Returns the new graph — nodes of [left] come
+    first, then [right] — and the mapping from new ids back to ids in
+    [g]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary ["graph(n=…, m=…)"], for logs and test failures. *)

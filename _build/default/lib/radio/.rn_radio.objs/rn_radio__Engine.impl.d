@@ -1,0 +1,1 @@
+lib/radio/engine.ml: Array Graph List Printf Rn_graph

@@ -1,0 +1,1 @@
+lib/radio/engine.mli: Rn_graph

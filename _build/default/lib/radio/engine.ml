@@ -1,0 +1,116 @@
+open Rn_graph
+
+type detection = Collision_detection | No_collision_detection
+
+type 'msg action = Sleep | Listen | Transmit of 'msg
+
+type 'msg reception = Silence | Collision | Received of 'msg
+
+type 'msg protocol = {
+  decide : round:int -> node:int -> 'msg action;
+  deliver : round:int -> node:int -> 'msg reception -> unit;
+}
+
+type stats = {
+  mutable rounds : int;
+  mutable transmissions : int;
+  mutable deliveries : int;
+  mutable collisions : int;
+  mutable busy_rounds : int;
+}
+
+let fresh_stats () =
+  { rounds = 0; transmissions = 0; deliveries = 0; collisions = 0; busy_rounds = 0 }
+
+type outcome = Completed of int | Out_of_budget of int
+
+let rounds_of_outcome = function Completed r | Out_of_budget r -> r
+
+let completed_exn = function
+  | Completed r -> r
+  | Out_of_budget r ->
+      failwith (Printf.sprintf "Engine: run exhausted its %d-round budget" r)
+
+type 'msg trace_event =
+  | Ev_transmit of { node : int; msg : 'msg }
+  | Ev_receive of { node : int; reception : 'msg reception }
+
+let run ?stats ?on_round ?after_round ~graph ~detection ~protocol ~stop ~max_rounds () =
+  let n = Graph.n graph in
+  (* Per-node scratch reused across rounds; [touched] lists the nodes whose
+     counters must be reset, so quiet rounds cost O(n) and nothing more. *)
+  let tx_count = Array.make n 0 in
+  let tx_msg = Array.make n None in
+  let listening = Array.make n false in
+  let transmitters = ref [] in
+  let listeners = ref [] in
+  let touched = ref [] in
+  let record_stat f = match stats with None -> () | Some s -> f s in
+  let rec loop round =
+    if stop ~round then Completed round
+    else if round >= max_rounds then Out_of_budget round
+    else begin
+      transmitters := [];
+      listeners := [];
+      let events = ref [] in
+      let tracing = on_round <> None in
+      for v = 0 to n - 1 do
+        match protocol.decide ~round ~node:v with
+        | Sleep -> listening.(v) <- false
+        | Listen ->
+            listening.(v) <- true;
+            listeners := v :: !listeners
+        | Transmit msg ->
+            listening.(v) <- false;
+            transmitters := (v, msg) :: !transmitters;
+            if tracing then events := Ev_transmit { node = v; msg } :: !events
+      done;
+      let tx_happened = !transmitters <> [] in
+      List.iter
+        (fun (t, msg) ->
+          record_stat (fun s -> s.transmissions <- s.transmissions + 1);
+          Graph.iter_neighbors graph t (fun v ->
+              if listening.(v) then begin
+                if tx_count.(v) = 0 then begin
+                  touched := v :: !touched;
+                  tx_msg.(v) <- Some msg
+                end;
+                tx_count.(v) <- tx_count.(v) + 1
+              end))
+        !transmitters;
+      List.iter
+        (fun v ->
+          let reception =
+            match tx_count.(v) with
+            | 0 -> Silence
+            | 1 -> (
+                record_stat (fun s -> s.deliveries <- s.deliveries + 1);
+                match tx_msg.(v) with
+                | Some m -> Received m
+                | None -> assert false)
+            | _ -> (
+                record_stat (fun s -> s.collisions <- s.collisions + 1);
+                match detection with
+                | Collision_detection -> Collision
+                | No_collision_detection -> Silence)
+          in
+          if tracing then events := Ev_receive { node = v; reception } :: !events;
+          protocol.deliver ~round ~node:v reception)
+        !listeners;
+      List.iter
+        (fun v ->
+          tx_count.(v) <- 0;
+          tx_msg.(v) <- None)
+        !touched;
+      touched := [];
+      record_stat (fun s ->
+          s.rounds <- s.rounds + 1;
+          if tx_happened then s.busy_rounds <- s.busy_rounds + 1);
+      (match on_round with
+      | Some f -> f ~round (List.rev !events)
+      | None -> ());
+      (match after_round with Some f -> f ~round | None -> ());
+      loop (round + 1)
+    end
+  in
+  loop 0

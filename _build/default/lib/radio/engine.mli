@@ -1,0 +1,92 @@
+(** Synchronous radio-network round engine.
+
+    Implements the model of §1.1 of the paper exactly:
+
+    - time advances in synchronous rounds [0, 1, 2, …];
+    - in each round every node either transmits one packet or listens
+      (half-duplex: a transmitter receives nothing that round);
+    - a listener receives a packet iff {e exactly one} of its neighbors
+      transmits;
+    - if two or more neighbors transmit, a listener observes [Collision]
+      (the special symbol ⊤) when collision detection is available, and
+      observes [Silence] — indistinguishable from nobody transmitting —
+      when it is not.
+
+    Protocols are given as two callbacks closing over their own per-node
+    state; the engine owns nothing but the schedule.  Packet contents are a
+    type parameter: the model's only constraint is that a packet carries
+    [B = Ω(log n)] bits, i.e. O(1) node ids — each protocol's message type
+    documents what its packets carry. *)
+
+type detection =
+  | Collision_detection  (** listeners can distinguish ⊤ from silence *)
+  | No_collision_detection
+      (** collisions are delivered as [Silence]; protocols cannot cheat *)
+
+type 'msg action =
+  | Sleep  (** neither transmit nor listen; reception is not computed *)
+  | Listen
+  | Transmit of 'msg
+
+type 'msg reception =
+  | Silence
+  | Collision  (** only ever delivered under [Collision_detection] *)
+  | Received of 'msg
+
+type 'msg protocol = {
+  decide : round:int -> node:int -> 'msg action;
+      (** called once per node per round, before any delivery *)
+  deliver : round:int -> node:int -> 'msg reception -> unit;
+      (** called once per {e listening} node per round, after all nodes
+          decided *)
+}
+
+type stats = {
+  mutable rounds : int;  (** rounds actually simulated *)
+  mutable transmissions : int;  (** total Transmit actions *)
+  mutable deliveries : int;  (** successful single-transmitter receptions *)
+  mutable collisions : int;  (** listener-rounds with ≥ 2 transmitting neighbors *)
+  mutable busy_rounds : int;  (** rounds with at least one transmission *)
+}
+
+val fresh_stats : unit -> stats
+
+type outcome =
+  | Completed of int
+      (** [Completed r]: the stop predicate held before round [r]; [r]
+          rounds were simulated *)
+  | Out_of_budget of int  (** the round budget was exhausted first *)
+
+val rounds_of_outcome : outcome -> int
+(** The simulated round count in either case. *)
+
+val completed_exn : outcome -> int
+(** @raise Failure if the run did not complete. *)
+
+type 'msg trace_event =
+  | Ev_transmit of { node : int; msg : 'msg }
+  | Ev_receive of { node : int; reception : 'msg reception }
+
+val run :
+  ?stats:stats ->
+  ?on_round:(round:int -> 'msg trace_event list -> unit) ->
+  ?after_round:(round:int -> unit) ->
+  graph:Rn_graph.Graph.t ->
+  detection:detection ->
+  protocol:'msg protocol ->
+  stop:(round:int -> bool) ->
+  max_rounds:int ->
+  unit ->
+  outcome
+(** [run ~graph ~detection ~protocol ~stop ~max_rounds ()] simulates rounds
+    until [stop ~round] holds (checked before each round) or [max_rounds]
+    rounds have been simulated.  [on_round], when given, receives every
+    transmit/receive event of the round (including sleep-free listens that
+    heard silence) — intended for examples and debugging, not benchmarks.
+    [after_round] is a cheap per-round hook (no event capture) called after
+    all deliveries of a round; protocol state machines use it to advance
+    phase counters.
+
+    Complexity per round: O(n) decide calls plus O(Σ deg) over transmitters
+    and listeners, so protocols that [Sleep] inactive nodes simulate large
+    round counts cheaply. *)

@@ -1,0 +1,1 @@
+lib/util/table.ml: Filename Float List Printf String Sys

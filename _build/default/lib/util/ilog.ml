@@ -1,0 +1,38 @@
+let floor_log2 n =
+  if n < 1 then invalid_arg "Ilog.floor_log2";
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let ceil_log2 n =
+  if n < 1 then invalid_arg "Ilog.ceil_log2";
+  let f = floor_log2 n in
+  if 1 lsl f = n then f else f + 1
+
+let clog n = max 1 (ceil_log2 n)
+
+let pow2 k =
+  if k < 0 || k >= 62 then invalid_arg "Ilog.pow2";
+  1 lsl k
+
+let pow b k =
+  if k < 0 then invalid_arg "Ilog.pow";
+  let rec go acc b k =
+    if k = 0 then acc
+    else if k land 1 = 1 then go (acc * b) (b * b) (k lsr 1)
+    else go acc (b * b) (k lsr 1)
+  in
+  go 1 b k
+
+let isqrt n =
+  if n < 0 then invalid_arg "Ilog.isqrt";
+  if n < 2 then n
+  else begin
+    let r = ref (int_of_float (sqrt (float_of_int n))) in
+    while !r * !r > n do decr r done;
+    while (!r + 1) * (!r + 1) <= n do incr r done;
+    !r
+  end
+
+let cdiv a b =
+  if b <= 0 then invalid_arg "Ilog.cdiv";
+  (a + b - 1) / b

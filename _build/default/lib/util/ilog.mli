@@ -1,0 +1,29 @@
+(** Integer logarithm and power helpers.
+
+    The paper's schedules are parameterized by quantities such as
+    [⌈log₂ n⌉]; these helpers compute them exactly on integers (no floating
+    point rounding surprises). *)
+
+val floor_log2 : int -> int
+(** [floor_log2 n] is [⌊log₂ n⌋] for [n ≥ 1].  @raise Invalid_argument if
+    [n < 1]. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] is [⌈log₂ n⌉] for [n ≥ 1]; [ceil_log2 1 = 0]. *)
+
+val clog : int -> int
+(** [clog n] is the paper's [⌈log n⌉] rounded up to at least 1 — every
+    schedule length in the paper is a positive multiple of [log n] even for
+    tiny [n], so this never returns 0. *)
+
+val pow2 : int -> int
+(** [pow2 k] is [2^k] for [0 ≤ k < 62]. *)
+
+val pow : int -> int -> int
+(** [pow b k] is [b^k] by repeated squaring, for [k ≥ 0]. *)
+
+val isqrt : int -> int
+(** Integer square root: greatest [r] with [r*r ≤ n], for [n ≥ 0]. *)
+
+val cdiv : int -> int -> int
+(** [cdiv a b] is [⌈a/b⌉] for positive [b]. *)

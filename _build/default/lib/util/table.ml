@@ -1,0 +1,85 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- cells :: t.rows
+
+let add_int_row t (label, ints) =
+  add_row t (label :: List.map string_of_int ints)
+
+let cell_f x =
+  if Float.is_integer x && abs_float x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else if abs_float x >= 100.0 then Printf.sprintf "%.0f" x
+  else if abs_float x >= 10.0 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.2f" x
+
+let csv_dir = ref None
+
+let slug title =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c
+      | _ -> '_')
+    (String.lowercase_ascii title)
+
+let write_csv t =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (slug t.title ^ ".csv") in
+      let oc = open_out path in
+      let quote c =
+        if String.contains c ',' || String.contains c '"' then
+          "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+        else c
+      in
+      let line cells = String.concat "," (List.map quote cells) in
+      output_string oc (line t.columns ^ "\n");
+      List.iter (fun r -> output_string oc (line r ^ "\n")) (List.rev t.rows);
+      close_out oc
+
+let print t =
+  write_csv t;
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let width i =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i c ->
+          let w = List.nth widths i in
+          let pad = String.make (w - String.length c) ' ' in
+          if i = 0 then c ^ pad else pad ^ c)
+        row
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let sep =
+    "|"
+    ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "|"
+  in
+  Printf.printf "\n%s\n" t.title;
+  Printf.printf "%s\n" (render_row t.columns);
+  Printf.printf "%s\n" sep;
+  List.iter (fun r -> Printf.printf "%s\n" (render_row r)) rows
+
+let note s = Printf.printf "  -> %s\n" s
+
+let section s =
+  let bar = String.make (String.length s + 4) '=' in
+  Printf.printf "\n%s\n| %s |\n%s\n" bar s bar

@@ -1,0 +1,32 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Produces aligned, pipe-separated tables so that every experiment prints
+    the same kind of rows the paper's claims are checked against. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A new table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have as many cells as there are columns. *)
+
+val add_int_row : t -> (string * int list) -> unit
+(** Convenience: a label cell followed by integer cells. *)
+
+val print : t -> unit
+(** Render to stdout with column alignment and a title banner. *)
+
+val csv_dir : string option ref
+(** When set, {!print} also writes each table as a CSV file named after a
+    slug of its title into this directory (created if missing) — used by
+    [bench/main.exe --csv DIR] so plots can be regenerated. *)
+
+val cell_f : float -> string
+(** Format a float cell compactly ("123", "12.3", "1.23"). *)
+
+val note : string -> unit
+(** Print a single indented commentary line (shape verdicts etc.). *)
+
+val section : string -> unit
+(** Print a section banner (one per experiment id). *)

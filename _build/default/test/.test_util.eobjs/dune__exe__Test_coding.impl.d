@@ -1,0 +1,1 @@
+test/test_coding.ml: Alcotest Array Bitvec Fec List QCheck QCheck_alcotest Rlnc Rn_coding Rn_util Rng Test

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bfs Graph List Printf QCheck QCheck_alcotest Rn_graph Rn_util Rng String Test

@@ -1,0 +1,1 @@
+test/test_gst.ml: Alcotest Array Bfs Graph Gst Ilog List Printf QCheck QCheck_alcotest Ranked_bfs Rn_broadcast Rn_graph Rn_util Rng Test

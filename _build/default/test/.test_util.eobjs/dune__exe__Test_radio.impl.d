@@ -1,0 +1,1 @@
+test/test_radio.ml: Alcotest Array Engine Format Graph List QCheck QCheck_alcotest Rn_graph Rn_radio Rn_util Test

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gen Ilog List QCheck QCheck_alcotest Rn_util Rng Stats Test

@@ -1,0 +1,399 @@
+(* Third test wave: multi-root distributed construction (the ring GST
+   case), engine bookkeeping corners, bitvec/rng conversions, GST
+   override mechanics, recruiting result accessors, and layering with
+   several sources. *)
+
+open Rn_util
+open Rn_graph
+module Topo = Rn_graph.Gen
+open Rn_coding
+open Rn_broadcast
+
+let rng seed = Rng.create ~seed
+
+(* ------------------------------------------------------------------ *)
+(* Multi-root distributed construction (what every ring relies on) *)
+
+let test_distributed_multi_root () =
+  for seed = 1 to 5 do
+    let g = Topo.grid ~w:7 ~h:4 in
+    let roots = [| 0; 1; 2; 3; 4; 5; 6 |] in
+    let r =
+      Gst_distributed.construct ~learn_vd:true ~rng:(rng (500 + seed)) ~graph:g
+        ~roots ()
+    in
+    (match Gst.validate r.Gst_distributed.gst with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e);
+    Alcotest.(check int) "spans" (Graph.n g) (Gst.size r.Gst_distributed.gst);
+    Alcotest.(check (array int)) "roots preserved" roots
+      (Gst.roots r.Gst_distributed.gst);
+    Alcotest.(check (array int)) "vd matches"
+      (Gst.virtual_distances r.Gst_distributed.gst)
+      r.Gst_distributed.vd
+  done
+
+let test_distributed_band_with_multi_roots () =
+  (* A two-ring scenario built by hand: the second band's GST hangs off
+     all of the first band's outer boundary. *)
+  let g = Topo.grid ~w:4 ~h:6 in
+  let levels = Bfs.levels g ~src:0 in
+  let rings = Rings.decompose ~levels ~width:3 in
+  (* max level 8 with width 3: three rings. *)
+  Alcotest.(check int) "three rings" 3 rings.Rings.count;
+  let ring1 = Rings.ring_levels rings 1 in
+  let roots = Rings.roots rings 1 in
+  Alcotest.(check bool) "several roots" true (Array.length roots > 1);
+  let r =
+    Gst_distributed.construct ~layering:(Gst_distributed.Given_layering ring1)
+      ~learn_vd:true ~rng:(rng 77) ~graph:g ~roots ()
+  in
+  match Gst.validate r.Gst_distributed.gst with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Engine bookkeeping corners *)
+
+let test_engine_all_sleep_round () =
+  let stats = Rn_radio.Engine.fresh_stats () in
+  let protocol =
+    {
+      Rn_radio.Engine.decide = (fun ~round:_ ~node:_ -> Rn_radio.Engine.Sleep);
+      deliver = (fun ~round:_ ~node:_ _ -> ());
+    }
+  in
+  ignore
+    (Rn_radio.Engine.run ~stats ~graph:(Topo.path 4)
+       ~detection:Rn_radio.Engine.Collision_detection ~protocol
+       ~stop:(fun ~round:_ -> false)
+       ~max_rounds:5 ());
+  Alcotest.(check int) "rounds counted" 5 stats.Rn_radio.Engine.rounds;
+  Alcotest.(check int) "no busy rounds" 0 stats.Rn_radio.Engine.busy_rounds;
+  Alcotest.(check int) "no transmissions" 0 stats.Rn_radio.Engine.transmissions
+
+let test_engine_stop_at_zero () =
+  let protocol =
+    {
+      Rn_radio.Engine.decide = (fun ~round:_ ~node:_ -> Rn_radio.Engine.Listen);
+      deliver = (fun ~round:_ ~node:_ _ -> ());
+    }
+  in
+  let outcome =
+    Rn_radio.Engine.run ~graph:(Topo.path 2)
+      ~detection:Rn_radio.Engine.Collision_detection ~protocol
+      ~stop:(fun ~round:_ -> true)
+      ~max_rounds:10 ()
+  in
+  Alcotest.(check int) "zero rounds" 0 (Rn_radio.Engine.completed_exn outcome)
+
+(* ------------------------------------------------------------------ *)
+(* Bitvec / Rng conversions *)
+
+let test_bitvec_bools_roundtrip () =
+  let bs = [ true; false; false; true; true ] in
+  Alcotest.(check (list bool)) "roundtrip" bs (Bitvec.to_bools (Bitvec.of_bools bs));
+  Alcotest.(check (list bool)) "empty" [] (Bitvec.to_bools (Bitvec.of_bools []))
+
+let test_bitvec_copy_independent () =
+  let a = Bitvec.of_string "1010" in
+  let b = Bitvec.copy a in
+  Bitvec.set b 1 true;
+  Alcotest.(check string) "original untouched" "1010" (Bitvec.to_string a);
+  Alcotest.(check string) "copy changed" "1110" (Bitvec.to_string b)
+
+let test_rng_sample_edges () =
+  let r = rng 1 in
+  Alcotest.(check (array int)) "k=0" [||] (Rng.sample_without_replacement r 0 5);
+  let all = Rng.sample_without_replacement r 5 5 in
+  let sorted = Array.copy all in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "k=n permutation" [| 0; 1; 2; 3; 4 |] sorted
+
+(* ------------------------------------------------------------------ *)
+(* GST override mechanics *)
+
+let test_override_makes_head () =
+  let g = Topo.path 4 in
+  let levels = [| 0; 1; 2; 3 |] and parents = [| -1; 0; 1; 2 |] in
+  let ranks = [| 1; 1; 1; 1 |] in
+  let head_override = [| false; false; true; false |] in
+  let t = Gst.make ~graph:g ~levels ~parents ~ranks ~head_override () in
+  Alcotest.(check bool) "override is head" true (Gst.is_stretch_head t 2);
+  Alcotest.(check (list int)) "stretch split at override" [ 0; 1 ]
+    (Gst.stretch_members t 0);
+  Alcotest.(check (list int)) "new stretch" [ 2; 3 ] (Gst.stretch_members t 2);
+  (* Virtual distances change accordingly: members of the second stretch
+     are one fast edge from node 2, which is reached through G. *)
+  let d = Gst.virtual_distances t in
+  Alcotest.(check (array int)) "vd with split" [| 0; 1; 2; 3 |] d
+
+let test_repair_is_idempotent () =
+  let g = Topo.random_connected ~rng:(rng 31) ~n:40 ~extra:50 in
+  let t = Gst.build_centralized ~graph:g ~roots:[| 0 |] () in
+  let t2 = Gst.repair_wave_safety t in
+  Alcotest.(check int) "no new overrides" (Gst.override_count t)
+    (Gst.override_count t2)
+
+(* ------------------------------------------------------------------ *)
+(* Recruiting accessors *)
+
+let test_recruiting_one_class_names_blue () =
+  let g = Graph.create ~n:2 ~edges:[ (0, 1) ] in
+  let o =
+    Recruiting.run_standalone ~rng:(rng 2) ~params:Params.default ~graph:g
+      ~reds:[| 0 |] ~blues:[| 1 |] ()
+  in
+  Alcotest.(check bool) "recruited" true (o.Recruiting.recruited = [ (1, 0) ]);
+  (* Re-run embedded to inspect classes. *)
+  let t =
+    Recruiting.create ~rng:(rng 2) ~params:Params.default ~scale_n:2 ~graph:g
+      ~reds:[| 0 |] ~blues:[| 1 |] ()
+  in
+  let protocol =
+    {
+      Rn_radio.Engine.decide = (fun ~round:_ ~node -> Recruiting.decide t ~node);
+      deliver = (fun ~round:_ ~node r -> Recruiting.deliver t ~node r);
+    }
+  in
+  ignore
+    (Rn_radio.Engine.run ~graph:g
+       ~detection:Rn_radio.Engine.No_collision_detection ~protocol
+       ~after_round:(fun ~round:_ -> Recruiting.advance t)
+       ~stop:(fun ~round:_ -> Recruiting.finished t)
+       ~max_rounds:100_000 ());
+  (match Recruiting.red_class t 0 with
+  | Recruiting.One b -> Alcotest.(check int) "one names the blue" 1 b
+  | Recruiting.Zero -> Alcotest.fail "red should have recruited"
+  | Recruiting.Many -> Alcotest.fail "only one blue exists");
+  Alcotest.(check (option int)) "parent" (Some 0) (Recruiting.parent_of t 1);
+  Alcotest.(check (option bool)) "sees only-child" (Some false)
+    (Recruiting.blue_sees_many t 1)
+
+(* ------------------------------------------------------------------ *)
+(* Layering with several sources; estimation on barbell *)
+
+let test_collision_wave_multi_source () =
+  let g = Topo.path 9 in
+  let r = Layering.collision_wave ~graph:g ~sources:[| 0; 8 |] () in
+  Alcotest.(check (array int)) "levels" (Bfs.multi_levels g ~sources:[| 0; 8 |])
+    r.Layering.levels;
+  Alcotest.(check int) "rounds = radius" 4 r.Layering.rounds
+
+let test_estimate_barbell () =
+  let g = Topo.barbell ~clique:6 ~bridge:9 in
+  let r = Diameter_estimate.run ~graph:g ~source:0 () in
+  let ecc = r.Diameter_estimate.eccentricity in
+  Alcotest.(check bool) "within factor 2" true
+    (r.Diameter_estimate.estimate >= ecc
+    && r.Diameter_estimate.estimate <= 2 * ecc)
+
+(* ------------------------------------------------------------------ *)
+(* Gst_broadcast: decode rounds respect information causality *)
+
+let test_decode_rounds_causal () =
+  (* A node v cannot decode before round level(v) - 1: information travels
+     one hop per round at best. *)
+  let g = Topo.path 24 in
+  let gst = Gst.build_centralized ~graph:g ~roots:[| 0 |] () in
+  let vd = Gst.virtual_distances gst in
+  let msgs = [| Bitvec.random (rng 3) 16 |] in
+  let r = Gst_broadcast.run ~rng:(rng 4) ~gst ~vd ~msgs ~sources:[| 0 |] () in
+  Array.iteri
+    (fun v dr ->
+      if v > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d causality" v)
+          true
+          (dr >= gst.Gst.levels.(v) - 1))
+    r.Gst_broadcast.decode_round
+
+(* ------------------------------------------------------------------ *)
+(* Baselines sanity relations *)
+
+let test_sequential_scales_linearly () =
+  let g = Topo.grid ~w:5 ~h:4 in
+  let r2 = Baselines.sequential_multi ~rng:(rng 5) ~graph:g ~source:0 ~k:2 () in
+  let r8 = Baselines.sequential_multi ~rng:(rng 5) ~graph:g ~source:0 ~k:8 () in
+  (* Same seed: the k=8 run repeats more broadcasts, so strictly longer. *)
+  Alcotest.(check bool) "k=8 longer than k=2" true
+    (r8.Baselines.rounds > r2.Baselines.rounds)
+
+let test_routing_complete_rounds_ordered () =
+  let g = Topo.path 10 in
+  let r = Baselines.routing_multi ~rng:(rng 6) ~graph:g ~source:0 ~k:3 () in
+  Alcotest.(check bool) "delivered" true r.Baselines.delivered;
+  (* Completion can never precede distance-to-source rounds. *)
+  Array.iteri
+    (fun v c ->
+      if v > 0 then Alcotest.(check bool) "causality" true (c >= v - 1))
+    r.Baselines.complete_round
+
+(* ------------------------------------------------------------------ *)
+(* Reproducibility: equal seeds give identical runs *)
+
+let test_full_pipeline_deterministic () =
+  let g = Topo.cluster_path ~rng:(rng 60) ~clusters:4 ~size:6 ~p_intra:0.4 in
+  let run () = Single_broadcast.run ~rng:(rng 61) ~graph:g ~source:0 () in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same rounds" a.Single_broadcast.rounds_total
+    b.Single_broadcast.rounds_total;
+  Alcotest.(check int) "same ring count" a.Single_broadcast.ring_count
+    b.Single_broadcast.ring_count;
+  Alcotest.(check bool) "both delivered" true
+    (a.Single_broadcast.delivered && b.Single_broadcast.delivered)
+
+let test_multi_known_deterministic () =
+  let g = Topo.grid ~w:5 ~h:4 in
+  let run () = Multi_broadcast.known ~rng:(rng 62) ~graph:g ~source:0 ~k:5 () in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same rounds" a.Multi_broadcast.rounds b.Multi_broadcast.rounds;
+  Alcotest.(check (array int)) "same decode rounds" a.Multi_broadcast.decode_round
+    b.Multi_broadcast.decode_round
+
+(* ------------------------------------------------------------------ *)
+(* Model fidelity: packets fit B = Theta(log n) bits *)
+
+let test_construction_packets_fit_b () =
+  (* Every packet of the GST construction carries at most two ids. *)
+  let n = 1024 in
+  let id = Ilog.clog n in
+  let b = 4 + (2 * id) in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Format.asprintf "%a fits" Cmsg.pp m)
+        true
+        (Cmsg.bits ~n m <= b))
+    [
+      Cmsg.Beacon; Cmsg.Probe; Cmsg.Blue_here; Cmsg.Loner_here;
+      Cmsg.Red_id 7; Cmsg.Claim { blue = 1; red = 2 };
+      Cmsg.Confirm { red = 3; blue = 4 }; Cmsg.Sigma 5;
+      Cmsg.Marked { red = 6; rank = 9 };
+      Cmsg.Vd_label { from_node = 8; vd = 11 };
+    ]
+
+let test_batched_rlnc_headers_logarithmic () =
+  (* Theorem 1.3 batches messages in groups of ceil(log n), so coded
+     headers stay at Theta(log n) bits (footnote 5 / §3.4). *)
+  let n = 512 in
+  let batch = Ilog.clog n in
+  let msgs =
+    Multi_broadcast.random_messages (rng 50) ~k:batch ~msg_len:(4 * batch)
+  in
+  let p = Rlnc.source_packet ~msgs 0 in
+  Alcotest.(check int) "header bits = batch size" batch
+    (Rlnc.packet_bits p - (4 * batch));
+  Alcotest.(check bool) "packet is O(log n) + payload" true
+    (Rlnc.packet_bits p <= 5 * batch)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"bitvec of_bools/to_bools roundtrip" ~count:300
+      (list_of_size (Gen.int_range 0 100) bool)
+      (fun bs -> Bitvec.to_bools (Bitvec.of_bools bs) = bs);
+    Test.make ~name:"popcount = number of true bools" ~count:300
+      (list_of_size (Gen.int_range 0 100) bool)
+      (fun bs ->
+        Bitvec.popcount (Bitvec.of_bools bs)
+        = List.length (List.filter (fun b -> b) bs));
+    Test.make ~name:"regular bipartite has exact blue degrees" ~count:100
+      (triple (int_range 1 12) (int_range 0 20) (int_range 0 3000))
+      (fun (reds, blues, seed) ->
+        let degree = 1 + (seed mod reds) in
+        let g =
+          Topo.bipartite_regular ~rng:(Rng.create ~seed) ~reds ~blues ~degree
+        in
+        let ok = ref true in
+        for b = reds to reds + blues - 1 do
+          if Graph.degree g b <> degree then ok := false
+        done;
+        !ok);
+    Test.make ~name:"multi-root distributed GST validates" ~count:15
+      (pair (int_range 4 30) (int_range 0 3000))
+      (fun (n, seed) ->
+        let g = Topo.random_connected ~rng:(Rng.create ~seed) ~n ~extra:n in
+        let nroots = 1 + (seed mod 3) in
+        let roots = Array.init (min nroots n) (fun i -> i) in
+        let r =
+          Gst_distributed.construct ~rng:(Rng.create ~seed:(seed + 7)) ~graph:g
+            ~roots ()
+        in
+        match Gst.validate r.Gst_distributed.gst with
+        | Ok () -> true
+        | Error _ -> false);
+    Test.make ~name:"single broadcast reception causality" ~count:30
+      (pair (int_range 2 40) (int_range 0 3000))
+      (fun (n, seed) ->
+        let g = Topo.random_connected ~rng:(Rng.create ~seed) ~n ~extra:(n / 2) in
+        let d = Decay.broadcast ~rng:(Rng.create ~seed:(seed + 1)) ~graph:g ~source:0 () in
+        let levels = Bfs.levels g ~src:0 in
+        let ok = ref true in
+        Array.iteri
+          (fun v rr -> if v > 0 && rr < levels.(v) - 1 then ok := false)
+          d.Decay.received_round;
+        !ok);
+  ]
+
+let () =
+  Alcotest.run "more"
+    [
+      ( "multi_root",
+        [
+          Alcotest.test_case "distributed multi-root" `Slow
+            test_distributed_multi_root;
+          Alcotest.test_case "band with multiple roots" `Quick
+            test_distributed_band_with_multi_roots;
+        ] );
+      ( "engine_corners",
+        [
+          Alcotest.test_case "all-sleep rounds" `Quick test_engine_all_sleep_round;
+          Alcotest.test_case "stop at zero" `Quick test_engine_stop_at_zero;
+        ] );
+      ( "conversions",
+        [
+          Alcotest.test_case "bools roundtrip" `Quick test_bitvec_bools_roundtrip;
+          Alcotest.test_case "copy independence" `Quick test_bitvec_copy_independent;
+          Alcotest.test_case "sample edges" `Quick test_rng_sample_edges;
+        ] );
+      ( "gst_overrides",
+        [
+          Alcotest.test_case "override makes head" `Quick test_override_makes_head;
+          Alcotest.test_case "repair idempotent" `Quick test_repair_is_idempotent;
+        ] );
+      ( "recruiting_accessors",
+        [
+          Alcotest.test_case "one-class blue id" `Quick
+            test_recruiting_one_class_names_blue;
+        ] );
+      ( "layering_more",
+        [
+          Alcotest.test_case "collision wave multi-source" `Quick
+            test_collision_wave_multi_source;
+          Alcotest.test_case "estimate barbell" `Quick test_estimate_barbell;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "theorem 1.1 pipeline" `Quick
+            test_full_pipeline_deterministic;
+          Alcotest.test_case "theorem 1.2 run" `Quick test_multi_known_deterministic;
+        ] );
+      ( "packet_sizes",
+        [
+          Alcotest.test_case "construction packets fit B" `Quick
+            test_construction_packets_fit_b;
+          Alcotest.test_case "batched headers logarithmic" `Quick
+            test_batched_rlnc_headers_logarithmic;
+        ] );
+      ( "causality",
+        [
+          Alcotest.test_case "decode rounds causal" `Quick test_decode_rounds_causal;
+          Alcotest.test_case "sequential scales" `Quick test_sequential_scales_linearly;
+          Alcotest.test_case "routing causal" `Quick test_routing_complete_rounds_ordered;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

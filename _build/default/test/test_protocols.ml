@@ -1,0 +1,617 @@
+(* Integration and unit tests for the paper's protocols: Decay (Lemma 2.2,
+   Lemma 3.2), recruiting (Lemma 2.3), bipartite assignment (Lemmas 2.4,
+   2.5), layering, distributed GST construction (Theorem 2.1, Lemma 3.10),
+   the MMV GST schedule (Lemma 3.3) and the end-to-end broadcast pipelines
+   (Theorems 1.1, 1.2, 1.3). *)
+
+open Rn_util
+open Rn_graph
+module Topo = Rn_graph.Gen
+open Rn_radio
+open Rn_broadcast
+
+let rng seed = Rng.create ~seed
+
+let completed = function
+  | Engine.Completed _ -> true
+  | Engine.Out_of_budget _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Decay *)
+
+let test_decay_probability_ladder () =
+  Alcotest.(check (float 1e-9)) "round 0" 0.5 (Decay.probability ~ladder:4 0);
+  Alcotest.(check (float 1e-9)) "round 3" 0.0625 (Decay.probability ~ladder:4 3);
+  Alcotest.(check (float 1e-9)) "wraps" 0.5 (Decay.probability ~ladder:4 4)
+
+let test_decay_broadcast_delivers () =
+  List.iter
+    (fun g ->
+      let r = Decay.broadcast ~rng:(rng 11) ~graph:g ~source:0 () in
+      Alcotest.(check bool) "completed" true (completed r.Decay.outcome);
+      Array.iteri
+        (fun v rr ->
+          Alcotest.(check bool) (Printf.sprintf "node %d got it" v) true (rr >= 0))
+        r.Decay.received_round)
+    [ Topo.path 20; Topo.star 20; Topo.grid ~w:5 ~h:4; Topo.complete 12 ]
+
+let test_decay_single_node () =
+  let r = Decay.broadcast ~rng:(rng 1) ~graph:(Topo.path 1) ~source:0 () in
+  Alcotest.(check int) "0 rounds" 0 (Engine.rounds_of_outcome r.Decay.outcome)
+
+let test_decay_respects_distance () =
+  (* No node can receive before its BFS distance. *)
+  let g = Topo.path 12 in
+  let r = Decay.broadcast ~rng:(rng 3) ~graph:g ~source:0 () in
+  Array.iteri
+    (fun v rr ->
+      if v > 0 then
+        Alcotest.(check bool) "causality" true (rr >= v - 1))
+    r.Decay.received_round
+
+let test_decay_mmv_noising_delivers () =
+  let g = Topo.grid ~w:6 ~h:4 in
+  let levels = Bfs.levels g ~src:0 in
+  let r = Decay.mmv_broadcast ~noising:true ~rng:(rng 5) ~graph:g ~levels ~source:0 () in
+  Alcotest.(check bool) "MMV decay completes despite noise" true
+    (completed r.Decay.outcome)
+
+let test_decay_mmv_silent_delivers () =
+  let g = Topo.grid ~w:6 ~h:4 in
+  let levels = Bfs.levels g ~src:0 in
+  let r = Decay.mmv_broadcast ~noising:false ~rng:(rng 5) ~graph:g ~levels ~source:0 () in
+  Alcotest.(check bool) "silent variant completes" true (completed r.Decay.outcome)
+
+let test_cr_ladder_values () =
+  Alcotest.(check int) "n=1024,D=256" (Ilog.clog 4 + 1)
+    (Decay.cr_ladder ~n:1024 ~diameter:256);
+  Alcotest.(check bool) "small ratio floors at log 2 + 1" true
+    (Decay.cr_ladder ~n:16 ~diameter:16 >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Recruiting (Lemma 2.3) *)
+
+let run_recruiting seed ~reds ~blues ~p =
+  let r = Rng.create ~seed in
+  let g = Topo.bipartite_random ~rng:r ~reds ~blues ~p in
+  ( g,
+    Recruiting.run_standalone ~rng:(Rng.split r) ~params:Params.default
+      ~graph:g
+      ~reds:(Array.init reds (fun i -> i))
+      ~blues:(Array.init blues (fun i -> reds + i))
+      () )
+
+let test_recruiting_covers_all () =
+  for seed = 1 to 10 do
+    let _, o = run_recruiting seed ~reds:8 ~blues:20 ~p:0.3 in
+    Alcotest.(check bool) "all covered" true o.Recruiting.all_covered;
+    Alcotest.(check bool) "classes consistent" true o.Recruiting.classes_consistent
+  done
+
+let test_recruiting_parents_are_neighbors () =
+  let g, o = run_recruiting 42 ~reds:6 ~blues:15 ~p:0.4 in
+  List.iter
+    (fun (b, r) ->
+      Alcotest.(check bool) "parent adjacent" true (Graph.mem_edge g b r))
+    o.Recruiting.recruited
+
+let test_recruiting_red_classes_match () =
+  let _, o = run_recruiting 7 ~reds:5 ~blues:12 ~p:0.5 in
+  (* Count children per red from the blue side and compare. *)
+  let count = Hashtbl.create 8 in
+  List.iter
+    (fun (_, r) ->
+      Hashtbl.replace count r (1 + Option.value ~default:0 (Hashtbl.find_opt count r)))
+    o.Recruiting.recruited;
+  ()
+
+let test_recruiting_single_pair () =
+  let g = Graph.create ~n:2 ~edges:[ (0, 1) ] in
+  let o =
+    Recruiting.run_standalone ~rng:(rng 1) ~params:Params.default ~graph:g
+      ~reds:[| 0 |] ~blues:[| 1 |] ()
+  in
+  Alcotest.(check (list (pair int int))) "recruited" [ (1, 0) ] o.Recruiting.recruited
+
+let test_recruiting_uncoverable_blue () =
+  (* A blue with no red neighbor is left out, and that is not a failure. *)
+  let g = Graph.create ~n:3 ~edges:[ (0, 1) ] in
+  let o =
+    Recruiting.run_standalone ~rng:(rng 1) ~params:Params.default ~graph:g
+      ~reds:[| 0 |] ~blues:[| 1; 2 |] ()
+  in
+  Alcotest.(check bool) "covered ones recruited" true o.Recruiting.all_covered;
+  Alcotest.(check (list (pair int int))) "only blue 1" [ (1, 0) ] o.Recruiting.recruited
+
+(* ------------------------------------------------------------------ *)
+(* Bipartite assignment (Lemmas 2.4 / 2.5) *)
+
+let test_assignment_assigns_everyone () =
+  for seed = 1 to 8 do
+    let r = Rng.create ~seed in
+    let reds = 8 and blues = 18 in
+    let g = Topo.bipartite_random ~rng:r ~reds ~blues ~p:0.25 in
+    let blue_ranks = Array.make (reds + blues) 0 in
+    for b = reds to reds + blues - 1 do
+      blue_ranks.(b) <- 1 + Rng.int r 3
+    done;
+    let o =
+      Bipartite_assignment.run_standalone ~rng:(Rng.split r)
+        ~params:Params.default ~graph:g
+        ~reds:(Array.init reds (fun i -> i))
+        ~blues:(Array.init blues (fun i -> reds + i))
+        ~blue_ranks ()
+    in
+    for b = reds to reds + blues - 1 do
+      Alcotest.(check bool) "assigned" true (o.Bipartite_assignment.parents.(b) >= 0);
+      Alcotest.(check bool) "parent is red" true (o.Bipartite_assignment.parents.(b) < reds)
+    done;
+    (* Ranking rule per red. *)
+    for v = 0 to reds - 1 do
+      let children =
+        List.filter
+          (fun b -> o.Bipartite_assignment.parents.(b) = v)
+          (List.init blues (fun i -> reds + i))
+      in
+      let expected =
+        match children with
+        | [] -> 0
+        | cs ->
+            let rmax = List.fold_left (fun a c -> max a blue_ranks.(c)) 0 cs in
+            let cnt = List.length (List.filter (fun c -> blue_ranks.(c) = rmax) cs) in
+            if cnt >= 2 then rmax + 1 else rmax
+      in
+      Alcotest.(check int) (Printf.sprintf "red %d rank" v) expected
+        o.Bipartite_assignment.ranks.(v)
+    done;
+    (* Blues know their parent's rank (property needed by footnote 3). *)
+    for b = reds to reds + blues - 1 do
+      let p = o.Bipartite_assignment.parents.(b) in
+      Alcotest.(check int) "parent rank knowledge"
+        o.Bipartite_assignment.ranks.(p)
+        o.Bipartite_assignment.parent_rank.(b)
+    done
+  done
+
+let test_assignment_epoch_shrinkage_recorded () =
+  let r = Rng.create ~seed:4 in
+  let reds = 12 and blues = 30 in
+  let g = Topo.bipartite_random ~rng:r ~reds ~blues ~p:0.3 in
+  let blue_ranks = Array.make (reds + blues) 1 in
+  let o =
+    Bipartite_assignment.run_standalone ~rng:(Rng.split r)
+      ~params:Params.default ~graph:g
+      ~reds:(Array.init reds (fun i -> i))
+      ~blues:(Array.init blues (fun i -> reds + i))
+      ~blue_ranks ()
+  in
+  Alcotest.(check bool) "history nonempty" true
+    (List.length o.Bipartite_assignment.epoch_history >= 1);
+  List.iter
+    (fun (rank, active) ->
+      Alcotest.(check int) "rank 1 only" 1 rank;
+      Alcotest.(check bool) "active in range" true (active >= 0 && active <= reds))
+    o.Bipartite_assignment.epoch_history
+
+(* ------------------------------------------------------------------ *)
+(* Layering *)
+
+let test_collision_wave_exact_levels () =
+  List.iter
+    (fun g ->
+      let r = Layering.collision_wave ~graph:g ~sources:[| 0 |] () in
+      Alcotest.(check (array int)) "levels = BFS" (Bfs.levels g ~src:0)
+        r.Layering.levels;
+      Alcotest.(check int) "rounds = eccentricity" (Bfs.eccentricity g 0)
+        r.Layering.rounds)
+    [ Topo.path 17; Topo.grid ~w:5 ~h:5; Topo.star 9; Topo.complete 7 ]
+
+let test_collision_wave_needs_cd () =
+  (* On a star with >= 2 arms... actually: two transmitters at round 1
+     collide at every second-layer listener; with CD the wave still
+     advances.  Check a diamond: 0-1, 0-2, 1-3, 2-3. *)
+  let g = Graph.create ~n:4 ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let r = Layering.collision_wave ~graph:g ~sources:[| 0 |] () in
+  Alcotest.(check (array int)) "diamond levels" [| 0; 1; 1; 2 |] r.Layering.levels
+
+let test_decay_bfs_levels () =
+  for seed = 1 to 6 do
+    let r = Rng.create ~seed in
+    let g = Topo.random_connected ~rng:r ~n:40 ~extra:30 in
+    let res = Layering.decay_bfs ~rng:(Rng.split r) ~graph:g ~sources:[| 0 |] () in
+    Alcotest.(check (array int))
+      (Printf.sprintf "seed %d levels" seed)
+      (Bfs.levels g ~src:0) res.Layering.levels
+  done
+
+let test_decay_bfs_multi_source () =
+  let g = Topo.path 9 in
+  let res = Layering.decay_bfs ~rng:(rng 2) ~graph:g ~sources:[| 0; 8 |] () in
+  Alcotest.(check (array int)) "multi-source"
+    (Bfs.multi_levels g ~sources:[| 0; 8 |])
+    res.Layering.levels
+
+(* ------------------------------------------------------------------ *)
+(* Distributed GST construction (Theorem 2.1) *)
+
+let construct ?(mode = Gst_distributed.Pipelined) ?(learn_vd = true) g seed =
+  Gst_distributed.construct ~mode ~learn_vd ~rng:(rng seed) ~graph:g
+    ~roots:[| 0 |] ()
+
+let test_distributed_gst_valid_and_spanning () =
+  List.iteri
+    (fun i g ->
+      let r = construct g (100 + i) in
+      (match Gst.validate r.Gst_distributed.gst with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      Alcotest.(check int) "spans" (Graph.n g) (Gst.size r.Gst_distributed.gst))
+    [
+      Topo.path 24;
+      Topo.star 16;
+      Topo.grid ~w:6 ~h:4;
+      Topo.balanced_tree ~arity:3 ~depth:3;
+      Topo.random_connected ~rng:(rng 9) ~n:60 ~extra:70;
+      Topo.unit_disk ~rng:(rng 10) ~n:50 ~radius:0.25;
+    ]
+
+let test_distributed_gst_sequential_mode () =
+  let g = Topo.random_connected ~rng:(rng 12) ~n:50 ~extra:40 in
+  let r = construct ~mode:Gst_distributed.Sequential g 13 in
+  match Gst.validate r.Gst_distributed.gst with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_distributed_gst_learned_vd_matches () =
+  for seed = 1 to 6 do
+    let g = Topo.random_connected ~rng:(rng (200 + seed)) ~n:48 ~extra:60 in
+    let r = construct g seed in
+    Alcotest.(check (array int)) "vd = centralized recomputation"
+      (Gst.virtual_distances r.Gst_distributed.gst)
+      r.Gst_distributed.vd
+  done
+
+let test_distributed_gst_parent_rank_knowledge () =
+  let g = Topo.grid ~w:5 ~h:5 in
+  let r = construct g 31 in
+  let gst = r.Gst_distributed.gst in
+  Array.iteri
+    (fun v p ->
+      if p >= 0 then
+        Alcotest.(check int)
+          (Printf.sprintf "node %d knows parent rank" v)
+          gst.Gst.ranks.(p)
+          r.Gst_distributed.parent_rank.(v))
+    gst.Gst.parents
+
+let test_distributed_gst_ring_band () =
+  (* Construction restricted to a band with multi-root layering. *)
+  let g = Topo.path 12 in
+  let levels = Array.make 12 (-1) in
+  for v = 3 to 8 do
+    levels.(v) <- v - 3
+  done;
+  let r =
+    Gst_distributed.construct ~layering:(Gst_distributed.Given_layering levels)
+      ~learn_vd:true ~rng:(rng 77) ~graph:g ~roots:[| 3 |] ()
+  in
+  Alcotest.(check int) "band size" 6 (Gst.size r.Gst_distributed.gst);
+  match Gst.validate r.Gst_distributed.gst with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_distributed_gst_no_fixups_expected () =
+  let g = Topo.random_connected ~rng:(rng 55) ~n:60 ~extra:60 in
+  let r = construct g 56 in
+  Alcotest.(check int) "class fixups" 0 r.Gst_distributed.class_fixups
+
+(* ------------------------------------------------------------------ *)
+(* GST broadcast schedule (Lemma 3.3, Theorem 1.2 machinery) *)
+
+let test_schedule_slots_disjoint () =
+  (* Fast slots are even, slow slots odd; a node is never in both. *)
+  for round = 0 to 200 do
+    for level = 0 to 5 do
+      for rank = 1 to 4 do
+        let fast = Gst_broadcast.fast_slot ~clogn:5 ~level ~rank ~round in
+        let slow = Gst_broadcast.slow_slot ~level_or_vd:level ~round in
+        Alcotest.(check bool) "not both" false (fast && slow)
+      done
+    done
+  done
+
+let test_schedule_fast_cadence () =
+  (* Every node is fast-scheduled exactly once per 6 clogn rounds. *)
+  let clogn = 4 in
+  let hits = ref 0 in
+  for round = 0 to (6 * clogn) - 1 do
+    if Gst_broadcast.fast_slot ~clogn ~level:2 ~rank:3 ~round then incr hits
+  done;
+  Alcotest.(check int) "once per cycle" 1 !hits
+
+let test_schedule_slow_cadence () =
+  let hits = ref 0 in
+  for round = 0 to 5 do
+    if Gst_broadcast.slow_slot ~level_or_vd:7 ~round then incr hits
+  done;
+  Alcotest.(check int) "once per 6 rounds" 1 !hits
+
+let test_gst_broadcast_single () =
+  List.iteri
+    (fun i g ->
+      let gst = Gst.build_centralized ~graph:g ~roots:[| 0 |] () in
+      let vd = Gst.virtual_distances gst in
+      let msgs = [| Rn_coding.Bitvec.random (rng 1) 32 |] in
+      let r =
+        Gst_broadcast.run ~rng:(rng (300 + i)) ~gst ~vd ~msgs ~sources:[| 0 |] ()
+      in
+      Alcotest.(check bool) "completed" true (completed r.Gst_broadcast.outcome);
+      Alcotest.(check bool) "payloads ok" true r.Gst_broadcast.payloads_ok)
+    [ Topo.path 30; Topo.grid ~w:6 ~h:5; Topo.balanced_tree ~arity:2 ~depth:4 ]
+
+let test_gst_broadcast_silent_variant () =
+  let g = Topo.grid ~w:5 ~h:5 in
+  let gst = Gst.build_centralized ~graph:g ~roots:[| 0 |] () in
+  let vd = Gst.virtual_distances gst in
+  let msgs = [| Rn_coding.Bitvec.random (rng 1) 32 |] in
+  let r =
+    Gst_broadcast.run ~noise_when_empty:false ~rng:(rng 17) ~gst ~vd ~msgs
+      ~sources:[| 0 |] ()
+  in
+  Alcotest.(check bool) "silent completes" true (completed r.Gst_broadcast.outcome)
+
+let test_gst_broadcast_multi_sources () =
+  (* Forest with several roots, all holding the messages (ring scenario). *)
+  let g = Topo.grid ~w:6 ~h:3 in
+  let roots = [| 0; 1; 2; 3; 4; 5 |] in
+  let gst = Gst.build_centralized ~graph:g ~roots () in
+  let vd = Gst.virtual_distances gst in
+  let msgs = Multi_broadcast.random_messages (rng 2) ~k:4 ~msg_len:16 in
+  let r = Gst_broadcast.run ~rng:(rng 23) ~gst ~vd ~msgs ~sources:roots () in
+  Alcotest.(check bool) "completed" true (completed r.Gst_broadcast.outcome);
+  Alcotest.(check bool) "payloads" true r.Gst_broadcast.payloads_ok
+
+(* ------------------------------------------------------------------ *)
+(* Rings and handoffs *)
+
+let test_rings_decompose () =
+  let levels = [| 0; 1; 2; 3; 4; 5; 6 |] in
+  let t = Rings.decompose ~levels ~width:3 in
+  Alcotest.(check int) "count" 3 t.Rings.count;
+  Alcotest.(check (array int)) "roots ring1" [| 3 |] (Rings.roots t 1);
+  Alcotest.(check (array int)) "outer ring0" [| 2 |] (Rings.outer_boundary t 0);
+  Alcotest.(check (array int)) "ring-local levels"
+    [| -1; -1; -1; 0; 1; 2; -1 |]
+    (Rings.ring_levels t 1)
+
+let test_rings_charged_rounds () =
+  Alcotest.(check int) "2x max" 84 (Rings.charged_parallel_rounds [ 10; 42; 7 ]);
+  Alcotest.(check int) "empty" 0 (Rings.charged_parallel_rounds [])
+
+let test_handoff_single () =
+  let g = Topo.path 6 in
+  let r =
+    Rings.handoff_single ~rng:(rng 3) ~graph:g ~holders:[| 2 |]
+      ~receivers:[| 3 |] ()
+  in
+  Alcotest.(check bool) "delivered" true r.Rings.delivered
+
+let test_handoff_fec_batch () =
+  (* Boundary layer of 3 holders, 4 receivers, batch of 5. *)
+  let edges =
+    List.concat_map (fun h -> List.map (fun r -> (h, r)) [ 3; 4; 5; 6 ]) [ 0; 1; 2 ]
+  in
+  let g = Graph.create ~n:7 ~edges in
+  let msgs = Multi_broadcast.random_messages (rng 4) ~k:5 ~msg_len:24 in
+  let r, decoded =
+    Rings.handoff_fec ~rng:(rng 5) ~graph:g ~holders:[| 0; 1; 2 |]
+      ~receivers:[| 3; 4; 5; 6 |] ~msgs ()
+  in
+  Alcotest.(check bool) "delivered" true r.Rings.delivered;
+  match decoded with
+  | Some out ->
+      Alcotest.(check bool) "batch intact" true
+        (Array.for_all2 Rn_coding.Bitvec.equal out msgs)
+  | None -> Alcotest.fail "no decode"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end theorems *)
+
+let test_theorem_1_1 () =
+  List.iteri
+    (fun i g ->
+      let r = Single_broadcast.run ~rng:(rng (400 + i)) ~graph:g ~source:0 () in
+      Alcotest.(check bool) "delivered" true r.Single_broadcast.delivered;
+      Alcotest.(check bool) "every node" true
+        (Array.for_all (fun b -> b) r.Single_broadcast.received))
+    [
+      Topo.path 40;
+      Topo.grid ~w:7 ~h:4;
+      Topo.cluster_path ~rng:(rng 41) ~clusters:6 ~size:6 ~p_intra:0.5;
+      Topo.star 20;
+    ]
+
+let test_theorem_1_1_ring_choices () =
+  let g = Topo.path 30 in
+  List.iter
+    (fun rings ->
+      let r = Single_broadcast.run ~rings ~rng:(rng 44) ~graph:g ~source:0 () in
+      Alcotest.(check bool) "delivered" true r.Single_broadcast.delivered)
+    [
+      Single_broadcast.Auto;
+      Single_broadcast.Ring_count 1;
+      Single_broadcast.Ring_count 5;
+      Single_broadcast.Ring_width 7;
+    ]
+
+let test_theorem_1_2 () =
+  let g = Topo.layered_random ~rng:(rng 50) ~depth:8 ~width:5 ~p:0.4 in
+  List.iter
+    (fun k ->
+      let r = Multi_broadcast.known ~rng:(rng (60 + k)) ~graph:g ~source:0 ~k () in
+      Alcotest.(check bool) "delivered" true r.Multi_broadcast.delivered;
+      Alcotest.(check bool) "payloads" true r.Multi_broadcast.payloads_ok)
+    [ 1; 3; 9 ]
+
+let test_theorem_1_3 () =
+  let g = Topo.cluster_path ~rng:(rng 70) ~clusters:5 ~size:7 ~p_intra:0.4 in
+  List.iter
+    (fun k ->
+      let r = Multi_broadcast.unknown ~rng:(rng (80 + k)) ~graph:g ~source:0 ~k () in
+      Alcotest.(check bool) "delivered" true r.Multi_broadcast.delivered;
+      Alcotest.(check bool) "payloads" true r.Multi_broadcast.payloads_ok)
+    [ 1; 5; 12 ]
+
+let test_baseline_routing () =
+  let g = Topo.grid ~w:5 ~h:4 in
+  let r = Baselines.routing_multi ~rng:(rng 90) ~graph:g ~source:0 ~k:6 () in
+  Alcotest.(check bool) "delivered" true r.Baselines.delivered;
+  Array.iteri
+    (fun v c ->
+      Alcotest.(check bool) (Printf.sprintf "node %d complete" v) true (c >= 0))
+    r.Baselines.complete_round
+
+let test_baseline_sequential () =
+  let g = Topo.grid ~w:5 ~h:4 in
+  let r = Baselines.sequential_multi ~rng:(rng 91) ~graph:g ~source:0 ~k:4 () in
+  Alcotest.(check bool) "delivered" true r.Baselines.delivered
+
+let test_baseline_cr () =
+  let g = Topo.path 32 in
+  let r = Baselines.cr_broadcast ~rng:(rng 92) ~graph:g ~source:0 ~diameter:31 () in
+  Alcotest.(check bool) "completed" true (completed r.Decay.outcome)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties *)
+
+let arb_graph =
+  QCheck.make
+    ~print:(fun (n, extra, seed) ->
+      Printf.sprintf "(n=%d,extra=%d,seed=%d)" n extra seed)
+    QCheck.Gen.(triple (int_range 2 50) (int_range 0 60) (int_range 0 10_000))
+
+let graph_of (n, extra, seed) =
+  Topo.random_connected ~rng:(Rng.create ~seed) ~n ~extra
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"decay broadcast always delivers" ~count:60 arb_graph
+      (fun spec ->
+        let g = graph_of spec in
+        let r = Decay.broadcast ~rng:(rng 1) ~graph:g ~source:0 () in
+        completed r.Decay.outcome
+        && Array.for_all (fun rr -> rr >= 0) r.Decay.received_round);
+    Test.make ~name:"collision wave = BFS levels" ~count:80 arb_graph
+      (fun spec ->
+        let g = graph_of spec in
+        let r = Layering.collision_wave ~graph:g ~sources:[| 0 |] () in
+        r.Layering.levels = Bfs.levels g ~src:0);
+    Test.make ~name:"distributed GST validates" ~count:40 arb_graph
+      (fun spec ->
+        let g = graph_of spec in
+        let r =
+          Gst_distributed.construct ~rng:(rng 2) ~graph:g ~roots:[| 0 |] ()
+        in
+        match Gst.validate r.Gst_distributed.gst with
+        | Ok () -> Gst.size r.Gst_distributed.gst = Graph.n g
+        | Error _ -> false);
+    Test.make ~name:"distributed vd = virtual distances" ~count:25 arb_graph
+      (fun spec ->
+        let g = graph_of spec in
+        let r =
+          Gst_distributed.construct ~learn_vd:true ~rng:(rng 3) ~graph:g
+            ~roots:[| 0 |] ()
+        in
+        r.Gst_distributed.vd = Gst.virtual_distances r.Gst_distributed.gst);
+    Test.make ~name:"GST broadcast delivers and decodes" ~count:30
+      (pair arb_graph (int_range 1 6))
+      (fun (spec, k) ->
+        let g = graph_of spec in
+        let gst = Gst.build_centralized ~graph:g ~roots:[| 0 |] () in
+        let vd = Gst.virtual_distances gst in
+        let msgs = Multi_broadcast.random_messages (rng 4) ~k ~msg_len:16 in
+        let r = Gst_broadcast.run ~rng:(rng 5) ~gst ~vd ~msgs ~sources:[| 0 |] () in
+        completed r.Gst_broadcast.outcome && r.Gst_broadcast.payloads_ok);
+    Test.make ~name:"Theorem 1.1 delivers on random graphs" ~count:15 arb_graph
+      (fun spec ->
+        let g = graph_of spec in
+        let r = Single_broadcast.run ~rng:(rng 6) ~graph:g ~source:0 () in
+        r.Single_broadcast.delivered);
+  ]
+
+let () =
+  Alcotest.run "protocols"
+    [
+      ( "decay",
+        [
+          Alcotest.test_case "probability ladder" `Quick test_decay_probability_ladder;
+          Alcotest.test_case "broadcast delivers" `Quick test_decay_broadcast_delivers;
+          Alcotest.test_case "single node" `Quick test_decay_single_node;
+          Alcotest.test_case "causality" `Quick test_decay_respects_distance;
+          Alcotest.test_case "MMV noising" `Quick test_decay_mmv_noising_delivers;
+          Alcotest.test_case "MMV silent" `Quick test_decay_mmv_silent_delivers;
+          Alcotest.test_case "CR ladder" `Quick test_cr_ladder_values;
+        ] );
+      ( "recruiting",
+        [
+          Alcotest.test_case "covers all blues" `Quick test_recruiting_covers_all;
+          Alcotest.test_case "parents adjacent" `Quick test_recruiting_parents_are_neighbors;
+          Alcotest.test_case "red classes" `Quick test_recruiting_red_classes_match;
+          Alcotest.test_case "single pair" `Quick test_recruiting_single_pair;
+          Alcotest.test_case "uncoverable blue" `Quick test_recruiting_uncoverable_blue;
+        ] );
+      ( "assignment",
+        [
+          Alcotest.test_case "assigns everyone, ranks correct" `Slow
+            test_assignment_assigns_everyone;
+          Alcotest.test_case "epoch history" `Quick
+            test_assignment_epoch_shrinkage_recorded;
+        ] );
+      ( "layering",
+        [
+          Alcotest.test_case "collision wave exact" `Quick
+            test_collision_wave_exact_levels;
+          Alcotest.test_case "collision wave diamond" `Quick test_collision_wave_needs_cd;
+          Alcotest.test_case "decay BFS" `Quick test_decay_bfs_levels;
+          Alcotest.test_case "decay BFS multi-source" `Quick test_decay_bfs_multi_source;
+        ] );
+      ( "gst_distributed",
+        [
+          Alcotest.test_case "valid and spanning" `Slow
+            test_distributed_gst_valid_and_spanning;
+          Alcotest.test_case "sequential mode" `Quick test_distributed_gst_sequential_mode;
+          Alcotest.test_case "learned vd" `Slow test_distributed_gst_learned_vd_matches;
+          Alcotest.test_case "parent rank knowledge" `Quick
+            test_distributed_gst_parent_rank_knowledge;
+          Alcotest.test_case "ring band" `Quick test_distributed_gst_ring_band;
+          Alcotest.test_case "no class fixups" `Quick test_distributed_gst_no_fixups_expected;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "slots disjoint" `Quick test_schedule_slots_disjoint;
+          Alcotest.test_case "fast cadence" `Quick test_schedule_fast_cadence;
+          Alcotest.test_case "slow cadence" `Quick test_schedule_slow_cadence;
+          Alcotest.test_case "single broadcast" `Quick test_gst_broadcast_single;
+          Alcotest.test_case "silent variant" `Quick test_gst_broadcast_silent_variant;
+          Alcotest.test_case "multi-root sources" `Quick test_gst_broadcast_multi_sources;
+        ] );
+      ( "rings",
+        [
+          Alcotest.test_case "decompose" `Quick test_rings_decompose;
+          Alcotest.test_case "charged rounds" `Quick test_rings_charged_rounds;
+          Alcotest.test_case "single handoff" `Quick test_handoff_single;
+          Alcotest.test_case "FEC handoff" `Quick test_handoff_fec_batch;
+        ] );
+      ( "theorems",
+        [
+          Alcotest.test_case "1.1 single broadcast" `Slow test_theorem_1_1;
+          Alcotest.test_case "1.1 ring choices" `Slow test_theorem_1_1_ring_choices;
+          Alcotest.test_case "1.2 known topology" `Slow test_theorem_1_2;
+          Alcotest.test_case "1.3 unknown topology" `Slow test_theorem_1_3;
+          Alcotest.test_case "routing baseline" `Quick test_baseline_routing;
+          Alcotest.test_case "sequential baseline" `Quick test_baseline_sequential;
+          Alcotest.test_case "CR baseline" `Quick test_baseline_cr;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

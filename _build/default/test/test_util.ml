@@ -1,0 +1,274 @@
+open Rn_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check int) "different seeds diverge" 0 !same
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:7 in
+  let c1 = Rng.split parent in
+  let c2 = Rng.split parent in
+  Alcotest.(check bool) "children differ" true (Rng.bits64 c1 <> Rng.bits64 c2)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done
+
+let test_rng_int_uniformish () =
+  let rng = Rng.create ~seed:5 in
+  let counts = Array.make 4 0 in
+  let trials = 40_000 in
+  for _ = 1 to trials do
+    let v = Rng.int rng 4 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let f = float_of_int c /. float_of_int trials in
+      Alcotest.(check bool) "roughly uniform" true (f > 0.23 && f < 0.27))
+    counts
+
+let test_rng_float_bounds () =
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create ~seed:13 in
+  Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng 0.0);
+  Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng 1.0);
+  Alcotest.(check bool) "p<0 never" false (Rng.bernoulli rng (-1.0))
+
+let test_rng_bernoulli_rate () =
+  let rng = Rng.create ~seed:17 in
+  let hits = ref 0 and trials = 50_000 in
+  for _ = 1 to trials do
+    if Rng.bernoulli rng 0.125 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int trials in
+  Alcotest.(check bool) "close to 1/8" true (rate > 0.11 && rate < 0.14)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create ~seed:19 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_sample_without_replacement () =
+  let rng = Rng.create ~seed:23 in
+  let s = Rng.sample_without_replacement rng 10 30 in
+  Alcotest.(check int) "size" 10 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  for i = 1 to 9 do
+    Alcotest.(check bool) "distinct" true (sorted.(i) > sorted.(i - 1))
+  done;
+  Array.iter
+    (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 30))
+    s
+
+let test_rng_copy_replays () =
+  let rng = Rng.create ~seed:29 in
+  ignore (Rng.bits64 rng);
+  let dup = Rng.copy rng in
+  Alcotest.(check int64) "copy replays" (Rng.bits64 rng) (Rng.bits64 dup)
+
+(* ------------------------------------------------------------------ *)
+(* Ilog *)
+
+let test_ilog_small_values () =
+  Alcotest.(check int) "floor 1" 0 (Ilog.floor_log2 1);
+  Alcotest.(check int) "floor 2" 1 (Ilog.floor_log2 2);
+  Alcotest.(check int) "floor 3" 1 (Ilog.floor_log2 3);
+  Alcotest.(check int) "floor 1024" 10 (Ilog.floor_log2 1024);
+  Alcotest.(check int) "ceil 1" 0 (Ilog.ceil_log2 1);
+  Alcotest.(check int) "ceil 3" 2 (Ilog.ceil_log2 3);
+  Alcotest.(check int) "ceil 1024" 10 (Ilog.ceil_log2 1024);
+  Alcotest.(check int) "ceil 1025" 11 (Ilog.ceil_log2 1025);
+  Alcotest.(check int) "clog 1" 1 (Ilog.clog 1);
+  Alcotest.(check int) "clog 2" 1 (Ilog.clog 2);
+  Alcotest.(check int) "clog 100" 7 (Ilog.clog 100)
+
+let test_ilog_pow () =
+  Alcotest.(check int) "2^0" 1 (Ilog.pow2 0);
+  Alcotest.(check int) "2^10" 1024 (Ilog.pow2 10);
+  Alcotest.(check int) "3^4" 81 (Ilog.pow 3 4);
+  Alcotest.(check int) "5^0" 1 (Ilog.pow 5 0);
+  Alcotest.(check int) "7^1" 7 (Ilog.pow 7 1)
+
+let test_ilog_isqrt () =
+  Alcotest.(check int) "isqrt 0" 0 (Ilog.isqrt 0);
+  Alcotest.(check int) "isqrt 1" 1 (Ilog.isqrt 1);
+  Alcotest.(check int) "isqrt 15" 3 (Ilog.isqrt 15);
+  Alcotest.(check int) "isqrt 16" 4 (Ilog.isqrt 16);
+  Alcotest.(check int) "isqrt 17" 4 (Ilog.isqrt 17)
+
+let test_ilog_cdiv () =
+  Alcotest.(check int) "7/2" 4 (Ilog.cdiv 7 2);
+  Alcotest.(check int) "8/2" 4 (Ilog.cdiv 8 2);
+  Alcotest.(check int) "0/5" 0 (Ilog.cdiv 0 5)
+
+let test_ilog_invalid () =
+  Alcotest.check_raises "floor_log2 0" (Invalid_argument "Ilog.floor_log2")
+    (fun () -> ignore (Ilog.floor_log2 0))
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_mean_stddev () =
+  check_float "mean" 3.0 (Stats.mean [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  check_float "stddev" (sqrt 2.5) (Stats.stddev [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  check_float "stddev singleton" 0.0 (Stats.stddev [| 9.0 |])
+
+let test_stats_median_percentile () =
+  check_float "odd median" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |]);
+  check_float "even median" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  check_float "p0" 1.0 (Stats.percentile [| 1.0; 2.0; 3.0 |] 0.0);
+  check_float "p100" 3.0 (Stats.percentile [| 1.0; 2.0; 3.0 |] 100.0)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 2.0; 4.0; 6.0; 8.0 |] in
+  Alcotest.(check int) "n" 4 s.Stats.n;
+  check_float "min" 2.0 s.Stats.min;
+  check_float "max" 8.0 s.Stats.max;
+  check_float "median" 5.0 s.Stats.median
+
+let test_stats_linear_fit_exact () =
+  let pts = [ (1.0, 5.0); (2.0, 7.0); (3.0, 9.0) ] in
+  let f = Stats.linear_fit pts in
+  check_float "slope" 2.0 f.Stats.slope;
+  check_float "intercept" 3.0 f.Stats.intercept;
+  check_float "r2" 1.0 f.Stats.r2
+
+let test_stats_linear_fit_r2 () =
+  let pts = [ (1.0, 1.0); (2.0, 3.0); (3.0, 2.0); (4.0, 5.0) ] in
+  let f = Stats.linear_fit pts in
+  Alcotest.(check bool) "r2 in [0,1]" true (f.Stats.r2 >= 0.0 && f.Stats.r2 <= 1.0)
+
+let test_stats_two_predictor_exact () =
+  (* y = 2 x1 + 3 x2 + 5, exactly. *)
+  let pts =
+    [ (1.0, 1.0, 10.0); (2.0, 1.0, 12.0); (1.0, 2.0, 13.0); (3.0, 4.0, 23.0);
+      (0.0, 0.0, 5.0) ]
+  in
+  let f = Stats.two_predictor_fit pts in
+  check_float "a" 2.0 f.Stats.a;
+  check_float "b" 3.0 f.Stats.b;
+  check_float "c" 5.0 f.Stats.c;
+  check_float "r2" 1.0 f.Stats.r2_2
+
+let test_stats_two_predictor_singular () =
+  (* x2 = 2 x1 everywhere: collinear predictors must be rejected. *)
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Stats.two_predictor_fit
+            [ (1.0, 2.0, 1.0); (2.0, 4.0, 2.0); (3.0, 6.0, 3.0) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_stats_ratio_spread () =
+  let m, spread = Stats.ratio_spread [ (1.0, 2.0); (2.0, 4.0); (4.0, 8.0) ] in
+  check_float "mean ratio" 2.0 m;
+  check_float "spread" 1.0 spread
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"rng int always in range" ~count:500
+      (pair small_int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let rng = Rng.create ~seed in
+        let v = Rng.int rng bound in
+        v >= 0 && v < bound);
+    Test.make ~name:"ceil_log2 is tight" ~count:500 (int_range 1 100_000)
+      (fun n ->
+        let c = Ilog.ceil_log2 n in
+        (1 lsl c) >= n && (c = 0 || 1 lsl (c - 1) < n));
+    Test.make ~name:"floor_log2 is tight" ~count:500 (int_range 1 100_000)
+      (fun n ->
+        let f = Ilog.floor_log2 n in
+        (1 lsl f) <= n && n < 1 lsl (f + 1));
+    Test.make ~name:"isqrt correct" ~count:500 (int_range 0 1_000_000) (fun n ->
+        let r = Ilog.isqrt n in
+        (r * r) <= n && (r + 1) * (r + 1) > n);
+    Test.make ~name:"median between min and max" ~count:200
+      (list_of_size (Gen.int_range 1 50) (float_range (-100.) 100.))
+      (fun l ->
+        let a = Array.of_list l in
+        let m = Stats.median a in
+        m >= Array.fold_left min a.(0) a && m <= Array.fold_left max a.(0) a);
+    Test.make ~name:"shuffle preserves multiset" ~count:200
+      (list_of_size (Gen.int_range 0 30) small_int)
+      (fun l ->
+        let a = Array.of_list l in
+        let rng = Rng.create ~seed:1 in
+        Rng.shuffle rng a;
+        let x = List.sort compare (Array.to_list a) in
+        x = List.sort compare l);
+  ]
+
+let () =
+  Alcotest.run "rn_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int uniformity" `Quick test_rng_int_uniformish;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+          Alcotest.test_case "bernoulli rate" `Quick test_rng_bernoulli_rate;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "sample without replacement" `Quick
+            test_rng_sample_without_replacement;
+          Alcotest.test_case "copy replays" `Quick test_rng_copy_replays;
+        ] );
+      ( "ilog",
+        [
+          Alcotest.test_case "small values" `Quick test_ilog_small_values;
+          Alcotest.test_case "pow" `Quick test_ilog_pow;
+          Alcotest.test_case "isqrt" `Quick test_ilog_isqrt;
+          Alcotest.test_case "cdiv" `Quick test_ilog_cdiv;
+          Alcotest.test_case "invalid input" `Quick test_ilog_invalid;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
+          Alcotest.test_case "median/percentile" `Quick test_stats_median_percentile;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "linear fit exact" `Quick test_stats_linear_fit_exact;
+          Alcotest.test_case "linear fit r2" `Quick test_stats_linear_fit_r2;
+          Alcotest.test_case "two-predictor exact" `Quick test_stats_two_predictor_exact;
+          Alcotest.test_case "two-predictor singular" `Quick test_stats_two_predictor_singular;
+          Alcotest.test_case "ratio spread" `Quick test_stats_ratio_spread;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]
