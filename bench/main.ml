@@ -6,10 +6,17 @@
    crossovers sit.  EXPERIMENTS.md records the outcomes against the
    paper's claims.
 
+   Trials fan out over OCaml 5 domains via Rn_radio.Runner: every
+   (configuration, seed) cell is a pure function of its inputs, so the
+   parallel run is bit-identical to the serial one (--domains 1).
+
    Usage: dune exec bench/main.exe                 (all experiments)
           dune exec bench/main.exe -- E1 E5        (a subset)
           dune exec bench/main.exe -- micro        (Bechamel micro-benchmarks)
-          dune exec bench/main.exe -- --csv out/   (also write CSV tables) *)
+          dune exec bench/main.exe -- --csv out/   (also write CSV tables)
+          dune exec bench/main.exe -- --domains 1  (force serial trials)
+          dune exec bench/main.exe -- --json f.json (perf record path;
+                                                     default BENCH_engine.json) *)
 
 open Rn_util
 open Rn_graph
@@ -22,6 +29,77 @@ let many_seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
 let median_of runs = Stats.median (Array.of_list (List.map float_of_int runs))
 
 let rounds_outcome o = Rn_radio.Engine.rounds_of_outcome o
+
+(* ------------------------------------------------------------------ *)
+(* Parallel trial plumbing                                             *)
+
+let domains = ref None (* --domains N; None = one per recommended core *)
+
+let domains_used () =
+  match !domains with Some d -> max 1 d | None -> Rn_radio.Runner.default_domains ()
+
+(* [per_config configs seeds f] evaluates [f cfg seed] for every cell of the
+   configs × seeds grid in parallel and hands each config its seed-ordered
+   result list, in config order.  The printing stays serial and ordered; only
+   the trials fan out. *)
+let per_config configs seeds f k =
+  let pairs =
+    List.concat_map (fun c -> List.map (fun s -> (c, s)) seeds) configs
+  in
+  let results =
+    Rn_radio.Runner.map ?domains:!domains (fun (c, s) -> f c s) pairs
+  in
+  let rec chunk cfgs rs =
+    match cfgs with
+    | [] -> ()
+    | c :: cfgs ->
+        let rec take n l acc =
+          if n = 0 then (List.rev acc, l)
+          else
+            match l with
+            | x :: tl -> take (n - 1) tl (x :: acc)
+            | [] -> (List.rev acc, [])
+        in
+        let mine, rest = take (List.length seeds) rs [] in
+        k c mine;
+        chunk cfgs rest
+  in
+  chunk configs results
+
+let pmap_seeds seeds f = Rn_radio.Runner.map_seeds ?domains:!domains ~seeds f
+
+(* Per-experiment perf record, written to BENCH_engine.json at exit. *)
+let bench_records : (string * float * int) list ref = ref []
+
+let json_path = ref "BENCH_engine.json"
+
+let write_bench_json ~total_wall =
+  let records = List.rev !bench_records in
+  if records <> [] then begin
+    match open_out !json_path with
+    | exception Sys_error msg ->
+        Printf.eprintf "warning: cannot write perf record: %s\n" msg
+    | oc ->
+    Printf.fprintf oc
+      "{\n  \"suite\": \"radio_broadcast bench\",\n  \"domains\": %d,\n"
+      (domains_used ());
+    Printf.fprintf oc "  \"total_wall_s\": %.3f,\n  \"experiments\": [\n"
+      total_wall;
+    List.iteri
+      (fun i (id, wall, rounds) ->
+        Printf.fprintf oc
+          "    { \"id\": %S, \"wall_s\": %.4f, \"rounds\": %d, \
+           \"rounds_per_sec\": %.0f }%s\n"
+          id wall rounds
+          (if wall > 0.0 then float_of_int rounds /. wall else 0.0)
+          (if i = List.length records - 1 then "" else ",");
+        ())
+      records;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    Printf.printf "perf record written to %s (%d domains)\n" !json_path
+      (domains_used ())
+  end
 
 (* ------------------------------------------------------------------ *)
 (* E1 — Theorem 1.1: single-message broadcast, rounds vs D and vs n     *)
@@ -46,30 +124,28 @@ let e1 () =
   (* (D.log n, log^2 n, decay rounds) across both sweeps, for the joint
      two-predictor check of Decay's D.log n + log^2 n shape. *)
   let joint_pts = ref [] in
-  List.iter
-    (fun depth ->
+  per_config [ 8; 16; 32; 64; 128; 256 ] seeds
+    (fun depth seed ->
       let width = 256 / depth in
-      let tot = ref [] and spr = ref [] and dec = ref [] and cr = ref [] in
-      List.iter
-        (fun seed ->
-          let g = layered ~seed ~depth ~width in
-          let rng = Rng.create ~seed:(seed * 977) in
-          let r = Single_broadcast.run ~rng:(Rng.split rng) ~graph:g ~source:0 () in
-          assert r.Single_broadcast.delivered;
-          tot := r.Single_broadcast.rounds_total :: !tot;
-          spr :=
-            (r.Single_broadcast.rounds_layering
-            + r.Single_broadcast.rounds_broadcast)
-            :: !spr;
-          let d = Decay.broadcast ~rng:(Rng.split rng) ~graph:g ~source:0 () in
-          dec := rounds_outcome d.Decay.outcome :: !dec;
-          let c =
-            Baselines.cr_broadcast ~rng:(Rng.split rng) ~graph:g ~source:0
-              ~diameter:depth ()
-          in
-          cr := rounds_outcome c.Decay.outcome :: !cr)
-        seeds;
-      let m l = median_of !l in
+      let g = layered ~seed ~depth ~width in
+      let rng = Rng.create ~seed:(seed * 977) in
+      let r = Single_broadcast.run ~rng:(Rng.split rng) ~graph:g ~source:0 () in
+      assert r.Single_broadcast.delivered;
+      let d = Decay.broadcast ~rng:(Rng.split rng) ~graph:g ~source:0 () in
+      let c =
+        Baselines.cr_broadcast ~rng:(Rng.split rng) ~graph:g ~source:0
+          ~diameter:depth ()
+      in
+      ( r.Single_broadcast.rounds_total,
+        r.Single_broadcast.rounds_layering + r.Single_broadcast.rounds_broadcast,
+        rounds_outcome d.Decay.outcome,
+        rounds_outcome c.Decay.outcome ))
+    (fun depth cells ->
+      let tot = List.map (fun (a, _, _, _) -> a) cells
+      and spr = List.map (fun (_, b, _, _) -> b) cells
+      and dec = List.map (fun (_, _, c, _) -> c) cells
+      and cr = List.map (fun (_, _, _, d) -> d) cells in
+      let m l = median_of l in
       pts_cd := (float_of_int depth, m tot) :: !pts_cd;
       pts_spread := (float_of_int depth, m spr) :: !pts_spread;
       pts_decay := (float_of_int depth, m dec) :: !pts_decay;
@@ -83,8 +159,7 @@ let e1 () =
           Table.cell_f (m spr);
           Table.cell_f (m dec);
           Table.cell_f (m cr);
-        ])
-    [ 8; 16; 32; 64; 128; 256 ];
+        ]);
   Table.print t;
   let fit name pts =
     let f = Stats.linear_fit !pts in
@@ -106,35 +181,32 @@ let e1 () =
       ~title:"E1b  rounds vs n, D = 12 (layered graphs, median of 3 seeds)"
       ~columns:[ "n"; "thm1.1 total"; "thm1.1 spread"; "decay"; "decay/D" ]
   in
-  List.iter
-    (fun width ->
+  per_config [ 2; 4; 8; 16; 32 ] seeds
+    (fun width seed ->
+      let depth = 12 in
+      let g = layered ~seed ~depth ~width in
+      let rng = Rng.create ~seed:(seed * 31) in
+      let r = Single_broadcast.run ~rng:(Rng.split rng) ~graph:g ~source:0 () in
+      let d = Decay.broadcast ~rng:(Rng.split rng) ~graph:g ~source:0 () in
+      ( r.Single_broadcast.rounds_total,
+        r.Single_broadcast.rounds_layering + r.Single_broadcast.rounds_broadcast,
+        rounds_outcome d.Decay.outcome ))
+    (fun width cells ->
       let depth = 12 in
       let n = 1 + (depth * width) in
-      let tot = ref [] and spr = ref [] and dec = ref [] in
-      List.iter
-        (fun seed ->
-          let g = layered ~seed ~depth ~width in
-          let rng = Rng.create ~seed:(seed * 31) in
-          let r = Single_broadcast.run ~rng:(Rng.split rng) ~graph:g ~source:0 () in
-          tot := r.Single_broadcast.rounds_total :: !tot;
-          spr :=
-            (r.Single_broadcast.rounds_layering
-            + r.Single_broadcast.rounds_broadcast)
-            :: !spr;
-          let d = Decay.broadcast ~rng:(Rng.split rng) ~graph:g ~source:0 () in
-          dec := rounds_outcome d.Decay.outcome :: !dec)
-        seeds;
+      let tot = List.map (fun (a, _, _) -> a) cells
+      and spr = List.map (fun (_, b, _) -> b) cells
+      and dec = List.map (fun (_, _, c) -> c) cells in
       let l = float_of_int (Ilog.clog n) in
-      joint_pts := (12.0 *. l, l *. l, median_of !dec) :: !joint_pts;
+      joint_pts := (12.0 *. l, l *. l, median_of dec) :: !joint_pts;
       Table.add_row t
         [
           string_of_int n;
-          Table.cell_f (median_of !tot);
-          Table.cell_f (median_of !spr);
-          Table.cell_f (median_of !dec);
-          Table.cell_f (median_of !dec /. 12.0);
-        ])
-    [ 2; 4; 8; 16; 32 ];
+          Table.cell_f (median_of tot);
+          Table.cell_f (median_of spr);
+          Table.cell_f (median_of dec);
+          Table.cell_f (median_of dec /. 12.0);
+        ]);
   Table.print t;
   Table.note
     "shape check: decay's per-hop cost (decay/D) grows with log n; the CD \
@@ -162,41 +234,45 @@ let e2 () =
           "overrides";
         ]
   in
-  List.iter
-    (fun depth ->
+  per_config [ 4; 8; 16; 32 ] seeds
+    (fun depth seed ->
+      let width = 4 in
+      let g = layered ~seed ~depth ~width in
+      let run mode =
+        Gst_distributed.construct ~mode
+          ~layering:Gst_distributed.Collision_wave_layering
+          ~rng:(Rng.create ~seed:(seed * 131))
+          ~graph:g ~roots:[| 0 |] ()
+      in
+      let rs = run Gst_distributed.Sequential in
+      let rp = run Gst_distributed.Pipelined in
+      let valid =
+        match Gst.validate rp.Gst_distributed.gst with
+        | Ok () -> true
+        | Error _ -> false
+      in
+      ( rs.Gst_distributed.total_rounds,
+        rp.Gst_distributed.total_rounds,
+        Gst.override_count rp.Gst_distributed.gst,
+        valid ))
+    (fun depth cells ->
       let width = 4 in
       let n = 1 + (depth * width) in
       let l = Ilog.clog n in
-      let seq = ref [] and pipe = ref [] and ovr = ref [] and valid = ref true in
-      List.iter
-        (fun seed ->
-          let g = layered ~seed ~depth ~width in
-          let run mode =
-            Gst_distributed.construct ~mode
-              ~layering:Gst_distributed.Collision_wave_layering
-              ~rng:(Rng.create ~seed:(seed * 131))
-              ~graph:g ~roots:[| 0 |] ()
-          in
-          let rs = run Gst_distributed.Sequential in
-          let rp = run Gst_distributed.Pipelined in
-          (match Gst.validate rp.Gst_distributed.gst with
-          | Ok () -> ()
-          | Error _ -> valid := false);
-          seq := rs.Gst_distributed.total_rounds :: !seq;
-          pipe := rp.Gst_distributed.total_rounds :: !pipe;
-          ovr := Gst.override_count rp.Gst_distributed.gst :: !ovr)
-        seeds;
+      let seq = List.map (fun (a, _, _, _) -> a) cells
+      and pipe = List.map (fun (_, b, _, _) -> b) cells
+      and ovr = List.map (fun (_, _, c, _) -> c) cells in
+      let valid = List.for_all (fun (_, _, _, v) -> v) cells in
       Table.add_row t
         [
           string_of_int depth;
           string_of_int n;
-          Table.cell_f (median_of !seq);
-          Table.cell_f (median_of !pipe);
-          Table.cell_f (median_of !pipe /. float_of_int (depth * l * l));
-          string_of_bool !valid;
-          Table.cell_f (median_of !ovr);
-        ])
-    [ 4; 8; 16; 32 ];
+          Table.cell_f (median_of seq);
+          Table.cell_f (median_of pipe);
+          Table.cell_f (median_of pipe /. float_of_int (depth * l * l));
+          string_of_bool valid;
+          Table.cell_f (median_of ovr);
+        ]);
   Table.print t;
   (* And versus n at fixed depth. *)
   let t =
@@ -204,29 +280,26 @@ let e2 () =
       ~title:"E2b  rounds vs n at fixed D = 8 (pipelined, median of 3 seeds)"
       ~columns:[ "width"; "n"; "pipe rounds"; "rounds/L^2" ]
   in
-  List.iter
-    (fun width ->
+  per_config [ 2; 4; 8; 16; 32 ] seeds
+    (fun width seed ->
+      let depth = 8 in
+      let g = layered ~seed ~depth ~width in
+      let r =
+        Gst_distributed.construct ~mode:Gst_distributed.Pipelined
+          ~layering:Gst_distributed.Collision_wave_layering
+          ~rng:(Rng.create ~seed:(seed * 17))
+          ~graph:g ~roots:[| 0 |] ()
+      in
+      r.Gst_distributed.total_rounds)
+    (fun width pipe ->
       let depth = 8 in
       let n = 1 + (depth * width) in
       let l = Ilog.clog n in
-      let pipe = ref [] in
-      List.iter
-        (fun seed ->
-          let g = layered ~seed ~depth ~width in
-          let r =
-            Gst_distributed.construct ~mode:Gst_distributed.Pipelined
-              ~layering:Gst_distributed.Collision_wave_layering
-              ~rng:(Rng.create ~seed:(seed * 17))
-              ~graph:g ~roots:[| 0 |] ()
-          in
-          pipe := r.Gst_distributed.total_rounds :: !pipe)
-        seeds;
       Table.add_row t
         [
-          string_of_int width; string_of_int n; Table.cell_f (median_of !pipe);
-          Table.cell_f (median_of !pipe /. float_of_int (l * l));
-        ])
-    [ 2; 4; 8; 16; 32 ];
+          string_of_int width; string_of_int n; Table.cell_f (median_of pipe);
+          Table.cell_f (median_of pipe /. float_of_int (l * l));
+        ]);
   Table.print t;
   Table.note
     "shape check: rounds/(D.L^2) roughly flat => construction linear in D \
@@ -243,35 +316,34 @@ let e3 () =
     Table.create ~title:"E3  10 seeds each; L = ceil(log2 n)"
       ~columns:[ "reds x blues, p"; "median rounds"; "L^3"; "covered"; "classes ok" ]
   in
-  List.iter
-    (fun (reds, blues, p) ->
-      let rounds = ref [] and cov = ref 0 and cons = ref 0 in
-      List.iter
-        (fun seed ->
-          let rng = Rng.create ~seed in
-          let g = Topo.bipartite_random ~rng ~reds ~blues ~p in
-          let o =
-            Recruiting.run_standalone ~rng:(Rng.split rng)
-              ~params:Params.default ~graph:g
-              ~reds:(Array.init reds (fun i -> i))
-              ~blues:(Array.init blues (fun i -> reds + i))
-              ()
-          in
-          rounds := o.Recruiting.rounds :: !rounds;
-          if o.Recruiting.all_covered then incr cov;
-          if o.Recruiting.classes_consistent then incr cons)
-        many_seeds;
+  per_config
+    [ (8, 20, 0.3); (16, 40, 0.2); (32, 80, 0.1); (32, 80, 0.4) ]
+    many_seeds
+    (fun (reds, blues, p) seed ->
+      let rng = Rng.create ~seed in
+      let g = Topo.bipartite_random ~rng ~reds ~blues ~p in
+      let o =
+        Recruiting.run_standalone ~rng:(Rng.split rng) ~params:Params.default
+          ~graph:g
+          ~reds:(Array.init reds (fun i -> i))
+          ~blues:(Array.init blues (fun i -> reds + i))
+          ()
+      in
+      (o.Recruiting.rounds, o.Recruiting.all_covered, o.Recruiting.classes_consistent))
+    (fun (reds, blues, p) cells ->
+      let rounds = List.map (fun (r, _, _) -> r) cells in
+      let cov = List.length (List.filter (fun (_, c, _) -> c) cells) in
+      let cons = List.length (List.filter (fun (_, _, c) -> c) cells) in
       let n = reds + blues in
       let l = Ilog.clog n in
       Table.add_row t
         [
           Printf.sprintf "%dx%d, p=%.1f" reds blues p;
-          Table.cell_f (median_of !rounds);
+          Table.cell_f (median_of rounds);
           string_of_int (l * l * l);
-          Printf.sprintf "%d/10" !cov;
-          Printf.sprintf "%d/10" !cons;
-        ])
-    [ (8, 20, 0.3); (16, 40, 0.2); (32, 80, 0.1); (32, 80, 0.4) ];
+          Printf.sprintf "%d/10" cov;
+          Printf.sprintf "%d/10" cons;
+        ]);
   Table.print t;
   (* Regular degrees select the loner regime exactly: degree 1 = all
      loners, larger degrees = none. *)
@@ -279,32 +351,31 @@ let e3 () =
     Table.create ~title:"E3b  blue-regular bipartite graphs (10 seeds)"
       ~columns:[ "reds x blues, degree"; "median rounds"; "covered"; "classes ok" ]
   in
-  List.iter
-    (fun (reds, blues, degree) ->
-      let rounds = ref [] and cov = ref 0 and cons = ref 0 in
-      List.iter
-        (fun seed ->
-          let rng = Rng.create ~seed:(seed * 71) in
-          let g = Topo.bipartite_regular ~rng ~reds ~blues ~degree in
-          let o =
-            Recruiting.run_standalone ~rng:(Rng.split rng) ~params:Params.default
-              ~graph:g
-              ~reds:(Array.init reds (fun i -> i))
-              ~blues:(Array.init blues (fun i -> reds + i))
-              ()
-          in
-          rounds := o.Recruiting.rounds :: !rounds;
-          if o.Recruiting.all_covered then incr cov;
-          if o.Recruiting.classes_consistent then incr cons)
-        many_seeds;
+  per_config
+    [ (16, 40, 1); (16, 40, 2); (16, 40, 8); (16, 40, 16) ]
+    many_seeds
+    (fun (reds, blues, degree) seed ->
+      let rng = Rng.create ~seed:(seed * 71) in
+      let g = Topo.bipartite_regular ~rng ~reds ~blues ~degree in
+      let o =
+        Recruiting.run_standalone ~rng:(Rng.split rng) ~params:Params.default
+          ~graph:g
+          ~reds:(Array.init reds (fun i -> i))
+          ~blues:(Array.init blues (fun i -> reds + i))
+          ()
+      in
+      (o.Recruiting.rounds, o.Recruiting.all_covered, o.Recruiting.classes_consistent))
+    (fun (reds, blues, degree) cells ->
+      let rounds = List.map (fun (r, _, _) -> r) cells in
+      let cov = List.length (List.filter (fun (_, c, _) -> c) cells) in
+      let cons = List.length (List.filter (fun (_, _, c) -> c) cells) in
       Table.add_row t
         [
           Printf.sprintf "%dx%d, d=%d" reds blues degree;
-          Table.cell_f (median_of !rounds);
-          Printf.sprintf "%d/10" !cov;
-          Printf.sprintf "%d/10" !cons;
-        ])
-    [ (16, 40, 1); (16, 40, 2); (16, 40, 8); (16, 40, 16) ];
+          Table.cell_f (median_of rounds);
+          Printf.sprintf "%d/10" cov;
+          Printf.sprintf "%d/10" cons;
+        ]);
   Table.print t;
   Table.note
     "shape check: every blue is recruited with a consistent class, within \
@@ -316,27 +387,33 @@ let e3 () =
 let e4 () =
   Table.section "E4  Lemma 2.4: active reds shrink geometrically per epoch";
   let reds = 16 and blues = 40 in
+  let histories =
+    pmap_seeds
+      (List.init 20 (fun i -> i + 1))
+      (fun ~seed ->
+        let rng = Rng.create ~seed in
+        let g = Topo.bipartite_random ~rng ~reds ~blues ~p:0.3 in
+        let blue_ranks = Array.make (reds + blues) 1 in
+        let o =
+          Bipartite_assignment.run_standalone ~rng:(Rng.split rng)
+            ~params:Params.default ~graph:g
+            ~reds:(Array.init reds (fun i -> i))
+            ~blues:(Array.init blues (fun i -> reds + i))
+            ~blue_ranks ()
+        in
+        o.Bipartite_assignment.epoch_history)
+  in
   let sums = Hashtbl.create 8 and counts = Hashtbl.create 8 in
   List.iter
-    (fun seed ->
-      let rng = Rng.create ~seed in
-      let g = Topo.bipartite_random ~rng ~reds ~blues ~p:0.3 in
-      let blue_ranks = Array.make (reds + blues) 1 in
-      let o =
-        Bipartite_assignment.run_standalone ~rng:(Rng.split rng)
-          ~params:Params.default ~graph:g
-          ~reds:(Array.init reds (fun i -> i))
-          ~blues:(Array.init blues (fun i -> reds + i))
-          ~blue_ranks ()
-      in
+    (fun history ->
       List.iteri
         (fun e (_, active) ->
           Hashtbl.replace sums e
             (active + Option.value ~default:0 (Hashtbl.find_opt sums e));
           Hashtbl.replace counts e
             (1 + Option.value ~default:0 (Hashtbl.find_opt counts e)))
-        o.Bipartite_assignment.epoch_history)
-    (List.init 20 (fun i -> i + 1));
+        history)
+    histories;
   let t =
     Table.create
       ~title:"E4  mean active reds at epoch start (16x40 bipartite, 20 seeds)"
@@ -375,39 +452,35 @@ let e5 () =
       ~columns:[ "k"; "rlnc rounds"; "rounds/k"; "routing"; "sequential" ]
   in
   let pts = ref [] in
-  List.iter
-    (fun k ->
-      let rl = ref [] and ro = ref [] and sq = ref [] in
-      List.iter
-        (fun seed ->
-          let g = layered ~seed ~depth ~width in
-          let rng = Rng.create ~seed:(seed * 7177) in
-          let r =
-            Multi_broadcast.known ~rng:(Rng.split rng) ~graph:g ~source:0 ~k ()
-          in
-          assert (r.Multi_broadcast.delivered && r.Multi_broadcast.payloads_ok);
-          rl := r.Multi_broadcast.rounds :: !rl;
-          let b =
-            Baselines.routing_multi ~rng:(Rng.split rng) ~graph:g ~source:0 ~k ()
-          in
-          ro := b.Baselines.rounds :: !ro;
-          let s =
-            Baselines.sequential_multi ~rng:(Rng.split rng) ~graph:g ~source:0
-              ~k ()
-          in
-          sq := s.Baselines.rounds :: !sq)
-        seeds;
-      let m = median_of !rl in
+  per_config [ 1; 2; 4; 8; 16; 32; 64 ] seeds
+    (fun k seed ->
+      let g = layered ~seed ~depth ~width in
+      let rng = Rng.create ~seed:(seed * 7177) in
+      let r =
+        Multi_broadcast.known ~rng:(Rng.split rng) ~graph:g ~source:0 ~k ()
+      in
+      assert (r.Multi_broadcast.delivered && r.Multi_broadcast.payloads_ok);
+      let b =
+        Baselines.routing_multi ~rng:(Rng.split rng) ~graph:g ~source:0 ~k ()
+      in
+      let s =
+        Baselines.sequential_multi ~rng:(Rng.split rng) ~graph:g ~source:0 ~k ()
+      in
+      (r.Multi_broadcast.rounds, b.Baselines.rounds, s.Baselines.rounds))
+    (fun k cells ->
+      let rl = List.map (fun (a, _, _) -> a) cells
+      and ro = List.map (fun (_, b, _) -> b) cells
+      and sq = List.map (fun (_, _, c) -> c) cells in
+      let m = median_of rl in
       pts := (float_of_int k, m) :: !pts;
       Table.add_row t
         [
           string_of_int k;
           Table.cell_f m;
           Table.cell_f (m /. float_of_int k);
-          Table.cell_f (median_of !ro);
-          Table.cell_f (median_of !sq);
-        ])
-    [ 1; 2; 4; 8; 16; 32; 64 ];
+          Table.cell_f (median_of ro);
+          Table.cell_f (median_of sq);
+        ]);
   Table.print t;
   let f = Stats.linear_fit !pts in
   Table.note
@@ -433,34 +506,37 @@ let e6 () =
         ]
   in
   let pts = ref [] in
-  List.iter
-    (fun k ->
-      let tot = ref [] and dis = ref [] and con = ref [] in
-      let rc = ref 0 and bc = ref 0 in
-      List.iter
-        (fun seed ->
-          let g = layered ~seed ~depth ~width in
-          let rng = Rng.create ~seed:(seed * 911) in
-          let r = Multi_broadcast.unknown ~rng ~graph:g ~source:0 ~k () in
-          assert (r.Multi_broadcast.delivered && r.Multi_broadcast.payloads_ok);
-          tot := r.Multi_broadcast.rounds_total :: !tot;
-          dis := r.Multi_broadcast.rounds_dissemination :: !dis;
-          con := r.Multi_broadcast.rounds_construction :: !con;
-          rc := r.Multi_broadcast.ring_count;
-          bc := r.Multi_broadcast.batch_count)
-        seeds;
-      pts := (float_of_int k, median_of !dis) :: !pts;
+  per_config [ 1; 4; 16; 32 ] seeds
+    (fun k seed ->
+      let g = layered ~seed ~depth ~width in
+      let rng = Rng.create ~seed:(seed * 911) in
+      let r = Multi_broadcast.unknown ~rng ~graph:g ~source:0 ~k () in
+      assert (r.Multi_broadcast.delivered && r.Multi_broadcast.payloads_ok);
+      ( r.Multi_broadcast.rounds_total,
+        r.Multi_broadcast.rounds_dissemination,
+        r.Multi_broadcast.rounds_construction,
+        r.Multi_broadcast.ring_count,
+        r.Multi_broadcast.batch_count ))
+    (fun k cells ->
+      let tot = List.map (fun (a, _, _, _, _) -> a) cells
+      and dis = List.map (fun (_, b, _, _, _) -> b) cells
+      and con = List.map (fun (_, _, c, _, _) -> c) cells in
+      let rc, bc =
+        match List.rev cells with
+        | (_, _, _, rc, bc) :: _ -> (rc, bc)
+        | [] -> (0, 0)
+      in
+      pts := (float_of_int k, median_of dis) :: !pts;
       Table.add_row t
         [
           string_of_int k;
-          Table.cell_f (median_of !tot);
+          Table.cell_f (median_of tot);
           "12";
-          Table.cell_f (median_of !con);
-          Table.cell_f (median_of !dis);
-          string_of_int !rc;
-          string_of_int !bc;
-        ])
-    [ 1; 4; 16; 32 ];
+          Table.cell_f (median_of con);
+          Table.cell_f (median_of dis);
+          string_of_int rc;
+          string_of_int bc;
+        ]);
   Table.print t;
   let f = Stats.linear_fit !pts in
   Table.note
@@ -480,41 +556,43 @@ let e7 () =
       ~title:"E7  level-keyed Decay, noising vs silent (median of 10 seeds)"
       ~columns:[ "graph"; "silent"; "noising"; "ratio"; "both deliver" ]
   in
-  List.iter
-    (fun (name, g) ->
-      let levels = Bfs.levels g ~src:0 in
-      let sil = ref [] and noi = ref [] and ok = ref true in
-      List.iter
-        (fun seed ->
-          let rng = Rng.create ~seed:(seed * 13) in
-          let s =
-            Decay.mmv_broadcast ~noising:false ~rng:(Rng.split rng) ~graph:g
-              ~levels ~source:0 ()
-          in
-          let z =
-            Decay.mmv_broadcast ~noising:true ~rng:(Rng.split rng) ~graph:g
-              ~levels ~source:0 ()
-          in
-          (match (s.Decay.outcome, z.Decay.outcome) with
-          | Rn_radio.Engine.Completed _, Rn_radio.Engine.Completed _ -> ()
-          | _ -> ok := false);
-          sil := rounds_outcome s.Decay.outcome :: !sil;
-          noi := rounds_outcome z.Decay.outcome :: !noi)
-        many_seeds;
-      Table.add_row t
-        [
-          name;
-          Table.cell_f (median_of !sil);
-          Table.cell_f (median_of !noi);
-          Table.cell_f (median_of !noi /. median_of !sil);
-          string_of_bool !ok;
-        ])
+  per_config
     [
       ("path 48", Topo.path 48);
       ("grid 8x6", Topo.grid ~w:8 ~h:6);
       ("layered D=10", layered ~seed:3 ~depth:10 ~width:5);
       ("tree arity 2 depth 5", Topo.balanced_tree ~arity:2 ~depth:5);
-    ];
+    ]
+    many_seeds
+    (fun (_, g) seed ->
+      let levels = Bfs.levels g ~src:0 in
+      let rng = Rng.create ~seed:(seed * 13) in
+      let s =
+        Decay.mmv_broadcast ~noising:false ~rng:(Rng.split rng) ~graph:g
+          ~levels ~source:0 ()
+      in
+      let z =
+        Decay.mmv_broadcast ~noising:true ~rng:(Rng.split rng) ~graph:g
+          ~levels ~source:0 ()
+      in
+      let ok =
+        match (s.Decay.outcome, z.Decay.outcome) with
+        | Rn_radio.Engine.Completed _, Rn_radio.Engine.Completed _ -> true
+        | _ -> false
+      in
+      (rounds_outcome s.Decay.outcome, rounds_outcome z.Decay.outcome, ok))
+    (fun (name, _) cells ->
+      let sil = List.map (fun (a, _, _) -> a) cells
+      and noi = List.map (fun (_, b, _) -> b) cells in
+      let ok = List.for_all (fun (_, _, o) -> o) cells in
+      Table.add_row t
+        [
+          name;
+          Table.cell_f (median_of sil);
+          Table.cell_f (median_of noi);
+          Table.cell_f (median_of noi /. median_of sil);
+          string_of_bool ok;
+        ]);
   Table.print t;
   Table.note
     "shape check: noise costs only a constant factor — the MMV property \
@@ -531,9 +609,16 @@ let e8 () =
       ~title:"E8  k=4 messages under MMV noise, median of 5 seeds (budgeted runs)"
       ~columns:[ "graph"; "vd-keyed"; "level-keyed"; "vd ok"; "level ok" ]
   in
-  List.iter
-    (fun (name, g) ->
-      let run slow_key seed =
+  per_config
+    [
+      ("path 48", Topo.path 48);
+      ("tree arity 2 depth 5", Topo.balanced_tree ~arity:2 ~depth:5);
+      ("layered D=10", layered ~seed:5 ~depth:10 ~width:5);
+      ("caterpillar 16x3", Topo.caterpillar ~spine:16 ~legs:3);
+    ]
+    [ 1; 2; 3; 4; 5 ]
+    (fun (_, g) seed ->
+      let run slow_key =
         let gst = Gst.build_centralized ~graph:g ~roots:[| 0 |] () in
         let vd = Gst.virtual_distances gst in
         let rng = Rng.create ~seed:(seed * 37) in
@@ -541,34 +626,27 @@ let e8 () =
         Gst_broadcast.run ~slow_key ~rng:(Rng.split rng) ~gst ~vd ~msgs
           ~sources:[| 0 |] ()
       in
-      let vd_r = ref [] and lv_r = ref [] and vd_ok = ref 0 and lv_ok = ref 0 in
-      List.iter
-        (fun seed ->
-          let a = run Gst_broadcast.By_virtual_distance seed in
-          let b = run Gst_broadcast.By_level seed in
-          (match a.Gst_broadcast.outcome with
-          | Rn_radio.Engine.Completed _ -> incr vd_ok
-          | _ -> ());
-          (match b.Gst_broadcast.outcome with
-          | Rn_radio.Engine.Completed _ -> incr lv_ok
-          | _ -> ());
-          vd_r := a.Gst_broadcast.rounds :: !vd_r;
-          lv_r := b.Gst_broadcast.rounds :: !lv_r)
-        [ 1; 2; 3; 4; 5 ];
+      let a = run Gst_broadcast.By_virtual_distance in
+      let b = run Gst_broadcast.By_level in
+      let completed (r : Gst_broadcast.result) =
+        match r.Gst_broadcast.outcome with
+        | Rn_radio.Engine.Completed _ -> true
+        | _ -> false
+      in
+      (a.Gst_broadcast.rounds, b.Gst_broadcast.rounds, completed a, completed b))
+    (fun (name, _) cells ->
+      let vd_r = List.map (fun (a, _, _, _) -> a) cells
+      and lv_r = List.map (fun (_, b, _, _) -> b) cells in
+      let vd_ok = List.length (List.filter (fun (_, _, o, _) -> o) cells) in
+      let lv_ok = List.length (List.filter (fun (_, _, _, o) -> o) cells) in
       Table.add_row t
         [
           name;
-          Table.cell_f (median_of !vd_r);
-          Table.cell_f (median_of !lv_r);
-          Printf.sprintf "%d/5" !vd_ok;
-          Printf.sprintf "%d/5" !lv_ok;
-        ])
-    [
-      ("path 48", Topo.path 48);
-      ("tree arity 2 depth 5", Topo.balanced_tree ~arity:2 ~depth:5);
-      ("layered D=10", layered ~seed:5 ~depth:10 ~width:5);
-      ("caterpillar 16x3", Topo.caterpillar ~spine:16 ~legs:3);
-    ];
+          Table.cell_f (median_of vd_r);
+          Table.cell_f (median_of lv_r);
+          Printf.sprintf "%d/5" vd_ok;
+          Printf.sprintf "%d/5" lv_ok;
+        ]);
   Table.print t;
   Table.note
     "shape check: pushing slow packets toward fast-stretch entry points \
@@ -585,33 +663,34 @@ let e9 () =
       ~columns:
         [ "n"; "max rank"; "clog n"; "max vd"; "2.clog n"; "overrides"; "hazards" ]
   in
-  List.iter
-    (fun n ->
-      let mr = ref 0 and mvd = ref 0 and ovr = ref 0 and haz = ref 0 in
-      List.iter
-        (fun seed ->
-          let g =
-            Topo.random_connected
-              ~rng:(Rng.create ~seed:(seed + (n * 17)))
-              ~n ~extra:(n * 3 / 2)
-          in
-          let gst = Gst.build_centralized ~graph:g ~roots:[| 0 |] () in
-          mr := max !mr (Ranked_bfs.max_rank gst.Gst.ranks);
-          mvd := max !mvd (Array.fold_left max 0 (Gst.virtual_distances gst));
-          ovr := !ovr + Gst.override_count gst;
-          haz := !haz + List.length (Gst.wave_unsafe gst))
-        (List.init 5 (fun i -> i + 1));
+  per_config [ 32; 64; 128; 256 ]
+    (List.init 5 (fun i -> i + 1))
+    (fun n seed ->
+      let g =
+        Topo.random_connected
+          ~rng:(Rng.create ~seed:(seed + (n * 17)))
+          ~n ~extra:(n * 3 / 2)
+      in
+      let gst = Gst.build_centralized ~graph:g ~roots:[| 0 |] () in
+      ( Ranked_bfs.max_rank gst.Gst.ranks,
+        Array.fold_left max 0 (Gst.virtual_distances gst),
+        Gst.override_count gst,
+        List.length (Gst.wave_unsafe gst) ))
+    (fun n cells ->
+      let mr = List.fold_left (fun acc (a, _, _, _) -> max acc a) 0 cells in
+      let mvd = List.fold_left (fun acc (_, b, _, _) -> max acc b) 0 cells in
+      let ovr = List.fold_left (fun acc (_, _, c, _) -> acc + c) 0 cells in
+      let haz = List.fold_left (fun acc (_, _, _, d) -> acc + d) 0 cells in
       Table.add_row t
         [
           string_of_int n;
-          string_of_int !mr;
+          string_of_int mr;
           string_of_int (Ilog.clog n);
-          string_of_int !mvd;
+          string_of_int mvd;
           string_of_int (2 * Ilog.clog n);
-          string_of_int !ovr;
-          string_of_int !haz;
-        ])
-    [ 32; 64; 128; 256 ];
+          string_of_int ovr;
+          string_of_int haz;
+        ]);
   Table.print t;
   Table.note
     "shape check: max rank <= ceil(log2 n) (§2.1), virtual distances <= \
@@ -631,35 +710,31 @@ let e10 () =
     Table.create ~title:"E10  cluster corridor (n=60), median of 3 seeds"
       ~columns:[ "k"; "rlnc"; "routing"; "sequential"; "routing/rlnc" ]
   in
-  List.iter
-    (fun k ->
-      let rl = ref [] and ro = ref [] and sq = ref [] in
-      List.iter
-        (fun seed ->
-          let rng = Rng.create ~seed:(seed * 41) in
-          let a =
-            Multi_broadcast.known ~rng:(Rng.split rng) ~graph:g ~source:0 ~k ()
-          in
-          rl := a.Multi_broadcast.rounds :: !rl;
-          let b =
-            Baselines.routing_multi ~rng:(Rng.split rng) ~graph:g ~source:0 ~k ()
-          in
-          ro := b.Baselines.rounds :: !ro;
-          let c =
-            Baselines.sequential_multi ~rng:(Rng.split rng) ~graph:g ~source:0
-              ~k ()
-          in
-          sq := c.Baselines.rounds :: !sq)
-        seeds;
+  per_config [ 4; 8; 16; 32; 64 ] seeds
+    (fun k seed ->
+      let rng = Rng.create ~seed:(seed * 41) in
+      let a =
+        Multi_broadcast.known ~rng:(Rng.split rng) ~graph:g ~source:0 ~k ()
+      in
+      let b =
+        Baselines.routing_multi ~rng:(Rng.split rng) ~graph:g ~source:0 ~k ()
+      in
+      let c =
+        Baselines.sequential_multi ~rng:(Rng.split rng) ~graph:g ~source:0 ~k ()
+      in
+      (a.Multi_broadcast.rounds, b.Baselines.rounds, c.Baselines.rounds))
+    (fun k cells ->
+      let rl = List.map (fun (a, _, _) -> a) cells
+      and ro = List.map (fun (_, b, _) -> b) cells
+      and sq = List.map (fun (_, _, c) -> c) cells in
       Table.add_row t
         [
           string_of_int k;
-          Table.cell_f (median_of !rl);
-          Table.cell_f (median_of !ro);
-          Table.cell_f (median_of !sq);
-          Table.cell_f (median_of !ro /. median_of !rl);
-        ])
-    [ 4; 8; 16; 32; 64 ];
+          Table.cell_f (median_of rl);
+          Table.cell_f (median_of ro);
+          Table.cell_f (median_of sq);
+          Table.cell_f (median_of ro /. median_of rl);
+        ]);
   Table.print t;
   Table.note
     "shape check: the coded schedule's advantage grows with k — the \
@@ -711,43 +786,45 @@ let e12 () =
       ~title:"E12  k=4 messages, step = c.log^2 n resets vs unbounded buffers (median of 5 seeds)"
       ~columns:[ "graph"; "unbounded"; "step 8L^2"; "step 4L^2"; "all deliver" ]
   in
-  List.iter
-    (fun (name, g) ->
+  per_config
+    [
+      ("grid 6x5", Topo.grid ~w:6 ~h:5);
+      ("layered D=10", layered ~seed:2 ~depth:10 ~width:5);
+      ("tree arity 2 depth 5", Topo.balanced_tree ~arity:2 ~depth:5);
+    ]
+    [ 1; 2; 3; 4; 5 ]
+    (fun (_, g) seed ->
       let gst = Gst.build_centralized ~graph:g ~roots:[| 0 |] () in
       let vd = Gst.virtual_distances gst in
       let l = Ilog.clog (Graph.n g) in
-      let run ?step_reset seed =
+      let run ?step_reset () =
         let rng = Rng.create ~seed:(seed * 59) in
         let msgs = Multi_broadcast.random_messages rng ~k:4 ~msg_len:16 in
         Gst_broadcast.run ?step_reset ~rng:(Rng.split rng) ~gst ~vd ~msgs
           ~sources:[| 0 |] ()
       in
-      let unb = ref [] and s8 = ref [] and s4 = ref [] and ok = ref true in
-      List.iter
-        (fun seed ->
-          let a = run seed in
-          let b = run ~step_reset:(8 * l * l) seed in
-          let c = run ~step_reset:(4 * l * l) seed in
-          List.iter
-            (fun (r : Gst_broadcast.result) ->
-              match r.Gst_broadcast.outcome with
-              | Rn_radio.Engine.Completed _ -> ()
-              | _ -> ok := false)
-            [ a; b; c ];
-          unb := a.Gst_broadcast.rounds :: !unb;
-          s8 := b.Gst_broadcast.rounds :: !s8;
-          s4 := c.Gst_broadcast.rounds :: !s4)
-        [ 1; 2; 3; 4; 5 ];
+      let a = run () in
+      let b = run ~step_reset:(8 * l * l) () in
+      let c = run ~step_reset:(4 * l * l) () in
+      let ok =
+        List.for_all
+          (fun (r : Gst_broadcast.result) ->
+            match r.Gst_broadcast.outcome with
+            | Rn_radio.Engine.Completed _ -> true
+            | _ -> false)
+          [ a; b; c ]
+      in
+      (a.Gst_broadcast.rounds, b.Gst_broadcast.rounds, c.Gst_broadcast.rounds, ok))
+    (fun (name, _) cells ->
+      let unb = List.map (fun (a, _, _, _) -> a) cells
+      and s8 = List.map (fun (_, b, _, _) -> b) cells
+      and s4 = List.map (fun (_, _, c, _) -> c) cells in
+      let ok = List.for_all (fun (_, _, _, o) -> o) cells in
       Table.add_row t
         [
-          name; Table.cell_f (median_of !unb); Table.cell_f (median_of !s8);
-          Table.cell_f (median_of !s4); string_of_bool !ok;
-        ])
-    [
-      ("grid 6x5", Topo.grid ~w:6 ~h:5);
-      ("layered D=10", layered ~seed:2 ~depth:10 ~width:5);
-      ("tree arity 2 depth 5", Topo.balanced_tree ~arity:2 ~depth:5);
-    ];
+          name; Table.cell_f (median_of unb); Table.cell_f (median_of s8);
+          Table.cell_f (median_of s4); string_of_bool ok;
+        ]);
   Table.print t;
   Table.note
     "shape check: with steps of c.log^2 n rounds the restart discipline \
@@ -770,40 +847,43 @@ let e13 () =
       ~title:"E13  8x8 grid, 6 jammers, median of 5 seeds (0 = no jamming)"
       ~columns:[ "p"; "decay"; "gst schedule"; "decay ok"; "gst ok" ]
   in
-  List.iter
-    (fun p ->
-      let dec = ref [] and gstr = ref [] and dok = ref 0 and gok = ref 0 in
-      List.iter
-        (fun seed ->
-          let rng = Rng.create ~seed:(seed * 97) in
-          let jammers =
-            Faults.pick_jammers ~rng:(Rng.split rng) ~n ~count:6 ~exclude:[| 0 |]
-          in
-          let faults = { Faults.jammers; p } in
-          let d =
-            Decay.broadcast ~faults ~rng:(Rng.split rng) ~graph:g ~source:0 ()
-          in
-          (match d.Decay.outcome with
-          | Rn_radio.Engine.Completed _ -> incr dok
-          | _ -> ());
-          dec := rounds_outcome d.Decay.outcome :: !dec;
-          let msgs = Multi_broadcast.random_messages rng ~k:1 ~msg_len:16 in
-          let b =
-            Gst_broadcast.run ~faults ~rng:(Rng.split rng) ~gst ~vd ~msgs
-              ~sources:[| 0 |] ()
-          in
-          (match b.Gst_broadcast.outcome with
-          | Rn_radio.Engine.Completed _ -> incr gok
-          | _ -> ());
-          gstr := b.Gst_broadcast.rounds :: !gstr)
-        [ 1; 2; 3; 4; 5 ];
+  per_config [ 0.0; 0.1; 0.3; 0.6 ] [ 1; 2; 3; 4; 5 ]
+    (fun p seed ->
+      let rng = Rng.create ~seed:(seed * 97) in
+      let jammers =
+        Faults.pick_jammers ~rng:(Rng.split rng) ~n ~count:6 ~exclude:[| 0 |]
+      in
+      let faults = { Faults.jammers; p } in
+      let d =
+        Decay.broadcast ~faults ~rng:(Rng.split rng) ~graph:g ~source:0 ()
+      in
+      let dok =
+        match d.Decay.outcome with
+        | Rn_radio.Engine.Completed _ -> true
+        | _ -> false
+      in
+      let msgs = Multi_broadcast.random_messages rng ~k:1 ~msg_len:16 in
+      let b =
+        Gst_broadcast.run ~faults ~rng:(Rng.split rng) ~gst ~vd ~msgs
+          ~sources:[| 0 |] ()
+      in
+      let gok =
+        match b.Gst_broadcast.outcome with
+        | Rn_radio.Engine.Completed _ -> true
+        | _ -> false
+      in
+      (rounds_outcome d.Decay.outcome, dok, b.Gst_broadcast.rounds, gok))
+    (fun p cells ->
+      let dec = List.map (fun (a, _, _, _) -> a) cells
+      and gstr = List.map (fun (_, _, c, _) -> c) cells in
+      let dok = List.length (List.filter (fun (_, o, _, _) -> o) cells) in
+      let gok = List.length (List.filter (fun (_, _, _, o) -> o) cells) in
       Table.add_row t
         [
-          Table.cell_f p; Table.cell_f (median_of !dec);
-          Table.cell_f (median_of !gstr); Printf.sprintf "%d/5" !dok;
-          Printf.sprintf "%d/5" !gok;
-        ])
-    [ 0.0; 0.1; 0.3; 0.6 ];
+          Table.cell_f p; Table.cell_f (median_of dec);
+          Table.cell_f (median_of gstr); Printf.sprintf "%d/5" dok;
+          Printf.sprintf "%d/5" gok;
+        ]);
   Table.print t;
   Table.note
     "shape check: both randomized schedules keep delivering under heavy \
@@ -823,33 +903,50 @@ let e14 () =
       ~columns:
         [ "c_whp"; "c_recruit"; "rounds"; "valid"; "fallbacks"; "fixups" ]
   in
-  List.iter
-    (fun (c_whp, c_recruit) ->
+  per_config
+    [ (2, 3); (4, 6); (8, 12); (16, 24) ]
+    seeds
+    (fun (c_whp, c_recruit) seed ->
       let params = { Params.default with Params.c_whp; c_recruit } in
-      let rounds = ref [] and valid = ref true in
-      let fb = ref 0 and fx = ref 0 in
-      List.iter
-        (fun seed ->
-          match
-            Gst_distributed.construct ~params ~rng:(Rng.create ~seed:(seed * 53))
-              ~graph:g ~roots:[| 0 |] ()
-          with
-          | r ->
-              (match Gst.validate r.Gst_distributed.gst with
-              | Ok () -> ()
-              | Error _ -> valid := false);
-              rounds := r.Gst_distributed.total_rounds :: !rounds;
-              fb := !fb + r.Gst_distributed.fallback_reactivations;
-              fx := !fx + r.Gst_distributed.class_fixups
-          | exception Failure _ -> valid := false)
-        seeds;
+      match
+        Gst_distributed.construct ~params ~rng:(Rng.create ~seed:(seed * 53))
+          ~graph:g ~roots:[| 0 |] ()
+      with
+      | r ->
+          let valid =
+            match Gst.validate r.Gst_distributed.gst with
+            | Ok () -> true
+            | Error _ -> false
+          in
+          Some
+            ( valid,
+              r.Gst_distributed.total_rounds,
+              r.Gst_distributed.fallback_reactivations,
+              r.Gst_distributed.class_fixups )
+      | exception Failure _ -> None)
+    (fun (c_whp, c_recruit) cells ->
+      let rounds = List.filter_map (Option.map (fun (_, r, _, _) -> r)) cells in
+      let valid =
+        List.for_all
+          (function Some (v, _, _, _) -> v | None -> false)
+          cells
+      in
+      let fb =
+        List.fold_left
+          (fun acc -> function Some (_, _, f, _) -> acc + f | None -> acc)
+          0 cells
+      in
+      let fx =
+        List.fold_left
+          (fun acc -> function Some (_, _, _, f) -> acc + f | None -> acc)
+          0 cells
+      in
       Table.add_row t
         [
           string_of_int c_whp; string_of_int c_recruit;
-          (if !rounds = [] then "-" else Table.cell_f (median_of !rounds));
-          string_of_bool !valid; string_of_int !fb; string_of_int !fx;
-        ])
-    [ (2, 3); (4, 6); (8, 12); (16, 24) ];
+          (if rounds = [] then "-" else Table.cell_f (median_of rounds));
+          string_of_bool valid; string_of_int fb; string_of_int fx;
+        ]);
   Table.print t;
   Table.note
     "shape check: doubling every safety budget costs well under 2x rounds \
@@ -897,6 +994,27 @@ let micro () =
   let msgs = Multi_broadcast.random_messages rng ~k:32 ~msg_len:64 in
   let decoder = Rn_coding.Rlnc.create ~k:32 ~msg_len:64 in
   Rn_coding.Rlnc.seed_with_sources decoder ~msgs;
+  (* 10^4-node graph for the engine/iteration benchmarks; [rows] is the
+     pre-CSR int array array representation, rebuilt here as the baseline
+     the flat slice walk is measured against. *)
+  let big_grid = Topo.grid ~w:100 ~h:100 in
+  let big_n = Graph.n big_grid in
+  let rows = Array.init big_n (Graph.neighbors big_grid) in
+  let one_engine_round graph =
+    let p =
+      {
+        Rn_radio.Engine.decide =
+          (fun ~round:_ ~node ->
+            if node land 7 = 0 then Rn_radio.Engine.Transmit 0
+            else Rn_radio.Engine.Listen);
+        deliver = (fun ~round:_ ~node:_ _ -> ());
+      }
+    in
+    Rn_radio.Engine.run ~graph ~detection:Rn_radio.Engine.Collision_detection
+      ~protocol:p
+      ~stop:(fun ~round:_ -> false)
+      ~max_rounds:1 ()
+  in
   let tests =
     Test.make_grouped ~name:"micro"
       [
@@ -912,21 +1030,25 @@ let micro () =
         Test.make ~name:"gst_centralized_n256"
           (Staged.stage (fun () ->
                Gst.build_centralized ~graph:big_rand ~roots:[| 0 |] ()));
-        Test.make ~name:"engine_round_grid1024"
+        (* Full-graph neighbor sweep: CSR flat slices vs per-node rows. *)
+        Test.make ~name:"iter_neighbors_csr_n1e4"
           (Staged.stage (fun () ->
-               let p =
-                 {
-                   Rn_radio.Engine.decide =
-                     (fun ~round:_ ~node ->
-                       if node land 7 = 0 then Rn_radio.Engine.Transmit 0
-                       else Rn_radio.Engine.Listen);
-                   deliver = (fun ~round:_ ~node:_ _ -> ());
-                 }
-               in
-               Rn_radio.Engine.run ~graph:grid
-                 ~detection:Rn_radio.Engine.Collision_detection ~protocol:p
-                 ~stop:(fun ~round:_ -> false)
-                 ~max_rounds:1 ()));
+               let acc = ref 0 in
+               for v = 0 to big_n - 1 do
+                 Graph.iter_neighbors big_grid v (fun u -> acc := !acc + u)
+               done;
+               !acc));
+        Test.make ~name:"iter_neighbors_rows_n1e4"
+          (Staged.stage (fun () ->
+               let acc = ref 0 in
+               for v = 0 to big_n - 1 do
+                 Array.iter (fun u -> acc := !acc + u) rows.(v)
+               done;
+               !acc));
+        Test.make ~name:"engine_round_grid1024"
+          (Staged.stage (fun () -> one_engine_round grid));
+        Test.make ~name:"engine_round_n1e4"
+          (Staged.stage (fun () -> one_engine_round big_grid));
       ]
   in
   let ols =
@@ -963,19 +1085,36 @@ let experiments =
 
 let () =
   let args = match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest in
-  let rec strip_csv acc = function
+  let rec strip_opts acc = function
     | "--csv" :: dir :: rest ->
         Table.csv_dir := Some dir;
-        strip_csv acc rest
-    | x :: rest -> strip_csv (x :: acc) rest
+        strip_opts acc rest
+    | "--domains" :: d :: rest ->
+        domains := Some (max 1 (int_of_string d));
+        strip_opts acc rest
+    | "--json" :: path :: rest ->
+        json_path := path;
+        strip_opts acc rest
+    | x :: rest -> strip_opts (x :: acc) rest
     | [] -> List.rev acc
   in
-  let args = strip_csv [] args in
+  let args = strip_opts [] args in
   let requested = match args with [] -> None | ids -> Some ids in
   let wanted id =
     match requested with None -> true | Some ids -> List.mem id ids
   in
   let t0 = Unix.gettimeofday () in
-  List.iter (fun (id, f) -> if wanted id then f ()) experiments;
-  Printf.printf "\nall requested experiments done in %.1fs\n"
-    (Unix.gettimeofday () -. t0)
+  List.iter
+    (fun (id, f) ->
+      if wanted id then begin
+        let r0 = Rn_radio.Engine.total_simulated_rounds () in
+        let w0 = Unix.gettimeofday () in
+        f ();
+        let wall = Unix.gettimeofday () -. w0 in
+        let rounds = Rn_radio.Engine.total_simulated_rounds () - r0 in
+        bench_records := (id, wall, rounds) :: !bench_records
+      end)
+    experiments;
+  let total_wall = Unix.gettimeofday () -. t0 in
+  write_bench_json ~total_wall;
+  Printf.printf "\nall requested experiments done in %.1fs\n" total_wall

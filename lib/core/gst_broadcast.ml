@@ -148,9 +148,41 @@ let run ?(noise_when_empty = true) ?(slow_key = By_virtual_distance)
         Faults.with_jammers ~rng:(Rng.split rng) ~jammers ~p
           ~noise:(Data (empty_packet ())) protocol
   in
+  (* Nodes outside the forest sleep in every round (and a jammer overrides
+     its decide even off-forest), so the awake set is static: hand it to the
+     engine once and skip the O(n) decide scan.  Ids ascend, matching the
+     default scan's call order exactly. *)
+  let active_ids =
+    let mark = Array.make n false in
+    for v = 0 to n - 1 do
+      if in_forest v then mark.(v) <- true
+    done;
+    (match faults with
+    | Some { Faults.jammers; _ } ->
+        Array.iter (fun j -> mark.(j) <- true) jammers
+    | None -> ());
+    let count = ref 0 in
+    Array.iter (fun b -> if b then incr count) mark;
+    let ids = Array.make (max !count 1) 0 in
+    let i = ref 0 in
+    for v = 0 to n - 1 do
+      if mark.(v) then begin
+        ids.(!i) <- v;
+        incr i
+      end
+    done;
+    if !count < n then Some (ids, !count) else None
+  in
+  let decide_active =
+    Option.map
+      (fun (ids, count) ~round:_ dst ->
+        Array.blit ids 0 dst 0 count;
+        count)
+      active_ids
+  in
   let stats = Engine.fresh_stats () in
   let outcome =
-    Engine.run ?after_round ~stats ~graph
+    Engine.run ?after_round ?decide_active ~stats ~graph
       ~detection:Engine.No_collision_detection ~protocol
       ~stop:(fun ~round:_ -> !missing = 0)
       ~max_rounds ()

@@ -1,4 +1,48 @@
-type t = { adj : int array array; m : int }
+(* Adjacency is stored in CSR form: [tgt.(off.(v)) .. tgt.(off.(v+1)-1)] are
+   the neighbors of [v], sorted ascending.  One flat target array keeps
+   neighbor walks cache-friendly and gives the radio engine a branch-free
+   slice to scan, instead of chasing per-node array pointers. *)
+type t = { off : int array; tgt : int array; m : int }
+
+(* In-place monomorphic int sort on [a.(lo) .. a.(hi-1)]: quicksort with a
+   median-of-three pivot, insertion sort below a small cutoff.  Avoids both
+   the polymorphic-compare calls and the closure dispatch of
+   [Array.sort compare] on the construction path. *)
+let rec sort_range a lo hi =
+  let len = hi - lo in
+  if len <= 12 then
+    for i = lo + 1 to hi - 1 do
+      let x = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > x do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- x
+    done
+  else begin
+    let mid = lo + (len / 2) in
+    (* Median of first / middle / last as pivot, moved to [lo]. *)
+    let swap i j =
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    in
+    if a.(mid) < a.(lo) then swap mid lo;
+    if a.(hi - 1) < a.(lo) then swap (hi - 1) lo;
+    if a.(hi - 1) < a.(mid) then swap (hi - 1) mid;
+    swap lo mid;
+    let pivot = a.(lo) in
+    let i = ref (lo + 1) and j = ref (hi - 1) in
+    while !i <= !j do
+      while !i <= !j && a.(!i) <= pivot do incr i done;
+      while !i <= !j && a.(!j) > pivot do decr j done;
+      if !i < !j then swap !i !j
+    done;
+    swap lo !j;
+    sort_range a lo !j;
+    sort_range a (!j + 1) hi
+  end
 
 let create ~n ~edges =
   if n < 0 then invalid_arg "Graph.create: negative n";
@@ -6,43 +50,80 @@ let create ~n ~edges =
     if v < 0 || v >= n then
       invalid_arg (Printf.sprintf "Graph.create: node %d out of range [0,%d)" v n)
   in
-  let buckets = Array.make n [] in
+  (* Pass 1: validate and count directed half-edges (self-loops dropped). *)
+  let deg = Array.make (max n 1) 0 in
   List.iter
     (fun (u, v) ->
       check u;
       check v;
       if u <> v then begin
-        buckets.(u) <- v :: buckets.(u);
-        buckets.(v) <- u :: buckets.(v)
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1
       end)
     edges;
-  let dedup l =
-    let a = Array.of_list l in
-    Array.sort compare a;
-    let out = ref [] in
-    Array.iter
-      (fun v -> match !out with w :: _ when w = v -> () | _ -> out := v :: !out)
-      a;
-    let arr = Array.of_list !out in
-    (* [out] was built largest-first; restore ascending order. *)
-    let len = Array.length arr in
-    Array.init len (fun i -> arr.(len - 1 - i))
-  in
-  let adj = Array.map dedup buckets in
-  let deg_sum = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj in
-  { adj; m = deg_sum / 2 }
+  let off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    off.(v + 1) <- off.(v) + deg.(v)
+  done;
+  (* Pass 2: scatter targets; [cursor] tracks each row's write position. *)
+  let cursor = Array.sub off 0 (max n 1) in
+  let tgt = Array.make (max off.(n) 1) 0 in
+  List.iter
+    (fun (u, v) ->
+      if u <> v then begin
+        tgt.(cursor.(u)) <- v;
+        cursor.(u) <- cursor.(u) + 1;
+        tgt.(cursor.(v)) <- u;
+        cursor.(v) <- cursor.(v) + 1
+      end)
+    edges;
+  for v = 0 to n - 1 do
+    sort_range tgt off.(v) off.(v + 1)
+  done;
+  (* Pass 3: drop duplicate edges, compacting [tgt] in place (the write
+     cursor never overtakes the read cursor). *)
+  let w = ref 0 in
+  let coff = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    coff.(v) <- !w;
+    let prev = ref min_int in
+    for i = off.(v) to off.(v + 1) - 1 do
+      let x = tgt.(i) in
+      if x <> !prev then begin
+        tgt.(!w) <- x;
+        incr w;
+        prev := x
+      end
+    done
+  done;
+  coff.(n) <- !w;
+  let tgt = if !w = Array.length tgt then tgt else Array.sub tgt 0 !w in
+  { off = coff; tgt; m = !w / 2 }
 
-let n t = Array.length t.adj
+let n t = Array.length t.off - 1
 let m t = t.m
-let degree t v = Array.length t.adj.(v)
-let neighbors t v = t.adj.(v)
+let degree t v = t.off.(v + 1) - t.off.(v)
+let neighbors t v = Array.sub t.tgt t.off.(v) (t.off.(v + 1) - t.off.(v))
+let offsets t = t.off
+let targets t = t.tgt
 
-let iter_neighbors t v f = Array.iter f t.adj.(v)
+let iter_neighbors t v f =
+  (* Hot path: indices lie in [off.(v), off.(v+1)) ⊆ [0, length tgt). *)
+  let tgt = t.tgt in
+  for i = t.off.(v) to t.off.(v + 1) - 1 do
+    f (Array.unsafe_get tgt i)
+  done
 
-let fold_neighbors t v f init = Array.fold_left f init t.adj.(v)
+let fold_neighbors t v f init =
+  let tgt = t.tgt in
+  let acc = ref init in
+  for i = t.off.(v) to t.off.(v + 1) - 1 do
+    acc := f !acc (Array.unsafe_get tgt i)
+  done;
+  !acc
 
 let mem_edge t u v =
-  let a = t.adj.(u) in
+  let a = t.tgt in
   let rec bsearch lo hi =
     if lo >= hi then false
     else begin
@@ -52,32 +133,41 @@ let mem_edge t u v =
       else bsearch lo mid
     end
   in
-  bsearch 0 (Array.length a)
+  bsearch t.off.(u) t.off.(u + 1)
 
 let edges t =
   let acc = ref [] in
-  Array.iteri
-    (fun u a -> Array.iter (fun v -> if u < v then acc := (u, v) :: !acc) a)
-    t.adj;
-  List.rev !acc
+  for u = n t - 1 downto 0 do
+    for i = t.off.(u + 1) - 1 downto t.off.(u) do
+      let v = t.tgt.(i) in
+      if u < v then acc := (u, v) :: !acc
+    done
+  done;
+  !acc
 
-let max_degree t = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 t.adj
+let max_degree t =
+  let best = ref 0 in
+  for v = 0 to n t - 1 do
+    best := max !best (degree t v)
+  done;
+  !best
 
 let induced_bipartite g ~left ~right =
   let nl = Array.length left and nr = Array.length right in
   let back = Array.append left right in
-  let fwd = Hashtbl.create (nl + nr) in
-  Array.iteri (fun i v -> Hashtbl.replace fwd v (`L, i)) left;
-  Array.iteri (fun i v -> Hashtbl.replace fwd v (`R, nl + i)) right;
+  (* Only right-side nodes need a forward mapping: edges inside a side are
+     ignored, so a left endpoint that is absent from the table behaves the
+     same as a non-member. *)
+  let fwd = Hashtbl.create (max nr 1) in
+  Array.iteri (fun j v -> Hashtbl.replace fwd v (nl + j)) right;
   let es = ref [] in
   Array.iteri
     (fun i u ->
       iter_neighbors g u (fun v ->
           match Hashtbl.find_opt fwd v with
-          | Some (`R, j) -> es := (i, j) :: !es
-          | Some (`L, _) | None -> ()))
+          | Some j -> es := (i, j) :: !es
+          | None -> ()))
     left;
-  ignore nr;
   (create ~n:(nl + nr) ~edges:!es, back)
 
 let pp fmt t = Format.fprintf fmt "graph(n=%d, m=%d)" (n t) t.m

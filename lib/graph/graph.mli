@@ -2,7 +2,11 @@
 
     The radio network model of the paper (§1.1) is a synchronous network on
     an undirected graph [G = (V, E)]; this module is the immutable topology
-    substrate every protocol runs on.  Nodes are integers [0 .. n-1]. *)
+    substrate every protocol runs on.  Nodes are integers [0 .. n-1].
+
+    Adjacency is stored in compressed sparse row (CSR) form — one flat
+    offsets array plus one flat targets array — so neighbor iteration is a
+    contiguous slice walk with no per-node indirection. *)
 
 type t
 
@@ -20,10 +24,21 @@ val m : t -> int
 val degree : t -> int -> int
 
 val neighbors : t -> int -> int array
-(** The physical adjacency array of a node — do not mutate. *)
+(** The neighbors of a node, sorted ascending, as a fresh array (the
+    backing store is shared CSR; a copy is the only safe row view).
+    Prefer [iter_neighbors]/[fold_neighbors] on hot paths. *)
 
 val iter_neighbors : t -> int -> (int -> unit) -> unit
 val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val offsets : t -> int array
+(** The physical CSR offsets array, length [n + 1] — do not mutate.  The
+    neighbors of [v] are [targets.(offsets.(v)) .. targets.(offsets.(v+1) -
+    1)], sorted ascending.  Exposed for allocation-free inner loops (the
+    radio engine); everything else should use the iterators. *)
+
+val targets : t -> int array
+(** The physical CSR targets array, length [2m] — do not mutate. *)
 
 val mem_edge : t -> int -> int -> bool
 (** Edge test in O(log deg). *)

@@ -35,79 +35,132 @@ type 'msg trace_event =
   | Ev_transmit of { node : int; msg : 'msg }
   | Ev_receive of { node : int; reception : 'msg reception }
 
-let run ?stats ?on_round ?after_round ~graph ~detection ~protocol ~stop ~max_rounds () =
+(* Rounds simulated process-wide, across all runs and all domains; the bench
+   harness reads the delta around an experiment to report rounds/sec. *)
+let simulated_rounds = Atomic.make 0
+let total_simulated_rounds () = Atomic.get simulated_rounds
+
+(* The round loop is allocation-free outside the tracing path: node sets are
+   int-array stacks reused every round, stats are mutated directly, and a
+   transmitter's packet is stored once in [out_msg] and shared by reference.
+
+   Invariant between rounds: [listening] is all-false, [tx_count] all-zero,
+   [tx_msg]/[out_msg] all-[None].  Each round re-establishes it by undoing
+   only the entries it touched, so a quiet round on a huge graph costs only
+   the decide scan (or only the active set, under [decide_active]).
+
+   Ordering contract (kept bit-compatible with the original list-based
+   engine, which consed nodes onto lists during an ascending scan and then
+   iterated the lists head-first): transmitters spray and listeners are
+   delivered in *descending* decide order, so the stacks are walked
+   top-down. *)
+let run ?stats ?on_round ?after_round ?decide_active ~graph ~detection ~protocol
+    ~stop ~max_rounds () =
   let n = Graph.n graph in
-  (* Per-node scratch reused across rounds; [touched] lists the nodes whose
-     counters must be reset, so quiet rounds cost O(n) and nothing more. *)
-  let tx_count = Array.make n 0 in
-  let tx_msg = Array.make n None in
-  let listening = Array.make n false in
-  let transmitters = ref [] in
-  let listeners = ref [] in
-  let touched = ref [] in
-  let record_stat f = match stats with None -> () | Some s -> f s in
+  let off = Graph.offsets graph and tgt = Graph.targets graph in
+  let s = match stats with Some s -> s | None -> fresh_stats () in
+  let tx_count = Array.make (max n 1) 0 in
+  let tx_msg = Array.make (max n 1) None in
+  let out_msg = Array.make (max n 1) None in
+  let listening = Array.make (max n 1) false in
+  let transmitters = Array.make (max n 1) 0 in
+  let listeners = Array.make (max n 1) 0 in
+  let touched = Array.make (max n 1) 0 in
+  let active =
+    match decide_active with None -> [||] | Some _ -> Array.make (max n 1) 0
+  in
+  let n_tx = ref 0 and n_ls = ref 0 and n_tc = ref 0 in
+  let tracing = on_round <> None in
+  let events = ref [] in
+  let decide_one round v =
+    match protocol.decide ~round ~node:v with
+    | Sleep -> ()
+    | Listen ->
+        listening.(v) <- true;
+        listeners.(!n_ls) <- v;
+        incr n_ls
+    | Transmit msg ->
+        out_msg.(v) <- Some msg;
+        transmitters.(!n_tx) <- v;
+        incr n_tx;
+        if tracing then events := Ev_transmit { node = v; msg } :: !events
+  in
   let rec loop round =
-    if stop ~round then Completed round
-    else if round >= max_rounds then Out_of_budget round
+    if stop ~round then begin
+      Atomic.fetch_and_add simulated_rounds round |> ignore;
+      Completed round
+    end
+    else if round >= max_rounds then begin
+      Atomic.fetch_and_add simulated_rounds round |> ignore;
+      Out_of_budget round
+    end
     else begin
-      transmitters := [];
-      listeners := [];
-      let events = ref [] in
-      let tracing = on_round <> None in
-      for v = 0 to n - 1 do
-        match protocol.decide ~round ~node:v with
-        | Sleep -> listening.(v) <- false
-        | Listen ->
-            listening.(v) <- true;
-            listeners := v :: !listeners
-        | Transmit msg ->
-            listening.(v) <- false;
-            transmitters := (v, msg) :: !transmitters;
-            if tracing then events := Ev_transmit { node = v; msg } :: !events
+      (match decide_active with
+      | None -> for v = 0 to n - 1 do decide_one round v done
+      | Some da ->
+          let k = da ~round active in
+          if k < 0 || k > n then
+            invalid_arg "Engine.run: decide_active returned a bad count";
+          for i = 0 to k - 1 do
+            let v = active.(i) in
+            if v < 0 || v >= n then
+              invalid_arg "Engine.run: decide_active wrote a bad node id";
+            decide_one round v
+          done);
+      let tx_happened = !n_tx > 0 in
+      for i = !n_tx - 1 downto 0 do
+        let t = transmitters.(i) in
+        s.transmissions <- s.transmissions + 1;
+        let msg = out_msg.(t) in
+        for j = off.(t) to off.(t + 1) - 1 do
+          let v = Array.unsafe_get tgt j in
+          if listening.(v) then begin
+            if tx_count.(v) = 0 then begin
+              touched.(!n_tc) <- v;
+              incr n_tc;
+              tx_msg.(v) <- msg
+            end;
+            tx_count.(v) <- tx_count.(v) + 1
+          end
+        done
       done;
-      let tx_happened = !transmitters <> [] in
-      List.iter
-        (fun (t, msg) ->
-          record_stat (fun s -> s.transmissions <- s.transmissions + 1);
-          Graph.iter_neighbors graph t (fun v ->
-              if listening.(v) then begin
-                if tx_count.(v) = 0 then begin
-                  touched := v :: !touched;
-                  tx_msg.(v) <- Some msg
-                end;
-                tx_count.(v) <- tx_count.(v) + 1
-              end))
-        !transmitters;
-      List.iter
-        (fun v ->
-          let reception =
-            match tx_count.(v) with
-            | 0 -> Silence
-            | 1 -> (
-                record_stat (fun s -> s.deliveries <- s.deliveries + 1);
-                match tx_msg.(v) with
-                | Some m -> Received m
-                | None -> assert false)
-            | _ -> (
-                record_stat (fun s -> s.collisions <- s.collisions + 1);
-                match detection with
-                | Collision_detection -> Collision
-                | No_collision_detection -> Silence)
-          in
-          if tracing then events := Ev_receive { node = v; reception } :: !events;
-          protocol.deliver ~round ~node:v reception)
-        !listeners;
-      List.iter
-        (fun v ->
-          tx_count.(v) <- 0;
-          tx_msg.(v) <- None)
-        !touched;
-      touched := [];
-      record_stat (fun s ->
-          s.rounds <- s.rounds + 1;
-          if tx_happened then s.busy_rounds <- s.busy_rounds + 1);
+      for i = !n_ls - 1 downto 0 do
+        let v = listeners.(i) in
+        let reception =
+          match tx_count.(v) with
+          | 0 -> Silence
+          | 1 -> (
+              s.deliveries <- s.deliveries + 1;
+              match tx_msg.(v) with Some m -> Received m | None -> assert false)
+          | _ -> (
+              s.collisions <- s.collisions + 1;
+              match detection with
+              | Collision_detection -> Collision
+              | No_collision_detection -> Silence)
+        in
+        if tracing then events := Ev_receive { node = v; reception } :: !events;
+        protocol.deliver ~round ~node:v reception
+      done;
+      for i = 0 to !n_tc - 1 do
+        let v = touched.(i) in
+        tx_count.(v) <- 0;
+        tx_msg.(v) <- None
+      done;
+      for i = 0 to !n_tx - 1 do
+        out_msg.(transmitters.(i)) <- None
+      done;
+      for i = 0 to !n_ls - 1 do
+        listening.(listeners.(i)) <- false
+      done;
+      n_tc := 0;
+      n_tx := 0;
+      n_ls := 0;
+      s.rounds <- s.rounds + 1;
+      if tx_happened then s.busy_rounds <- s.busy_rounds + 1;
       (match on_round with
-      | Some f -> f ~round (List.rev !events)
+      | Some f ->
+          f ~round (List.rev !events);
+          events := []
       | None -> ());
       (match after_round with Some f -> f ~round | None -> ());
       loop (round + 1)

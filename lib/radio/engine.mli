@@ -67,10 +67,16 @@ type 'msg trace_event =
   | Ev_transmit of { node : int; msg : 'msg }
   | Ev_receive of { node : int; reception : 'msg reception }
 
+val total_simulated_rounds : unit -> int
+(** Rounds simulated process-wide since startup, summed over every [run]
+    (across all domains; the counter is atomic).  The bench harness reads
+    the delta around an experiment to report rounds/sec. *)
+
 val run :
   ?stats:stats ->
   ?on_round:(round:int -> 'msg trace_event list -> unit) ->
   ?after_round:(round:int -> unit) ->
+  ?decide_active:(round:int -> int array -> int) ->
   graph:Rn_graph.Graph.t ->
   detection:detection ->
   protocol:'msg protocol ->
@@ -87,6 +93,22 @@ val run :
     all deliveries of a round; protocol state machines use it to advance
     phase counters.
 
-    Complexity per round: O(n) decide calls plus O(Σ deg) over transmitters
-    and listeners, so protocols that [Sleep] inactive nodes simulate large
-    round counts cheaply. *)
+    [decide_active], when given, replaces the every-node decide scan: each
+    round the engine hands it a reusable buffer of length [n]; the protocol
+    writes the ids of the awake nodes into a prefix and returns the prefix
+    length, and [decide] is then called on exactly those nodes (in buffer
+    order) — every other node implicitly [Sleep]s that round.  The ids of a
+    round must be distinct and in [\[0, n)] (distinctness is the protocol's
+    obligation; a duplicated id would act twice).  This lets schedules where
+    only one layer or ring is awake — Decay waves, GST stretches — simulate
+    a round in O(|active|) instead of O(n).
+    @raise Invalid_argument on an out-of-range id or count.
+
+    The engine allocates only its fixed per-run scratch (a few int arrays of
+    length [n]); the round loop itself is allocation-free apart from the
+    [Transmit] packets protocols return and, when [on_round] is set, the
+    trace events.
+
+    Complexity per round: O(n) decide calls (or O(|active|) under
+    [decide_active]) plus O(Σ deg) over transmitters, so protocols that
+    [Sleep] inactive nodes simulate large round counts cheaply. *)

@@ -1,0 +1,32 @@
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+let map ?domains f items =
+  let items = Array.of_list items in
+  let k = Array.length items in
+  let d =
+    match domains with
+    | Some d -> max 1 (min d k)
+    | None -> max 1 (min (default_domains ()) k)
+  in
+  if d <= 1 then Array.to_list (Array.map f items)
+  else begin
+    let results = Array.make k None in
+    (* Deterministic static sharding: domain [i] takes items i, i+d, i+2d, …
+       Each index is written by exactly one domain, so the plain array is
+       race-free; [Domain.join] publishes the writes.  Results come back in
+       input order, so the output is bit-identical to the serial map. *)
+    let worker i () =
+      let j = ref i in
+      while !j < k do
+        results.(!j) <- Some (f items.(!j));
+        j := !j + d
+      done
+    in
+    let spawned = List.init d (fun i -> Domain.spawn (worker i)) in
+    List.iter Domain.join spawned;
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
+  end
+
+let map_seeds ?domains ~seeds f =
+  map ?domains (fun seed -> f ~seed) seeds

@@ -1,0 +1,28 @@
+(** Parallel trial runner.
+
+    Theorem-validation experiments are embarrassingly parallel: thousands of
+    independent [Engine.run] calls, one per (configuration, seed) pair, each
+    deriving all of its randomness from its own seed.  This module fans such
+    trials out over OCaml 5 domains (one per available core by default)
+    while keeping results {e bit-identical} to a serial run: sharding is
+    static and deterministic, and results are returned in input order.
+
+    The callback must be a pure function of its input (plus immutable shared
+    data such as a pre-built {!Rn_graph.Graph.t}, which is safe to read from
+    any domain): no shared mutable state, no printing.  All of the bench
+    harness's per-seed loops satisfy this by construction — every trial
+    creates its own {!Rn_util.Rng} from its seed. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], floored at 1. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f items] evaluates [f] on every item, fanning out over
+    [min domains (length items)] domains ([default_domains ()] if
+    unspecified), and returns the results in input order.  [domains <= 1]
+    runs serially in the calling domain.  An exception raised by any [f] is
+    re-raised by [Domain.join]. *)
+
+val map_seeds : ?domains:int -> seeds:int list -> (seed:int -> 'a) -> 'a list
+(** [map_seeds ~seeds f] is [map] over a seed list — the shape of every
+    per-seed trial loop in [bench/main.ml]. *)

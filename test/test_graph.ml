@@ -51,6 +51,46 @@ let test_induced_bipartite () =
   Alcotest.(check bool) "1-0 edge" true (Graph.mem_edge h 0 1);
   Alcotest.(check bool) "1-2 edge" true (Graph.mem_edge h 0 2)
 
+let test_induced_bipartite_mapping () =
+  (* Dense-ish graph with intra-side edges on both sides: the extracted H
+     must contain exactly the crossing edges of G, and [back] must map every
+     H-edge to a G-edge and every crossing G-edge to an H-edge. *)
+  let g =
+    Graph.create ~n:7
+      ~edges:
+        [
+          (0, 1) (* left-left: dropped *); (5, 6) (* right-right: dropped *);
+          (0, 4); (0, 5); (1, 6); (2, 4); (2, 6); (1, 3) (* 3 in neither *);
+        ]
+  in
+  let left = [| 0; 1; 2 |] and right = [| 4; 5; 6 |] in
+  let h, back = Graph.induced_bipartite g ~left ~right in
+  Alcotest.(check int) "n" 6 (Graph.n h);
+  Alcotest.(check (array int)) "back map" [| 0; 1; 2; 4; 5; 6 |] back;
+  let expected = [ (0, 4); (0, 5); (1, 6); (2, 4); (2, 6) ] in
+  Alcotest.(check int) "m" (List.length expected) (Graph.m h);
+  (* Every H-edge maps back to a crossing G-edge... *)
+  List.iter
+    (fun (i, j) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "H-edge %d-%d exists in G" back.(i) back.(j))
+        true
+        (Graph.mem_edge g back.(i) back.(j)))
+    (Graph.edges h);
+  (* ... and every crossing G-edge appears in H under the mapping. *)
+  List.iter
+    (fun (u, v) ->
+      let idx x =
+        let found = ref (-1) in
+        Array.iteri (fun i y -> if y = x then found := i) back;
+        !found
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "G-edge %d-%d present in H" u v)
+        true
+        (Graph.mem_edge h (idx u) (idx v)))
+    expected
+
 (* ------------------------------------------------------------------ *)
 (* Bfs *)
 
@@ -204,6 +244,23 @@ let qcheck_tests =
               if not (Graph.mem_edge g u v) then ok := false)
         done;
         !ok);
+    Test.make ~name:"CSR rows sorted, deduped, offset-consistent" ~count:200
+      arb_connected
+      (fun (n, extra, seed) ->
+        let g = Topo.random_connected ~rng:(Rng.create ~seed) ~n ~extra in
+        let off = Graph.offsets g and tgt = Graph.targets g in
+        let ok = ref (Array.length off = n + 1 && off.(0) = 0) in
+        if Array.length tgt <> off.(n) then ok := false;
+        for v = 0 to n - 1 do
+          if off.(v) > off.(v + 1) then ok := false;
+          for i = off.(v) to off.(v + 1) - 2 do
+            (* strictly ascending ⇒ sorted and duplicate-free *)
+            if tgt.(i) >= tgt.(i + 1) then ok := false
+          done;
+          if Graph.neighbors g v <> Array.sub tgt off.(v) (off.(v + 1) - off.(v))
+          then ok := false
+        done;
+        !ok);
     Test.make ~name:"unit disk always connected" ~count:50
       (pair (int_range 2 40) (int_range 0 1000))
       (fun (n, seed) ->
@@ -234,6 +291,8 @@ let () =
           Alcotest.test_case "edges listing" `Quick test_edges_listing;
           Alcotest.test_case "empty graph" `Quick test_empty_graph;
           Alcotest.test_case "induced bipartite" `Quick test_induced_bipartite;
+          Alcotest.test_case "induced bipartite mapping" `Quick
+            test_induced_bipartite_mapping;
         ] );
       ( "bfs",
         [
