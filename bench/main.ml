@@ -30,6 +30,19 @@ let median_of runs = Stats.median (Array.of_list (List.map float_of_int runs))
 
 let rounds_outcome o = Rn_radio.Engine.rounds_of_outcome o
 
+(* Table rendering is pure (rblint R4: lib/ returns data); the bench owns
+   the console.  Byte-for-byte the same output as the old Table.print. *)
+let print_table t =
+  Table.write_csv t;
+  print_newline ();
+  List.iter print_endline (Table.to_lines t)
+
+let note s = print_endline (Table.note_line s)
+
+let section s =
+  print_newline ();
+  List.iter print_endline (Table.section_lines s)
+
 (* ------------------------------------------------------------------ *)
 (* Parallel trial plumbing                                             *)
 
@@ -108,7 +121,7 @@ let layered ~seed ~depth ~width =
   Topo.layered_random ~rng:(Rng.create ~seed) ~depth ~width ~p:0.3
 
 let e1 () =
-  Table.section
+  section
     "E1  Theorem 1.1: O(D + polylog) vs D.log baselines (single message)";
   (* Sweep D at (almost) fixed n = 1 + 128. *)
   let t =
@@ -160,10 +173,10 @@ let e1 () =
           Table.cell_f (m dec);
           Table.cell_f (m cr);
         ]);
-  Table.print t;
+  print_table t;
   let fit name pts =
     let f = Stats.linear_fit !pts in
-    Table.note
+    note
       (Printf.sprintf "%s: rounds ~ %.1f.D + %.0f   (r2=%.2f)" name
          f.Stats.slope f.Stats.intercept f.Stats.r2)
   in
@@ -172,7 +185,7 @@ let e1 () =
   fit "decay          " pts_decay;
   fit "cr             " pts_cr;
 
-  Table.note
+  note
     "shape check: the CD algorithm's D-coefficient is a small constant \
      (additive D); Decay/CR pay ~log-factor slopes.";
   (* Sweep n at fixed D = 12. *)
@@ -207,12 +220,12 @@ let e1 () =
           Table.cell_f (median_of dec);
           Table.cell_f (median_of dec /. 12.0);
         ]);
-  Table.print t;
-  Table.note
+  print_table t;
+  note
     "shape check: decay's per-hop cost (decay/D) grows with log n; the CD \
      algorithm's spread part stays ~D + polylog.";
   let joint = Stats.two_predictor_fit !joint_pts in
-  Table.note
+  note
     (Printf.sprintf
        "decay joint fit over both sweeps: rounds ~ %.2f.(D.log n) + \
         %.2f.log^2 n + %.0f  (r2=%.2f) — the O(D log n + log^2 n) shape of \
@@ -223,7 +236,7 @@ let e1 () =
 (* E2 — Theorem 2.1: distributed GST construction cost                  *)
 
 let e2 () =
-  Table.section
+  section
     "E2  Theorem 2.1: distributed GST construction, O(D polylog) rounds";
   let t =
     Table.create
@@ -273,7 +286,7 @@ let e2 () =
           string_of_bool valid;
           Table.cell_f (median_of ovr);
         ]);
-  Table.print t;
+  print_table t;
   (* And versus n at fixed depth. *)
   let t =
     Table.create
@@ -300,8 +313,8 @@ let e2 () =
           string_of_int width; string_of_int n; Table.cell_f (median_of pipe);
           Table.cell_f (median_of pipe /. float_of_int (l * l));
         ]);
-  Table.print t;
-  Table.note
+  print_table t;
+  note
     "shape check: rounds/(D.L^2) roughly flat => construction linear in D \
      with a polylog factor (the adaptive schedule exits far below the \
      worst-case log^4/log^5 budgets); every output is a valid GST."
@@ -310,7 +323,7 @@ let e2 () =
 (* E3 — Lemma 2.3: recruiting protocol                                  *)
 
 let e3 () =
-  Table.section
+  section
     "E3  Lemma 2.3: recruiting on bipartite graphs, Theta(log^3 n) rounds";
   let t =
     Table.create ~title:"E3  10 seeds each; L = ceil(log2 n)"
@@ -344,7 +357,7 @@ let e3 () =
           Printf.sprintf "%d/10" cov;
           Printf.sprintf "%d/10" cons;
         ]);
-  Table.print t;
+  print_table t;
   (* Regular degrees select the loner regime exactly: degree 1 = all
      loners, larger degrees = none. *)
   let t =
@@ -376,8 +389,8 @@ let e3 () =
           Printf.sprintf "%d/10" cov;
           Printf.sprintf "%d/10" cons;
         ]);
-  Table.print t;
-  Table.note
+  print_table t;
+  note
     "shape check: every blue is recruited with a consistent class, within \
      the same order as the L^3 bound (adaptive exit usually well below)."
 
@@ -385,7 +398,7 @@ let e3 () =
 (* E4 — Lemma 2.4: epoch shrinkage of the assignment problem            *)
 
 let e4 () =
-  Table.section "E4  Lemma 2.4: active reds shrink geometrically per epoch";
+  section "E4  Lemma 2.4: active reds shrink geometrically per epoch";
   let reds = 16 and blues = 40 in
   let histories =
     pmap_seeds
@@ -431,8 +444,8 @@ let e4 () =
           ]
     | _ -> ()
   done;
-  Table.print t;
-  Table.note
+  print_table t;
+  note
     "shape check: the count decays by a constant factor per epoch (the \
      paper proves an 8/7 shrink w.p. 1/7; observed decay is much faster)."
 
@@ -440,7 +453,7 @@ let e4 () =
 (* E5 — Theorem 1.2: k-message broadcast, known topology                *)
 
 let e5 () =
-  Table.section "E5  Theorem 1.2: O(D + k.log n + log^2 n), known topology";
+  section "E5  Theorem 1.2: O(D + k.log n + log^2 n), known topology";
   let depth = 12 and width = 8 in
   let n = 1 + (depth * width) in
   let t =
@@ -481,9 +494,9 @@ let e5 () =
           Table.cell_f (median_of ro);
           Table.cell_f (median_of sq);
         ]);
-  Table.print t;
+  print_table t;
   let f = Stats.linear_fit !pts in
-  Table.note
+  note
     (Printf.sprintf
        "rlnc: rounds ~ %.1f.k + %.0f (r2=%.2f); log2 n = %d, so the \
         per-message cost is ~%.1f.log n — the optimal k.log n throughput."
@@ -494,7 +507,7 @@ let e5 () =
 (* E6 — Theorem 1.3: k-message broadcast, unknown topology + CD         *)
 
 let e6 () =
-  Table.section
+  section
     "E6  Theorem 1.3: O(D + k.log n + polylog), unknown topology + CD";
   let depth = 12 and width = 8 in
   let t =
@@ -537,9 +550,9 @@ let e6 () =
           string_of_int rc;
           string_of_int bc;
         ]);
-  Table.print t;
+  print_table t;
   let f = Stats.linear_fit !pts in
-  Table.note
+  note
     (Printf.sprintf
        "dissemination ~ %.1f.k + %.0f: linear in k as claimed; construction \
         is the k-independent polylog setup."
@@ -549,7 +562,7 @@ let e6 () =
 (* E7 — Lemma 3.2: Decay is multi-message viable                        *)
 
 let e7 () =
-  Table.section
+  section
     "E7  Lemma 3.2: Decay stays fast when have-nots transmit noise (MMV)";
   let t =
     Table.create
@@ -593,8 +606,8 @@ let e7 () =
           Table.cell_f (median_of noi /. median_of sil);
           string_of_bool ok;
         ]);
-  Table.print t;
-  Table.note
+  print_table t;
+  note
     "shape check: noise costs only a constant factor — the MMV property \
      that makes the schedule usable under concurrent messages."
 
@@ -602,7 +615,7 @@ let e7 () =
 (* E8 — §3.2 ablation: virtual-distance vs level-keyed slow steps       *)
 
 let e8 () =
-  Table.section
+  section
     "E8  Ablation: MMV-GST slow steps keyed by virtual distance (paper) vs by level [7,19]";
   let t =
     Table.create
@@ -647,8 +660,8 @@ let e8 () =
           Printf.sprintf "%d/5" vd_ok;
           Printf.sprintf "%d/5" lv_ok;
         ]);
-  Table.print t;
-  Table.note
+  print_table t;
+  note
     "shape check: pushing slow packets toward fast-stretch entry points \
      (virtual distance) is never worse and is what the backwards analysis \
      needs; level-keyed slow steps only push away from the source."
@@ -657,7 +670,7 @@ let e8 () =
 (* E9 — structural properties (§2.1, Lemmas 3.4, 3.5)                   *)
 
 let e9 () =
-  Table.section "E9  Structural invariants: rank bound, vd bound, wave safety";
+  section "E9  Structural invariants: rank bound, vd bound, wave safety";
   let t =
     Table.create ~title:"E9  random connected graphs, 5 seeds each"
       ~columns:
@@ -691,8 +704,8 @@ let e9 () =
           string_of_int ovr;
           string_of_int haz;
         ]);
-  Table.print t;
-  Table.note
+  print_table t;
+  note
     "shape check: max rank <= ceil(log2 n) (§2.1), virtual distances <= \
      2.ceil(log2 n) (Lemma 3.4, + the counted repairs), and zero remaining \
      fast-wave hazards (Lemma 3.5) after the wave-safety repair."
@@ -701,7 +714,7 @@ let e9 () =
 (* E10 — coding vs routing throughput ([11] discussion)                 *)
 
 let e10 () =
-  Table.section "E10  Network coding vs routing for k messages";
+  section "E10  Network coding vs routing for k messages";
   let g =
     Topo.cluster_path ~rng:(Rng.create ~seed:6) ~clusters:6 ~size:10
       ~p_intra:0.35
@@ -735,8 +748,8 @@ let e10 () =
           Table.cell_f (median_of sq);
           Table.cell_f (median_of ro /. median_of rl);
         ]);
-  Table.print t;
-  Table.note
+  print_table t;
+  note
     "shape check: the coded schedule's advantage grows with k — the \
      throughput separation the Ω(k log n) discussion in [11] is about."
 
@@ -744,7 +757,7 @@ let e10 () =
 (* E11 — footnote 2: beep-wave 2-approximation of the diameter          *)
 
 let e11 () =
-  Table.section
+  section
     "E11  Footnote 2: distributed 2-approximation of D in O(D) rounds (CD)";
   let t =
     Table.create ~title:"E11  doubling beep-wave estimator"
@@ -769,8 +782,8 @@ let e11 () =
       ("random n=128", Topo.random_connected ~rng:(Rng.create ~seed:8) ~n:128 ~extra:128);
       ("disk n=100", Topo.unit_disk ~rng:(Rng.create ~seed:9) ~n:100 ~radius:0.15);
     ];
-  Table.print t;
-  Table.note
+  print_table t;
+  note
     "shape check: estimate in [ecc, 2.ecc] and total cost a small constant \
      times D — the assumption `nodes know D up to a constant' is removable \
      exactly as the paper's footnote claims."
@@ -779,7 +792,7 @@ let e11 () =
 (* E12 — §3.4 strips: bounded-memory restarts                           *)
 
 let e12 () =
-  Table.section
+  section
     "E12  §3.4 strips: buffer-reset steps keep the schedule correct with bounded memory";
   let t =
     Table.create
@@ -825,8 +838,8 @@ let e12 () =
           name; Table.cell_f (median_of unb); Table.cell_f (median_of s8);
           Table.cell_f (median_of s4); string_of_bool ok;
         ]);
-  Table.print t;
-  Table.note
+  print_table t;
+  note
     "shape check: with steps of c.log^2 n rounds the restart discipline \
      still delivers every batch (one strip of progress survives each \
      step), at a modest constant-factor cost — memory per node is bounded \
@@ -836,7 +849,7 @@ let e12 () =
 (* E13 — fault injection: intermittent jammers                          *)
 
 let e13 () =
-  Table.section
+  section
     "E13  Fault injection: intermittent jammers (6 nodes transmit noise w.p. p)";
   let g = Topo.grid ~w:8 ~h:8 in
   let n = Graph.n g in
@@ -884,8 +897,8 @@ let e13 () =
           Table.cell_f (median_of gstr); Printf.sprintf "%d/5" dok;
           Printf.sprintf "%d/5" gok;
         ]);
-  Table.print t;
-  Table.note
+  print_table t;
+  note
     "shape check: both randomized schedules keep delivering under heavy \
      intermittent jamming at a graceful round-count cost — the resilience \
      the MMV analysis formalizes for protocol-internal noise."
@@ -894,7 +907,7 @@ let e13 () =
 (* E14 — sensitivity of the explicit Theta(.) constants                 *)
 
 let e14 () =
-  Table.section
+  section
     "E14  Sensitivity: distributed construction vs the explicit whp budgets";
   let g = layered ~seed:4 ~depth:12 ~width:5 in
   let t =
@@ -947,8 +960,8 @@ let e14 () =
           (if rounds = [] then "-" else Table.cell_f (median_of rounds));
           string_of_bool valid; string_of_int fb; string_of_int fx;
         ]);
-  Table.print t;
-  Table.note
+  print_table t;
+  note
     "shape check: doubling every safety budget costs well under 2x rounds \
      (only the fixed-epoch layering scales with c_whp; the adaptive phases \
      exit at success), and even the smallest setting stays valid here — \
@@ -958,7 +971,7 @@ let e14 () =
 (* F1 — Figure 1 reproduction                                           *)
 
 let f1 () =
-  Table.section
+  section
     "F1  Figure 1: ranked BFS vs GST (see examples/gst_explorer.exe)";
   let g =
     Graph.create ~n:8
@@ -970,21 +983,21 @@ let f1 () =
     Gst.make ~graph:g ~levels ~parents:naive_parents ~ranks:naive_ranks ()
   in
   let gst = Gst.build_centralized ~graph:g ~roots:[| 0 |] () in
-  Table.note
+  note
     (Printf.sprintf "naive ranked BFS: %d collision-freeness violations"
        (List.length (Gst.collision_violations naive)));
-  Table.note
+  note
     (Printf.sprintf "constructed GST:  %s"
        (match Gst.validate gst with
        | Ok () -> "valid (0 violations)"
        | Error e -> e));
-  Table.note "run `dune exec examples/gst_explorer.exe` for the full rendering."
+  note "run `dune exec examples/gst_explorer.exe` for the full rendering."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 
 let micro () =
-  Table.section "B   Bechamel micro-benchmarks (wall-clock per operation)";
+  section "B   Bechamel micro-benchmarks (wall-clock per operation)";
   let open Bechamel in
   let rng = Rng.create ~seed:1 in
   let grid = Topo.grid ~w:32 ~h:32 in
@@ -1072,7 +1085,7 @@ let micro () =
   List.iter
     (fun (name, est) -> Table.add_row t [ name; Table.cell_f est ])
     (List.sort compare !rows);
-  Table.print t
+  print_table t
 
 (* ------------------------------------------------------------------ *)
 

@@ -276,8 +276,10 @@ let start_rank_or_finish t =
 
 let enter_part t k =
   let rl = part_reds t k and bl = part_blues t in
-  if rl = [] then None
-  else if bl = [] then begin
+  match (rl, bl) with
+  | [], _ -> None
+  | _ :: _, [] ->
+      begin
     (* The part would run with nothing to recruit: every red of the part
        recruits zero, so (Stage III) it is marked and leaves the rank
        phase.  Skipping without marking would let a red hold a temporary
@@ -285,11 +287,11 @@ let enter_part t k =
     if k >= 2 then List.iter (fun v -> t.excluded.(v) <- true) rl;
     None
   end
-  else
-    Some
-      (Recruiting.create ~rng:(Rng.split t.rng) ~params:t.params
-         ~scale_n:t.scale_n ~graph:t.graph ~reds:(Array.of_list rl)
-         ~blues:(Array.of_list bl) ())
+  | _ :: _, _ :: _ ->
+      Some
+        (Recruiting.create ~rng:(Rng.split t.rng) ~params:t.params
+           ~scale_n:t.scale_n ~graph:t.graph ~reds:(Array.of_list rl)
+           ~blues:(Array.of_list bl) ())
 
 let end_epoch t =
   (* Temporaries dissolve; marked reds leave the rank phase. *)
@@ -407,7 +409,7 @@ and enter_next_part t k =
     (* Brisk/lazy coins are per-epoch; after part 3 comes Stage III (skip
        straight to the epoch end when nobody was ranked and no secondary
        can attach). *)
-    if t.ranked_now = [] then end_epoch t else enter t Stage3
+    match t.ranked_now with [] -> end_epoch t | _ :: _ -> enter t Stage3
   end
   else begin
     if k = 1 then
@@ -517,11 +519,11 @@ let advance t =
   | Waiting | Done -> ());
   settle t
 
-let finished t = t.stage = Done
+let finished t = match t.stage with Done -> true | _ -> false
 
-let current_rank t = if t.stage = Done then 0 else t.rank
+let current_rank t = if finished t then 0 else t.rank
 
-let waiting t = t.stage = Waiting
+let waiting t = match t.stage with Waiting -> true | _ -> false
 
 let rounds_used t = t.rounds
 

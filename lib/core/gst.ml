@@ -231,7 +231,7 @@ let assign_level_pair ~graph ~reds ~blues ~blue_rank ~parents ~ranks =
       let children =
         List.filter (fun b -> blue_rank b = i && not (assigned b)) (blue_nbrs v)
       in
-      assert (children <> []);
+      assert (match children with [] -> false | _ :: _ -> true);
       List.iter (fun b -> parents.(b) <- v) children;
       ranks.(v) <- (if List.length children >= 2 then i + 1 else i);
       List.iter
@@ -260,7 +260,7 @@ let assign_level_pair ~graph ~reds ~blues ~blue_rank ~parents ~ranks =
                        (blue_nbrs v))
                 in
                 let candidates =
-                  List.sort_uniq compare (List.concat_map active_nbrs rem)
+                  List.sort_uniq Int.compare (List.concat_map active_nbrs rem)
                 in
                 (match candidates with
                 | [] ->

@@ -13,7 +13,7 @@ let children_lists ~parents =
 let order_by_level_desc ~levels =
   let n = Array.length levels in
   let order = Array.init n (fun i -> i) in
-  Array.sort (fun a b -> compare levels.(b) levels.(a)) order;
+  Array.sort (fun a b -> Int.compare levels.(b) levels.(a)) order;
   order
 
 let ranks ~parents ~levels =
@@ -74,7 +74,7 @@ let check_rank_rule ~parents ~ranks =
   let problem = ref None in
   Array.iteri
     (fun v cs ->
-      if !problem = None && ranks.(v) > 0 then begin
+      if Option.is_none !problem && ranks.(v) > 0 then begin
         let ranked = List.filter (fun c -> ranks.(c) > 0) cs in
         let expected =
           match ranked with

@@ -245,7 +245,7 @@ let run_standalone ?(detection = Engine.No_collision_detection) ~rng ~params
            match parent_of t b with Some r -> Some (b, r) | None -> None)
   in
   let all_covered =
-    List.for_all (fun b -> parent_of t b <> None) (coverable_blues t)
+    List.for_all (fun b -> Option.is_some (parent_of t b)) (coverable_blues t)
   in
   let classes_consistent =
     List.for_all

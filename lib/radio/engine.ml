@@ -42,10 +42,13 @@ let total_simulated_rounds () = Atomic.get simulated_rounds
 
 (* The round loop is allocation-free outside the tracing path: node sets are
    int-array stacks reused every round, stats are mutated directly, and a
-   transmitter's packet is stored once in [out_msg] and shared by reference.
+   transmitter's packet is shared by reference — the [Transmit] block the
+   protocol returned is stored as-is in [out_act], never re-wrapped, so the
+   only per-round allocations are the [Received] wrappers handed to
+   listeners (test/test_alloc.ml holds the loop to that budget).
 
    Invariant between rounds: [listening] is all-false, [tx_count] all-zero,
-   [tx_msg]/[out_msg] all-[None].  Each round re-establishes it by undoing
+   [tx_act]/[out_act] all-[Sleep].  Each round re-establishes it by undoing
    only the entries it touched, so a quiet round on a huge graph costs only
    the decide scan (or only the active set, under [decide_active]).
 
@@ -60,8 +63,8 @@ let run ?stats ?on_round ?after_round ?decide_active ~graph ~detection ~protocol
   let off = Graph.offsets graph and tgt = Graph.targets graph in
   let s = match stats with Some s -> s | None -> fresh_stats () in
   let tx_count = Array.make (max n 1) 0 in
-  let tx_msg = Array.make (max n 1) None in
-  let out_msg = Array.make (max n 1) None in
+  let tx_act = Array.make (max n 1) Sleep in
+  let out_act = Array.make (max n 1) Sleep in
   let listening = Array.make (max n 1) false in
   let transmitters = Array.make (max n 1) 0 in
   let listeners = Array.make (max n 1) 0 in
@@ -70,7 +73,7 @@ let run ?stats ?on_round ?after_round ?decide_active ~graph ~detection ~protocol
     match decide_active with None -> [||] | Some _ -> Array.make (max n 1) 0
   in
   let n_tx = ref 0 and n_ls = ref 0 and n_tc = ref 0 in
-  let tracing = on_round <> None in
+  let tracing = Option.is_some on_round in
   let events = ref [] in
   let decide_one round v =
     match protocol.decide ~round ~node:v with
@@ -79,8 +82,8 @@ let run ?stats ?on_round ?after_round ?decide_active ~graph ~detection ~protocol
         listening.(v) <- true;
         listeners.(!n_ls) <- v;
         incr n_ls
-    | Transmit msg ->
-        out_msg.(v) <- Some msg;
+    | Transmit msg as act ->
+        out_act.(v) <- act;
         transmitters.(!n_tx) <- v;
         incr n_tx;
         if tracing then events := Ev_transmit { node = v; msg } :: !events
@@ -111,14 +114,14 @@ let run ?stats ?on_round ?after_round ?decide_active ~graph ~detection ~protocol
       for i = !n_tx - 1 downto 0 do
         let t = transmitters.(i) in
         s.transmissions <- s.transmissions + 1;
-        let msg = out_msg.(t) in
+        let act = out_act.(t) in
         for j = off.(t) to off.(t + 1) - 1 do
           let v = Array.unsafe_get tgt j in
           if listening.(v) then begin
             if tx_count.(v) = 0 then begin
               touched.(!n_tc) <- v;
               incr n_tc;
-              tx_msg.(v) <- msg
+              tx_act.(v) <- act
             end;
             tx_count.(v) <- tx_count.(v) + 1
           end
@@ -131,7 +134,7 @@ let run ?stats ?on_round ?after_round ?decide_active ~graph ~detection ~protocol
           | 0 -> Silence
           | 1 -> (
               s.deliveries <- s.deliveries + 1;
-              match tx_msg.(v) with Some m -> Received m | None -> assert false)
+              match tx_act.(v) with Transmit m -> Received m | _ -> assert false)
           | _ -> (
               s.collisions <- s.collisions + 1;
               match detection with
@@ -144,10 +147,10 @@ let run ?stats ?on_round ?after_round ?decide_active ~graph ~detection ~protocol
       for i = 0 to !n_tc - 1 do
         let v = touched.(i) in
         tx_count.(v) <- 0;
-        tx_msg.(v) <- None
+        tx_act.(v) <- Sleep
       done;
       for i = 0 to !n_tx - 1 do
-        out_msg.(transmitters.(i)) <- None
+        out_act.(transmitters.(i)) <- Sleep
       done;
       for i = 0 to !n_ls - 1 do
         listening.(listeners.(i)) <- false
@@ -159,6 +162,7 @@ let run ?stats ?on_round ?after_round ?decide_active ~graph ~detection ~protocol
       if tx_happened then s.busy_rounds <- s.busy_rounds + 1;
       (match on_round with
       | Some f ->
+          (* rblint:allow R5 tracing path: reached only when [on_round] is set, never in steady-state benchmarking *)
           f ~round (List.rev !events);
           events := []
       | None -> ());
@@ -167,3 +171,8 @@ let run ?stats ?on_round ?after_round ?decide_active ~graph ~detection ~protocol
     end
   in
   loop 0
+(* [@@zero_alloc_hot] makes rblint (R5, dune build @lint) reject any list
+   traversal or closure-allocating array iteration introduced into this
+   round loop; test/test_alloc.ml checks the complementary dynamic claim
+   with Gc.minor_words. *)
+[@@zero_alloc_hot]

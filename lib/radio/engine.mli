@@ -106,8 +106,12 @@ val run :
 
     The engine allocates only its fixed per-run scratch (a few int arrays of
     length [n]); the round loop itself is allocation-free apart from the
-    [Transmit] packets protocols return and, when [on_round] is set, the
-    trace events.
+    [Transmit] packets protocols return (stored by reference, never
+    re-wrapped), the [Received] wrappers handed to successful listeners, and,
+    when [on_round] is set, the trace events.  [test/test_alloc.ml] enforces
+    this budget under [Gc.minor_words]; rblint rule R5 (see DESIGN.md §8)
+    statically rejects list traversals inside the [@@zero_alloc_hot]-tagged
+    loop.
 
     Complexity per round: O(n) decide calls (or O(|active|) under
     [decide_active]) plus O(Σ deg) over transmitters, so protocols that

@@ -21,6 +21,7 @@ let map ?domains f items =
         results.(!j) <- Some (f items.(!j));
         j := !j + d
       done
+    [@@zero_alloc_hot]
     in
     let spawned = List.init d (fun i -> Domain.spawn (worker i)) in
     List.iter Domain.join spawned;

@@ -26,7 +26,10 @@ let percentile xs p =
   if Array.length xs = 0 then invalid_arg "Stats.percentile";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  (* Float.compare orders exactly like the polymorphic compare it replaces
+     (NaN equal to itself and below every number), so percentile output is
+     byte-identical. *)
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in

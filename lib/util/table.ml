@@ -48,8 +48,9 @@ let write_csv t =
       List.iter (fun r -> output_string oc (line r ^ "\n")) (List.rev t.rows);
       close_out oc
 
-let print t =
-  write_csv t;
+(* Rendering returns lines instead of printing them: library code must hand
+   data back (rblint R4) and let bin/bench/examples decide where it goes. *)
+let to_lines t =
   let rows = List.rev t.rows in
   let all = t.columns :: rows in
   let ncols = List.length t.columns in
@@ -73,13 +74,10 @@ let print t =
     ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths)
     ^ "|"
   in
-  Printf.printf "\n%s\n" t.title;
-  Printf.printf "%s\n" (render_row t.columns);
-  Printf.printf "%s\n" sep;
-  List.iter (fun r -> Printf.printf "%s\n" (render_row r)) rows
+  t.title :: render_row t.columns :: sep :: List.map render_row rows
 
-let note s = Printf.printf "  -> %s\n" s
+let note_line s = "  -> " ^ s
 
-let section s =
+let section_lines s =
   let bar = String.make (String.length s + 4) '=' in
-  Printf.printf "\n%s\n| %s |\n%s\n" bar s bar
+  [ bar; "| " ^ s ^ " |"; bar ]

@@ -1,7 +1,11 @@
 (** Plain-text table rendering for the benchmark harness.
 
     Produces aligned, pipe-separated tables so that every experiment prints
-    the same kind of rows the paper's claims are checked against. *)
+    the same kind of rows the paper's claims are checked against.
+
+    Rendering is pure: this module returns lines and never writes to the
+    console (rblint rule R4 — library code returns data).  The printing
+    helpers live with the callers, e.g. [bench/main.ml]. *)
 
 type t
 
@@ -14,19 +18,24 @@ val add_row : t -> string list -> unit
 val add_int_row : t -> (string * int list) -> unit
 (** Convenience: a label cell followed by integer cells. *)
 
-val print : t -> unit
-(** Render to stdout with column alignment and a title banner. *)
+val to_lines : t -> string list
+(** Render with column alignment: the title line, the header row, a
+    separator, then one line per data row. *)
+
+val write_csv : t -> unit
+(** When {!csv_dir} is set, write the table as a CSV file named after a
+    slug of its title into that directory (created if missing); a no-op
+    otherwise. *)
 
 val csv_dir : string option ref
-(** When set, {!print} also writes each table as a CSV file named after a
-    slug of its title into this directory (created if missing) — used by
+(** CSV output directory for {!write_csv} — used by
     [bench/main.exe --csv DIR] so plots can be regenerated. *)
 
 val cell_f : float -> string
 (** Format a float cell compactly ("123", "12.3", "1.23"). *)
 
-val note : string -> unit
-(** Print a single indented commentary line (shape verdicts etc.). *)
+val note_line : string -> string
+(** A single indented commentary line (shape verdicts etc.). *)
 
-val section : string -> unit
-(** Print a section banner (one per experiment id). *)
+val section_lines : string -> string list
+(** A three-line section banner (one per experiment id). *)

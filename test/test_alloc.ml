@@ -1,0 +1,194 @@
+(* Alloc-budget tests: the dynamic half of the zero-allocation invariant
+   that rblint's R5 enforces statically (DESIGN.md §8).
+
+   The engine's steady-state round loop must allocate nothing on the minor
+   heap beyond the [Received] wrappers handed to successful listeners (the
+   [Transmit] packets are the protocol's own, counted against it).  The
+   Runner's shard loop must allocate O(1) words per item, independent of
+   both the item count and the graph size.  Both are measured with
+   [Gc.minor_words] deltas captured into preallocated float arrays, so the
+   measurement itself allocates nothing between the marks. *)
+
+open Rn_graph
+open Rn_radio
+
+(* Minor-heap words allocated by [rounds] steady-state rounds, measured
+   after [warmup] rounds so per-run scratch setup is excluded. *)
+let engine_round_words ?decide_active ~graph ~protocol ~warmup ~rounds () =
+  let marks = [| 0.0; 0.0 |] in
+  let after_round ~round =
+    if round = warmup then marks.(0) <- Gc.minor_words ()
+    else if round = warmup + rounds then marks.(1) <- Gc.minor_words ()
+  in
+  let (_ : Engine.outcome) =
+    Engine.run ?decide_active ~after_round ~graph
+      ~detection:Engine.Collision_detection ~protocol
+      ~stop:(fun ~round:_ -> false)
+      ~max_rounds:(warmup + rounds + 2) ()
+  in
+  marks.(1) -. marks.(0)
+
+let star n =
+  Graph.create ~n ~edges:(List.init (n - 1) (fun i -> (0, i + 1)))
+
+(* A quiet network — everyone listens, nobody transmits — must drive the
+   round loop at exactly zero minor-heap words per round. *)
+let test_quiet_round_loop () =
+  let graph = star 512 in
+  let protocol =
+    {
+      Engine.decide = (fun ~round:_ ~node:_ -> Engine.Listen);
+      deliver = (fun ~round:_ ~node:_ _ -> ());
+    }
+  in
+  let words = engine_round_words ~graph ~protocol ~warmup:16 ~rounds:256 () in
+  Alcotest.(check (float 0.0))
+    "quiet steady-state rounds allocate zero minor words" 0.0 words
+
+(* A busy star: the hub transmits a preallocated packet every round, all
+   leaves listen and are delivered.  The only legal per-round allocation is
+   one [Received] wrapper per delivery — budget 4 words each (block + header
+   + slack) and a constant per round.  A reintroduced per-transmitter or
+   per-node allocation blows this budget immediately. *)
+let test_busy_round_loop_delivery_budget () =
+  let leaves = 63 in
+  let graph = star (leaves + 1) in
+  let tx = Engine.Transmit 7 in
+  let protocol =
+    {
+      Engine.decide =
+        (fun ~round:_ ~node -> if node = 0 then tx else Engine.Listen);
+      deliver = (fun ~round:_ ~node:_ _ -> ());
+    }
+  in
+  let rounds = 128 in
+  let words =
+    engine_round_words ~graph ~protocol ~warmup:16 ~rounds ()
+  in
+  let budget = float_of_int (rounds * ((4 * leaves) + 8)) in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "busy rounds stay within the delivery budget (%.0f words <= %.0f)"
+       words budget)
+    true
+    (words <= budget)
+
+(* Allocation must track the active set, not the graph: one transmitter and
+   one listener inside a 4096-node graph stay under a tiny constant per
+   round even though n is large. *)
+let test_round_loop_independent_of_n () =
+  let n = 4096 in
+  let graph = star n in
+  let tx = Engine.Transmit 1 in
+  let protocol =
+    {
+      Engine.decide =
+        (fun ~round:_ ~node ->
+          if node = 0 then tx
+          else if node = 1 then Engine.Listen
+          else Engine.Sleep);
+      deliver = (fun ~round:_ ~node:_ _ -> ());
+    }
+  in
+  let rounds = 128 in
+  let words = engine_round_words ~graph ~protocol ~warmup:16 ~rounds () in
+  let budget = float_of_int (rounds * 16) in
+  Alcotest.(check bool)
+    (Printf.sprintf "1 tx + 1 rx in n=4096 stays O(active) (%.0f <= %.0f)"
+       words budget)
+    true
+    (words <= budget)
+
+(* The same bound must hold under the [decide_active] fast path. *)
+let test_active_set_round_loop () =
+  let n = 2048 in
+  let graph = star n in
+  let tx = Engine.Transmit 1 in
+  let protocol =
+    {
+      Engine.decide =
+        (fun ~round:_ ~node -> if node = 0 then tx else Engine.Listen);
+      deliver = (fun ~round:_ ~node:_ _ -> ());
+    }
+  in
+  let decide_active ~round:_ (buf : int array) =
+    buf.(0) <- 0;
+    buf.(1) <- 5;
+    2
+  in
+  let rounds = 128 in
+  let words =
+    engine_round_words ~decide_active ~graph ~protocol ~warmup:16 ~rounds ()
+  in
+  let budget = float_of_int (rounds * 16) in
+  Alcotest.(check bool)
+    (Printf.sprintf "decide_active loop stays O(active) (%.0f <= %.0f)" words
+       budget)
+    true
+    (words <= budget)
+
+(* Runner shard loop: every domain lane records Gc.minor_words (its own
+   domain's counter) at each item it processes; the delta between two
+   consecutive items of the same lane is the steady-state cost of one
+   while-loop iteration — the [Some] result cell and nothing else. *)
+let test_runner_shard_loop () =
+  let k = 1024 and d = 4 in
+  let marks = Array.make k 0.0 in
+  let items = List.init k (fun i -> i) in
+  let f i =
+    marks.(i) <- Gc.minor_words ();
+    i * 2
+  in
+  let out = Runner.map ~domains:d f items in
+  Alcotest.(check int) "all items mapped" k (List.length out);
+  let worst = ref 0.0 in
+  (* skip each lane's first stride: domain startup allocs land before it *)
+  for i = d to k - d - 1 do
+    let delta = marks.(i + d) -. marks.(i) in
+    if delta > !worst then worst := delta
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "shard-loop iteration allocates <= 16 words (worst %.0f)"
+       !worst)
+    true
+    (!worst <= 16.0)
+
+(* Serial path budget: the d <= 1 fast path may allocate the result list
+   but must stay O(1) words per item. *)
+let test_runner_serial_budget () =
+  let k = 8192 in
+  let items = List.init k (fun i -> i) in
+  let marks = [| 0.0; 0.0 |] in
+  marks.(0) <- Gc.minor_words ();
+  let out = Runner.map ~domains:1 (fun i -> i + 1) items in
+  marks.(1) <- Gc.minor_words ();
+  Alcotest.(check int) "all items mapped" k (List.length out);
+  let per_item = (marks.(1) -. marks.(0)) /. float_of_int k in
+  Alcotest.(check bool)
+    (Printf.sprintf "serial map allocates <= 32 words/item (got %.1f)"
+       per_item)
+    true
+    (per_item <= 32.0)
+
+let () =
+  Alcotest.run "alloc"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "quiet loop is allocation-free" `Quick
+            test_quiet_round_loop;
+          Alcotest.test_case "busy loop: deliveries only" `Quick
+            test_busy_round_loop_delivery_budget;
+          Alcotest.test_case "allocation independent of n" `Quick
+            test_round_loop_independent_of_n;
+          Alcotest.test_case "decide_active loop" `Quick
+            test_active_set_round_loop;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "shard loop O(1)/item" `Quick
+            test_runner_shard_loop;
+          Alcotest.test_case "serial path budget" `Quick
+            test_runner_serial_budget;
+        ] );
+    ]

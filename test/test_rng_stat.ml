@@ -1,0 +1,156 @@
+(* Statistical smoke tests for Rng (SplitMix64).
+
+   The simulator's w.h.p. claims are validated by running many seeded
+   trials, so the generator must (a) give split children that are
+   decorrelated even for adjacent integer seeds — the bench derives every
+   trial's stream via [Rng.split] from consecutive seeds — and (b) draw
+   [Rng.int] exactly uniformly on small bounds, since protocol coins are
+   mostly [Rng.int]/[Rng.bernoulli] with tiny supports.
+
+   All chi-square checks run on fixed seeds, so they are deterministic:
+   thresholds are the 99.9% critical values with generous margin. *)
+
+open Rn_util
+
+let bits = 64
+
+(* Fraction of agreeing bits between the next [draws] outputs of two
+   generators; independent streams sit near 1/2. *)
+let bit_agreement a b ~draws =
+  let agree = ref 0 in
+  for _ = 1 to draws do
+    let xa = Rng.bits64 a and xb = Rng.bits64 b in
+    let x = Int64.lognot (Int64.logxor xa xb) in
+    (* popcount of the agreement mask *)
+    for i = 0 to bits - 1 do
+      if Int64.logand (Int64.shift_right_logical x i) 1L = 1L then incr agree
+    done
+  done;
+  float_of_int !agree /. float_of_int (draws * bits)
+
+(* 256 draws x 64 bits = 16384 bits; sigma ~ 0.004, so [0.45, 0.55] is a
+   +-12 sigma band — a real correlation fails it, noise never does. *)
+let check_band what frac =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: bit agreement %.4f in [0.45, 0.55]" what frac)
+    true
+    (frac > 0.45 && frac < 0.55)
+
+let test_split_adjacent_seeds () =
+  for seed = 0 to 7 do
+    let a = Rng.split (Rng.create ~seed) in
+    let b = Rng.split (Rng.create ~seed:(seed + 1)) in
+    check_band (Printf.sprintf "split children of seeds %d/%d" seed (seed + 1))
+      (bit_agreement a b ~draws:256)
+  done
+
+let test_parent_child_decorrelated () =
+  for seed = 0 to 7 do
+    let parent = Rng.create ~seed in
+    let child = Rng.split parent in
+    check_band (Printf.sprintf "parent/child of seed %d" seed)
+      (bit_agreement parent child ~draws:256)
+  done
+
+let test_split_n_pairwise () =
+  let parent = Rng.create ~seed:7 in
+  let kids = Rng.split_n parent 8 in
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if i < j then
+            check_band
+              (Printf.sprintf "split_n children %d/%d" i j)
+              (bit_agreement (Rng.copy a) (Rng.copy b) ~draws:256))
+        kids)
+    kids
+
+(* Exhaustive histogram of [Rng.int] on small bounds: rejection sampling
+   must be exactly uniform, so chi-square against the flat expectation
+   stays under the 99.9% critical value (df <= 7 -> 24.32; we allow 25). *)
+let test_int_chi_square () =
+  List.iter
+    (fun bound ->
+      let rng = Rng.create ~seed:(1000 + bound) in
+      let n = 20_000 * bound in
+      let hist = Array.make bound 0 in
+      for _ = 1 to n do
+        let v = Rng.int rng bound in
+        if v < 0 || v >= bound then
+          Alcotest.failf "Rng.int %d returned %d, out of range" bound v;
+        hist.(v) <- hist.(v) + 1
+      done;
+      let expected = float_of_int n /. float_of_int bound in
+      let chi2 =
+        Array.fold_left
+          (fun acc c ->
+            let d = float_of_int c -. expected in
+            acc +. (d *. d /. expected))
+          0.0 hist
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "chi-square bound=%d: %.2f < 25" bound chi2)
+        true (chi2 < 25.0))
+    [ 2; 3; 4; 5; 6; 7; 8 ]
+
+(* Bernoulli at p=1/2 must match the fair-coin rate under the same
+   deterministic-seed policy. *)
+let test_bernoulli_rate () =
+  let rng = Rng.create ~seed:99 in
+  let n = 100_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.5 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "bernoulli 0.5 rate %.4f in [0.49, 0.51]" rate)
+    true
+    (rate > 0.49 && rate < 0.51)
+
+(* QCheck: exact invariants that must hold for every seed, not just the
+   pinned ones — range, determinism, and split independence of the
+   parent's subsequent draws. *)
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"int in range for all seeds/bounds" ~count:500
+      (pair small_int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let v = Rng.int (Rng.create ~seed) bound in
+        v >= 0 && v < bound);
+    Test.make ~name:"equal seeds replay equal streams" ~count:200 small_int
+      (fun seed ->
+        let a = Rng.create ~seed and b = Rng.create ~seed in
+        List.for_all
+          (fun _ -> Int64.equal (Rng.bits64 a) (Rng.bits64 b))
+          [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
+    Test.make ~name:"split leaves the parent's stream unchanged" ~count:200
+      small_int
+      (fun seed ->
+        let a = Rng.create ~seed and b = Rng.create ~seed in
+        let (_ : Rng.t) = Rng.split a in
+        let (_ : Rng.t) = Rng.split b in
+        (* both parents advanced identically; their futures agree *)
+        Int64.equal (Rng.bits64 a) (Rng.bits64 b));
+  ]
+
+let () =
+  Alcotest.run "rng-stat"
+    [
+      ( "decorrelation",
+        [
+          Alcotest.test_case "adjacent seeds" `Quick test_split_adjacent_seeds;
+          Alcotest.test_case "parent vs child" `Quick
+            test_parent_child_decorrelated;
+          Alcotest.test_case "split_n pairwise" `Quick test_split_n_pairwise;
+        ] );
+      ( "uniformity",
+        [
+          Alcotest.test_case "Rng.int chi-square" `Quick test_int_chi_square;
+          Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+        ] );
+      ( "qcheck",
+        List.map QCheck_alcotest.to_alcotest qcheck_props );
+    ]

@@ -1,0 +1,205 @@
+(* Edge-case coverage for the parallel trial runner (Runner.map) and the
+   fault-injection helpers (Faults) — previously only exercised indirectly
+   through the bench smoke. *)
+
+open Rn_util
+open Rn_radio
+open Rn_broadcast
+
+(* ------------------------------------------------------------------ *)
+(* Runner.map edge cases                                               *)
+
+let test_domains_exceed_items () =
+  (* 8 domains over 3 items must clamp to 3 and preserve order. *)
+  let out = Runner.map ~domains:8 (fun x -> x * x) [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "order preserved" [ 1; 4; 9 ] out
+
+let test_domains_zero_clamps () =
+  let out = Runner.map ~domains:0 (fun x -> x + 1) [ 10; 20; 30 ] in
+  Alcotest.(check (list int)) "domains=0 runs serially" [ 11; 21; 31 ] out;
+  let out = Runner.map ~domains:(-3) (fun x -> x + 1) [ 10 ] in
+  Alcotest.(check (list int)) "negative domains clamp too" [ 11 ] out
+
+let test_empty_items () =
+  let called = ref false in
+  let out =
+    Runner.map ~domains:4
+      (fun x ->
+        called := true;
+        x)
+      []
+  in
+  Alcotest.(check (list int)) "empty in, empty out" [] out;
+  Alcotest.(check bool) "f never called" false !called
+
+let test_single_item_many_domains () =
+  let out = Runner.map ~domains:16 string_of_int [ 42 ] in
+  Alcotest.(check (list string)) "singleton" [ "42" ] out
+
+let test_map_seeds_order () =
+  let out =
+    Runner.map_seeds ~domains:3 ~seeds:[ 5; 1; 9; 2 ] (fun ~seed -> seed * 10)
+  in
+  Alcotest.(check (list int)) "seed order preserved" [ 50; 10; 90; 20 ] out
+
+(* Serial-vs-parallel bit-identity: each trial derives everything from its
+   seed, so any domain count must reproduce the serial result exactly.
+   The trial body runs a real protocol stack to make the property
+   meaningful, not just an integer map. *)
+let qcheck_bit_identity =
+  let open QCheck in
+  Test.make ~name:"Runner.map serial == parallel (bit-identical trials)"
+    ~count:20
+    (pair (int_range 2 8) (list_of_size Gen.(int_range 1 12) small_nat))
+    (fun (domains, seeds) ->
+      let trial seed =
+        let rng = Rng.create ~seed in
+        let g =
+          Rn_graph.Gen.layered_random ~rng:(Rng.split rng) ~depth:4 ~width:4
+            ~p:0.5
+        in
+        let r = Single_broadcast.run ~rng:(Rng.split rng) ~graph:g ~source:0 () in
+        (r.Single_broadcast.rounds_total, r.Single_broadcast.delivered)
+      in
+      Runner.map ~domains:1 trial seeds = Runner.map ~domains trial seeds)
+
+(* ------------------------------------------------------------------ *)
+(* Faults                                                              *)
+
+let listen_protocol =
+  {
+    Engine.decide = (fun ~round:_ ~node:_ -> Engine.Listen);
+    deliver = (fun ~round:_ ~node:_ _ -> ());
+  }
+
+let action_testable =
+  Alcotest.testable
+    (fun fmt a ->
+      Format.pp_print_string fmt
+        (match a with
+        | Engine.Sleep -> "Sleep"
+        | Engine.Listen -> "Listen"
+        | Engine.Transmit m -> Printf.sprintf "Transmit %d" m))
+    (fun a b ->
+      match (a, b) with
+      | Engine.Sleep, Engine.Sleep | Engine.Listen, Engine.Listen -> true
+      | Engine.Transmit x, Engine.Transmit y -> x = y
+      | _ -> false)
+
+let test_jammers_p1_always_jam () =
+  let rng = Rng.create ~seed:3 in
+  let p =
+    Faults.with_jammers ~rng ~jammers:[| 1; 3 |] ~p:1.0 ~noise:(-7)
+      listen_protocol
+  in
+  for round = 0 to 9 do
+    Alcotest.check action_testable "jammer transmits noise"
+      (Engine.Transmit (-7))
+      (p.Engine.decide ~round ~node:1);
+    Alcotest.check action_testable "non-jammer falls through" Engine.Listen
+      (p.Engine.decide ~round ~node:2)
+  done
+
+let test_jammers_p0_never_jam () =
+  let rng = Rng.create ~seed:3 in
+  let p =
+    Faults.with_jammers ~rng ~jammers:[| 0; 2 |] ~p:0.0 ~noise:(-7)
+      listen_protocol
+  in
+  for round = 0 to 9 do
+    Alcotest.check action_testable "p=0 jammer never jams" Engine.Listen
+      (p.Engine.decide ~round ~node:0)
+  done
+
+let test_jammers_deterministic () =
+  let mk () =
+    Faults.with_jammers ~rng:(Rng.create ~seed:11) ~jammers:[| 0; 1; 2 |]
+      ~p:0.5 ~noise:99 listen_protocol
+  in
+  let a = mk () and b = mk () in
+  for round = 0 to 49 do
+    for node = 0 to 2 do
+      Alcotest.check action_testable "same seed, same jam schedule"
+        (a.Engine.decide ~round ~node)
+        (b.Engine.decide ~round ~node)
+    done
+  done
+
+let test_pick_jammers_properties () =
+  let rng = Rng.create ~seed:5 in
+  let jammers = Faults.pick_jammers ~rng ~n:50 ~count:10 ~exclude:[| 0; 7 |] in
+  Alcotest.(check int) "count respected" 10 (Array.length jammers);
+  Array.iter
+    (fun v ->
+      if v = 0 || v = 7 then Alcotest.failf "excluded node %d picked" v;
+      if v < 0 || v >= 50 then Alcotest.failf "node %d out of range" v)
+    jammers;
+  let sorted = Array.copy jammers in
+  Array.sort Int.compare sorted;
+  for i = 1 to Array.length sorted - 1 do
+    if sorted.(i) = sorted.(i - 1) then
+      Alcotest.failf "duplicate jammer %d" sorted.(i)
+  done
+
+let test_pick_jammers_errors () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "negative count rejected" true
+    (raises (fun () ->
+         Faults.pick_jammers ~rng:(Rng.create ~seed:1) ~n:5 ~count:(-1)
+           ~exclude:[||]));
+  Alcotest.(check bool) "count > candidates rejected" true
+    (raises (fun () ->
+         Faults.pick_jammers ~rng:(Rng.create ~seed:1) ~n:5 ~count:5
+           ~exclude:[| 0 |]))
+
+(* End-to-end: a broadcast through a jammed network still completes (the
+   jammers only add collisions) and is reproducible from its seed. *)
+let test_jammed_broadcast_deterministic () =
+  let run_once () =
+    let rng = Rng.create ~seed:21 in
+    let g =
+      Rn_graph.Gen.layered_random ~rng:(Rng.split rng) ~depth:4 ~width:4 ~p:0.5
+    in
+    let jammers =
+      Faults.pick_jammers ~rng:(Rng.split rng) ~n:(Rn_graph.Graph.n g) ~count:2
+        ~exclude:[| 0 |]
+    in
+    let r =
+      Single_broadcast.run ~rng:(Rng.split rng) ~graph:g ~source:0 ()
+    in
+    (Array.to_list jammers, r.Single_broadcast.rounds_total)
+  in
+  Alcotest.(check (pair (list int) int))
+    "jammed run replays bit-identically" (run_once ()) (run_once ())
+
+let () =
+  Alcotest.run "runner-faults"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "domains > items" `Quick test_domains_exceed_items;
+          Alcotest.test_case "domains = 0 clamps" `Quick
+            test_domains_zero_clamps;
+          Alcotest.test_case "empty items" `Quick test_empty_items;
+          Alcotest.test_case "single item" `Quick test_single_item_many_domains;
+          Alcotest.test_case "map_seeds order" `Quick test_map_seeds_order;
+          QCheck_alcotest.to_alcotest qcheck_bit_identity;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "p=1 always jams" `Quick test_jammers_p1_always_jam;
+          Alcotest.test_case "p=0 never jams" `Quick test_jammers_p0_never_jam;
+          Alcotest.test_case "jam schedule deterministic" `Quick
+            test_jammers_deterministic;
+          Alcotest.test_case "pick_jammers properties" `Quick
+            test_pick_jammers_properties;
+          Alcotest.test_case "pick_jammers errors" `Quick
+            test_pick_jammers_errors;
+          Alcotest.test_case "jammed broadcast deterministic" `Quick
+            test_jammed_broadcast_deterministic;
+        ] );
+    ]

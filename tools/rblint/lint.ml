@@ -1,0 +1,326 @@
+(* rblint — repo-specific static analysis for the radio-broadcast simulator.
+
+   Parses OCaml sources with compiler-libs and enforces the determinism,
+   hot-path and zero-allocation invariants that the simulator's
+   reproducibility claims rest on (DESIGN.md §8):
+
+     R1  no [Stdlib.Random] outside lib/util/rng.ml — all randomness must
+         flow through the seeded SplitMix64 [Rng] so every trial replays
+         from one integer seed.
+     R2  no polymorphic comparison ([compare], [Hashtbl.hash], comparison
+         operators used as values, or infix comparison against structured
+         operands such as [None] / [Some _] / [[]] / tuples) inside
+         lib/util, lib/graph, lib/core, lib/radio — monomorphic
+         comparators only.
+     R3  no [Obj.magic] / [Obj.repr] (any use of [Obj]) anywhere.
+     R4  no console output from lib/ — library code returns data; only
+         bin/, bench/ and examples/ print.
+     R5  no [List.*] traversal and no closure-allocating [Array]
+         iteration inside a function tagged [@@zero_alloc_hot].
+
+   Findings print as "file:line:col RULE message".  A finding is
+   suppressed by [(* rblint:allow RULE reason *)] on the same line or the
+   line directly above; a suppression with an empty reason is itself an
+   error (R0) and suppresses nothing. *)
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  msg : string;
+}
+
+let pp_finding f = Printf.sprintf "%s:%d:%d %s %s" f.file f.line f.col f.rule f.msg
+
+(* ------------------------------------------------------------------ *)
+(* Path scoping                                                        *)
+
+(* Normalize away leading "./" and backslashes so scope checks work on the
+   paths dune hands us as well as plain CLI paths. *)
+let normalize path =
+  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
+  if String.length path > 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let has_dir ~dir path =
+  let path = normalize path and dir = dir ^ "/" in
+  let n = String.length path and d = String.length dir in
+  (n >= d && String.sub path 0 d = dir)
+  ||
+  let infix = "/" ^ dir in
+  let di = String.length infix in
+  let rec scan i =
+    i + di <= n && (String.sub path i di = infix || scan (i + 1))
+  in
+  scan 0
+
+let is_rng_ml path =
+  let path = normalize path in
+  let suffix = "lib/util/rng.ml" in
+  let n = String.length path and s = String.length suffix in
+  n >= s
+  && String.sub path (n - s) s = suffix
+  && (n = s || path.[n - s - 1] = '/')
+
+let r2_scope path =
+  List.exists
+    (fun d -> has_dir ~dir:d path)
+    [ "lib/util"; "lib/graph"; "lib/core"; "lib/radio" ]
+
+let r4_scope path = has_dir ~dir:"lib" path
+
+(* ------------------------------------------------------------------ *)
+(* Suppressions                                                        *)
+
+type allow = { a_line : int; a_rule : string; a_reason : string }
+
+(* Scan raw source for [(* rblint:allow RULE reason *)] markers.  The
+   parser drops comments, so this is a plain text scan; a marker applies
+   to findings on its own line and on the following line. *)
+let collect_allows source =
+  let allows = ref [] in
+  let lines = String.split_on_char '\n' source in
+  List.iteri
+    (fun i line ->
+      let lno = i + 1 in
+      let key = "rblint:allow" in
+      match
+        let kl = String.length key in
+        let rec find j =
+          if j + kl > String.length line then None
+          else if String.sub line j kl = key then Some (j + kl)
+          else find (j + 1)
+        in
+        find 0
+      with
+      | None -> ()
+      | Some start ->
+          let stop =
+            let rec find j =
+              if j + 2 > String.length line then String.length line
+              else if String.sub line j 2 = "*)" then j
+              else find (j + 1)
+            in
+            find start
+          in
+          let body = String.trim (String.sub line start (stop - start)) in
+          let rule, reason =
+            match String.index_opt body ' ' with
+            | None -> (body, "")
+            | Some sp ->
+                ( String.sub body 0 sp,
+                  String.trim
+                    (String.sub body (sp + 1) (String.length body - sp - 1)) )
+          in
+          allows := { a_line = lno; a_rule = rule; a_reason = reason } :: !allows)
+    lines;
+  List.rev !allows
+
+let apply_allows ~file allows findings =
+  let invalid =
+    List.filter_map
+      (fun a ->
+        if a.a_rule = "" || a.a_reason = "" then
+          Some
+            {
+              file;
+              line = a.a_line;
+              col = 0;
+              rule = "R0";
+              msg = "rblint:allow needs a rule and a non-empty reason";
+            }
+        else None)
+      allows
+  in
+  let valid = List.filter (fun a -> a.a_rule <> "" && a.a_reason <> "") allows in
+  let kept =
+    List.filter
+      (fun f ->
+        not
+          (List.exists
+             (fun a ->
+               a.a_rule = f.rule && (a.a_line = f.line || a.a_line = f.line - 1))
+             valid))
+      findings
+  in
+  invalid @ kept
+
+(* ------------------------------------------------------------------ *)
+(* AST checks                                                          *)
+
+open Parsetree
+
+let loc_finding ~file (loc : Location.t) rule msg =
+  let p = loc.loc_start in
+  { file; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; rule; msg }
+
+let poly_ops = [ "="; "<"; ">"; "<="; ">="; "<>" ]
+
+(* Operands that make an infix comparison certainly polymorphic: constant
+   constructors other than bool/unit ([None], [[]]), constructor or variant
+   applications, tuples, records, arrays.  Comparisons between plain
+   identifiers or against int/float/char/string literals are left alone —
+   the typer specializes those. *)
+let rec structured e =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Longident.Lident ("true" | "false" | "()"); _ }, None)
+    ->
+      false
+  | Pexp_construct _ | Pexp_variant _ | Pexp_tuple _ | Pexp_record _
+  | Pexp_array _ ->
+      true
+  | Pexp_constraint (e, _) -> structured e
+  | _ -> false
+
+let lint_source ~path ~source =
+  let file = normalize path in
+  let findings = ref [] in
+  let emit loc rule msg = findings := loc_finding ~file loc rule msg :: !findings in
+  let in_r2 = r2_scope file and in_r4 = r4_scope file in
+  let rng_exempt = is_rng_ml file in
+  let hot = ref 0 in
+  let check_longident loc lid =
+    let parts = Longident.flatten lid in
+    let parts =
+      match parts with "Stdlib" :: rest when rest <> [] -> rest | _ -> parts
+    in
+    (match parts with
+    | "Random" :: _ when not rng_exempt ->
+        emit loc "R1"
+          "Stdlib.Random is banned: draw through the seeded Rng (SplitMix64) \
+           so runs replay from one seed"
+    | _ -> ());
+    (match parts with
+    | "Obj" :: _ ->
+        emit loc "R3" "Obj.magic/Obj.repr break abstraction and memory safety"
+    | _ -> ());
+    (if in_r2 then
+       match parts with
+       | [ "compare" ] | [ "Pervasives"; "compare" ] ->
+           emit loc "R2"
+             "polymorphic compare: use a monomorphic comparator \
+              (Int.compare, Float.compare, ...)"
+       | [ "Hashtbl"; "hash" ] ->
+           emit loc "R2" "polymorphic Hashtbl.hash: hash a concrete key type"
+       | _ -> ());
+    if in_r4 then begin
+      (match parts with
+      | [ p ]
+        when List.mem p
+               [
+                 "print_string"; "print_endline"; "print_newline"; "print_char";
+                 "print_int"; "print_float"; "print_bytes"; "prerr_string";
+                 "prerr_endline"; "prerr_newline"; "prerr_char"; "prerr_int";
+                 "prerr_float"; "prerr_bytes"; "stdout"; "stderr";
+               ] ->
+          emit loc "R4"
+            ("console output from lib/ (" ^ p
+           ^ "): return data and let bin/bench/examples print")
+      | _ -> ());
+      match parts with
+      | [ ("Printf" | "Format" | "Fmt"); fn ]
+        when List.mem fn
+               [
+                 "printf"; "eprintf"; "pr"; "epr"; "print_string";
+                 "print_newline"; "print_flush"; "std_formatter";
+                 "err_formatter"; "stdout"; "stderr";
+               ] ->
+          emit loc "R4"
+            "console output from lib/: return data and let bin/bench/examples \
+             print"
+      | _ -> ()
+    end;
+    if !hot > 0 then
+      match parts with
+      | "List" :: _ ->
+          emit loc "R5"
+            "List traversal inside [@@zero_alloc_hot]: lists allocate; use \
+             preallocated arrays and indices"
+      | [ "Array"; fn ]
+        when List.mem fn
+               [ "iter"; "iteri"; "map"; "mapi"; "fold_left"; "fold_right";
+                 "to_list"; "of_list" ] ->
+          emit loc "R5"
+            ("closure-allocating Array." ^ fn
+           ^ " inside [@@zero_alloc_hot]: use an explicit for-loop")
+      | _ -> ()
+  in
+  let iter = Ast_iterator.default_iterator in
+  let rec expr it e =
+    match e.pexp_desc with
+    | Pexp_apply
+        ({ pexp_desc = Pexp_ident { txt = Longident.Lident op; loc }; _ }, args)
+      when List.mem op poly_ops -> (
+        match args with
+        | [ (_, a); (_, b) ] ->
+            if in_r2 && (structured a || structured b) then
+              emit loc "R2"
+                ("polymorphic (" ^ op
+               ^ ") on a structured operand: match instead, or use \
+                  Option.is_some/Option.is_none or a monomorphic equal");
+            expr it a;
+            expr it b
+        | args ->
+            if in_r2 then
+              emit loc "R2"
+                ("comparison operator (" ^ op
+               ^ ") partially applied: pass a monomorphic comparator");
+            List.iter (fun (_, a) -> expr it a) args)
+    | Pexp_ident { txt = Longident.Lident op; loc } when List.mem op poly_ops ->
+        if in_r2 then
+          emit loc "R2"
+            ("comparison operator (" ^ op
+           ^ ") used as a value: pass a monomorphic comparator")
+    | Pexp_ident { txt; loc } ->
+        check_longident loc txt;
+        iter.expr it e
+    | _ -> iter.expr it e
+  in
+  let module_expr it m =
+    (match m.pmod_desc with
+    | Pmod_ident { txt; loc } -> check_longident loc txt
+    | _ -> ());
+    iter.module_expr it m
+  in
+  let value_binding it vb =
+    let is_hot =
+      List.exists (fun a -> a.attr_name.txt = "zero_alloc_hot") vb.pvb_attributes
+    in
+    if is_hot then begin
+      incr hot;
+      iter.value_binding it vb;
+      decr hot
+    end
+    else iter.value_binding it vb
+  in
+  let it = { iter with expr; module_expr; value_binding } in
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | exception exn ->
+      let msg =
+        match Location.error_of_exn exn with
+        | Some (`Ok e) -> Format.asprintf "%a" Location.print_report e
+        | _ -> Printexc.to_string exn
+      in
+      [ { file; line = 1; col = 0; rule = "PARSE"; msg } ]
+  | ast ->
+      it.structure it ast;
+      let found =
+        List.sort
+          (fun a b ->
+            match Int.compare a.line b.line with
+            | 0 -> Int.compare a.col b.col
+            | c -> c)
+          (List.rev !findings)
+      in
+      apply_allows ~file (collect_allows source) found
+
+let lint_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let source = really_input_string ic len in
+  close_in ic;
+  lint_source ~path ~source

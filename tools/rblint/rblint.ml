@@ -1,0 +1,38 @@
+(* rblint CLI: lint every .ml under the given files/directories.
+
+   Usage: rblint PATH...
+   Exit 0 when clean, 1 when any finding survives suppression, 2 on usage
+   errors.  See lint.ml for the rules. *)
+
+let rec collect path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "_build" || entry = ".git" then acc
+        else collect (Filename.concat path entry) acc)
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort String.compare entries;
+       entries)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then begin
+    prerr_endline "usage: rblint PATH...";
+    exit 2
+  end;
+  let missing = List.filter (fun p -> not (Sys.file_exists p)) args in
+  if missing <> [] then begin
+    List.iter (fun p -> prerr_endline ("rblint: no such path: " ^ p)) missing;
+    exit 2
+  end;
+  let files = List.rev (List.fold_left (fun acc p -> collect p acc) [] args) in
+  let findings = List.concat_map Lint.lint_file files in
+  List.iter (fun f -> print_endline (Lint.pp_finding f)) findings;
+  if findings <> [] then begin
+    Printf.printf "rblint: %d finding(s) in %d file(s) scanned\n"
+      (List.length findings) (List.length files);
+    exit 1
+  end

@@ -1,0 +1,9 @@
+(* Fixture: R1 — Stdlib.Random anywhere outside lib/util/rng.ml. *)
+
+let () = Random.self_init ()
+
+let roll () = Random.int 6
+
+let also_qualified () = Stdlib.Random.bits ()
+
+module R = Random

@@ -1,0 +1,15 @@
+(* Fixture: R2 — polymorphic comparison in a core directory.  Linted with a
+   pretend path under lib/core/, where monomorphic comparators are
+   mandatory. *)
+
+let sort_poly a = Array.sort compare a
+
+let uniq_poly l = List.sort_uniq compare l
+
+let hash_poly x = Hashtbl.hash x
+
+let opt_poly o = o <> None
+
+let first_class_poly l x = List.exists (( = ) x) l
+
+let tuple_poly a b c d = (a, b) = (c, d)

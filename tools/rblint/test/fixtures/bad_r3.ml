@@ -1,0 +1,5 @@
+(* Fixture: R3 — Obj is banned everywhere. *)
+
+let cast (x : int) : string = Obj.magic x
+
+let peek x = Obj.repr x

@@ -1,0 +1,10 @@
+(* Fixture: R4 — console output from library code.  Linted with a pretend
+   path under lib/, where printing is banned (libraries return data). *)
+
+let shout () = print_endline "hello"
+
+let printf_shout n = Printf.printf "n = %d\n" n
+
+let format_shout n = Format.printf "n = %d@." n
+
+let to_stderr msg = output_string stderr msg

@@ -1,0 +1,17 @@
+(* Fixture: R5 — List traversals / closure-allocating Array iteration inside
+   a function tagged [@@zero_alloc_hot]. *)
+
+let hot_list xs = List.fold_left ( + ) 0 xs [@@zero_alloc_hot]
+
+let hot_array a =
+  let total = ref 0 in
+  Array.iter (fun x -> total := !total + x) a;
+  !total
+[@@zero_alloc_hot]
+
+let local_hot a =
+  let step () = Array.fold_left ( + ) 0 a [@@zero_alloc_hot] in
+  step ()
+
+(* The same traversals outside a hot function are fine. *)
+let cold_list xs = List.fold_left ( + ) 0 xs

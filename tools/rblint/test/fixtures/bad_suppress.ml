@@ -1,0 +1,5 @@
+(* Fixture: a suppression without a reason is itself an error (R0) and does
+   not suppress the underlying finding. *)
+
+(* rblint:allow R2 *)
+let sorted a = Array.sort compare a

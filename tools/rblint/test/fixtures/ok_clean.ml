@@ -1,0 +1,20 @@
+(* Fixture: a file that satisfies every rule even under the strict lib/core
+   scope — monomorphic comparators, no printing, loop-based hot path. *)
+
+let sort_mono a = Array.sort Int.compare a
+
+let sort_floats a = Array.sort Float.compare a
+
+let is_set o = match o with Some _ -> true | None -> false
+
+let render n = Printf.sprintf "n = %d" n
+
+let hot_sum a =
+  let total = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    total := !total + a.(i)
+  done;
+  !total
+[@@zero_alloc_hot]
+
+let literal_compares x = x = 0 && x < 10 && x >= -3

@@ -1,0 +1,8 @@
+(* Fixture: valid suppressions with reasons — the findings must vanish. *)
+
+(* rblint:allow R2 fixture demonstrates a justified suppression *)
+let sorted a = Array.sort compare a
+
+let check o =
+  (* rblint:allow R2 option check precedes the monomorphic rewrite *)
+  o <> None

@@ -1,0 +1,106 @@
+(* Fixture-driven self-tests for rblint: every rule must fire on its bad
+   fixture, stay quiet on the clean one, and the suppression grammar must
+   require a reason.  Fixtures are linted under a pretend path inside
+   lib/core/ so the scoped rules (R2, R4) apply. *)
+
+let read_fixture name =
+  let path = Filename.concat "fixtures" name in
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let lint_as ~path name =
+  Lint.lint_source ~path ~source:(read_fixture name)
+
+let rules fs = List.sort_uniq String.compare (List.map (fun f -> f.Lint.rule) fs)
+
+let count rule fs =
+  List.length (List.filter (fun f -> f.Lint.rule = rule) fs)
+
+let check_rules what expected fs =
+  Alcotest.(check (list string)) what expected (rules fs)
+
+let test_r1 () =
+  let fs = lint_as ~path:"bench/bad_r1.ml" "bad_r1.ml" in
+  check_rules "R1 only" [ "R1" ] fs;
+  (* self_init, int, Stdlib.Random.bits, module alias: four sites *)
+  Alcotest.(check int) "four R1 sites" 4 (count "R1" fs);
+  (* rng.ml itself is exempt *)
+  let fs = lint_as ~path:"lib/util/rng.ml" "bad_r1.ml" in
+  Alcotest.(check int) "rng.ml exempt" 0 (List.length fs)
+
+let test_r2 () =
+  let fs = lint_as ~path:"lib/core/bad_r2.ml" "bad_r2.ml" in
+  check_rules "R2 only" [ "R2" ] fs;
+  Alcotest.(check int) "six R2 sites" 6 (count "R2" fs);
+  (* outside the scoped directories the same code is not R2-flagged *)
+  let fs = lint_as ~path:"bench/bad_r2.ml" "bad_r2.ml" in
+  Alcotest.(check int) "bench exempt from R2" 0 (count "R2" fs)
+
+let test_r3 () =
+  let fs = lint_as ~path:"examples/bad_r3.ml" "bad_r3.ml" in
+  check_rules "R3 only" [ "R3" ] fs;
+  Alcotest.(check int) "two R3 sites" 2 (count "R3" fs)
+
+let test_r4 () =
+  let fs = lint_as ~path:"lib/coding/bad_r4.ml" "bad_r4.ml" in
+  check_rules "R4 only" [ "R4" ] fs;
+  Alcotest.(check int) "four R4 sites" 4 (count "R4" fs);
+  (* printing is fine outside lib/ *)
+  let fs = lint_as ~path:"bin/bad_r4.ml" "bad_r4.ml" in
+  Alcotest.(check int) "bin may print" 0 (List.length fs)
+
+let test_r5 () =
+  let fs = lint_as ~path:"lib/radio/bad_r5.ml" "bad_r5.ml" in
+  check_rules "R5 only" [ "R5" ] fs;
+  Alcotest.(check int) "three R5 sites" 3 (count "R5" fs)
+
+let test_clean () =
+  let fs = lint_as ~path:"lib/core/ok_clean.ml" "ok_clean.ml" in
+  Alcotest.(check int) "clean fixture has no findings" 0 (List.length fs)
+
+let test_suppression () =
+  let fs = lint_as ~path:"lib/core/ok_suppressed.ml" "ok_suppressed.ml" in
+  Alcotest.(check int) "reasoned allows suppress" 0 (List.length fs);
+  let fs = lint_as ~path:"lib/core/bad_suppress.ml" "bad_suppress.ml" in
+  check_rules "reasonless allow: R0 + surviving R2" [ "R0"; "R2" ] fs
+
+let test_positions () =
+  let fs = lint_as ~path:"lib/core/bad_r2.ml" "bad_r2.ml" in
+  match fs with
+  | f :: _ ->
+      Alcotest.(check string) "file recorded" "lib/core/bad_r2.ml" f.Lint.file;
+      Alcotest.(check int) "first finding on line 5" 5 f.Lint.line;
+      Alcotest.(check bool) "column is sane" true (f.Lint.col > 0);
+      let printed = Lint.pp_finding f in
+      Alcotest.(check bool) "pp has file:line:col prefix" true
+        (String.length printed > 0
+        && String.sub printed 0 (String.length "lib/core/bad_r2.ml:5:")
+           = "lib/core/bad_r2.ml:5:")
+  | [] -> Alcotest.fail "expected findings"
+
+let test_parse_error () =
+  let fs = Lint.lint_source ~path:"lib/core/broken.ml" ~source:"let let = in" in
+  check_rules "syntax errors reported" [ "PARSE" ] fs
+
+let () =
+  Alcotest.run "rblint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "R1 randomness" `Quick test_r1;
+          Alcotest.test_case "R2 polymorphic compare" `Quick test_r2;
+          Alcotest.test_case "R3 Obj" `Quick test_r3;
+          Alcotest.test_case "R4 printing" `Quick test_r4;
+          Alcotest.test_case "R5 hot-path traversals" `Quick test_r5;
+        ] );
+      ( "machinery",
+        [
+          Alcotest.test_case "clean fixture" `Quick test_clean;
+          Alcotest.test_case "suppressions" `Quick test_suppression;
+          Alcotest.test_case "finding positions" `Quick test_positions;
+          Alcotest.test_case "parse errors" `Quick test_parse_error;
+        ] );
+    ]
