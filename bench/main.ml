@@ -46,10 +46,13 @@ let section s =
 (* ------------------------------------------------------------------ *)
 (* Parallel trial plumbing                                             *)
 
-let domains = ref None (* --domains N; None = one per recommended core *)
+let domains : int option Atomic.t = Atomic.make None
+(* --domains N; None = one per recommended core *)
 
 let domains_used () =
-  match !domains with Some d -> max 1 d | None -> Rn_radio.Runner.default_domains ()
+  match Atomic.get domains with
+  | Some d -> max 1 d
+  | None -> Rn_radio.Runner.default_domains ()
 
 (* [per_config configs seeds f] evaluates [f cfg seed] for every cell of the
    configs × seeds grid in parallel and hands each config its seed-ordered
@@ -60,7 +63,7 @@ let per_config configs seeds f k =
     List.concat_map (fun c -> List.map (fun s -> (c, s)) seeds) configs
   in
   let results =
-    Rn_radio.Runner.map ?domains:!domains (fun (c, s) -> f c s) pairs
+    Rn_radio.Runner.map ?domains:(Atomic.get domains) (fun (c, s) -> f c s) pairs
   in
   let rec chunk cfgs rs =
     match cfgs with
@@ -79,17 +82,18 @@ let per_config configs seeds f k =
   in
   chunk configs results
 
-let pmap_seeds seeds f = Rn_radio.Runner.map_seeds ?domains:!domains ~seeds f
+let pmap_seeds seeds f =
+  Rn_radio.Runner.map_seeds ?domains:(Atomic.get domains) ~seeds f
 
 (* Per-experiment perf record, written to BENCH_engine.json at exit. *)
-let bench_records : (string * float * int) list ref = ref []
+let bench_records : (string * float * int) list Atomic.t = Atomic.make []
 
-let json_path = ref "BENCH_engine.json"
+let json_path : string Atomic.t = Atomic.make "BENCH_engine.json"
 
 let write_bench_json ~total_wall =
-  let records = List.rev !bench_records in
+  let records = List.rev (Atomic.get bench_records) in
   if records <> [] then begin
-    match open_out !json_path with
+    match open_out (Atomic.get json_path) with
     | exception Sys_error msg ->
         Printf.eprintf "warning: cannot write perf record: %s\n" msg
     | oc ->
@@ -110,7 +114,8 @@ let write_bench_json ~total_wall =
       records;
     Printf.fprintf oc "  ]\n}\n";
     close_out oc;
-    Printf.printf "perf record written to %s (%d domains)\n" !json_path
+    Printf.printf "perf record written to %s (%d domains)\n"
+      (Atomic.get json_path)
       (domains_used ())
   end
 
@@ -1100,13 +1105,13 @@ let () =
   let args = match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest in
   let rec strip_opts acc = function
     | "--csv" :: dir :: rest ->
-        Table.csv_dir := Some dir;
+        Atomic.set Table.csv_dir (Some dir);
         strip_opts acc rest
     | "--domains" :: d :: rest ->
-        domains := Some (max 1 (int_of_string d));
+        Atomic.set domains (Some (max 1 (int_of_string d)));
         strip_opts acc rest
     | "--json" :: path :: rest ->
-        json_path := path;
+        Atomic.set json_path path;
         strip_opts acc rest
     | x :: rest -> strip_opts (x :: acc) rest
     | [] -> List.rev acc
@@ -1125,7 +1130,7 @@ let () =
         f ();
         let wall = Unix.gettimeofday () -. w0 in
         let rounds = Rn_radio.Engine.total_simulated_rounds () - r0 in
-        bench_records := (id, wall, rounds) :: !bench_records
+        Atomic.set bench_records ((id, wall, rounds) :: Atomic.get bench_records)
       end)
     experiments;
   let total_wall = Unix.gettimeofday () -. t0 in

@@ -70,7 +70,7 @@ let diameter g =
     !best
   end
 
-let nodes_at_level levels l =
+let nodes_at_level (levels : int array) (l : int) =
   let acc = ref [] in
   Array.iteri (fun v lv -> if lv = l then acc := v :: !acc) levels;
   Array.of_list (List.rev !acc)

@@ -8,7 +8,7 @@ type t = { off : int array; tgt : int array; m : int }
    median-of-three pivot, insertion sort below a small cutoff.  Avoids both
    the polymorphic-compare calls and the closure dispatch of
    [Array.sort compare] on the construction path. *)
-let rec sort_range a lo hi =
+let rec sort_range (a : int array) lo hi =
   let len = hi - lo in
   if len <= 12 then
     for i = lo + 1 to hi - 1 do

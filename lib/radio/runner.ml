@@ -18,6 +18,7 @@ let map ?domains f items =
     let worker i () =
       let j = ref i in
       while !j < k do
+        (* rblint:allow R7 exclusive ownership: disjoint index shards, Domain.join publishes *)
         results.(!j) <- Some (f items.(!j));
         j := !j + d
       done

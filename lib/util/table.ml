@@ -21,7 +21,7 @@ let cell_f x =
   else if abs_float x >= 10.0 then Printf.sprintf "%.1f" x
   else Printf.sprintf "%.2f" x
 
-let csv_dir = ref None
+let csv_dir : string option Atomic.t = Atomic.make None
 
 let slug title =
   String.map
@@ -32,7 +32,7 @@ let slug title =
     (String.lowercase_ascii title)
 
 let write_csv t =
-  match !csv_dir with
+  match Atomic.get csv_dir with
   | None -> ()
   | Some dir ->
       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;

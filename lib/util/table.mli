@@ -27,9 +27,11 @@ val write_csv : t -> unit
     slug of its title into that directory (created if missing); a no-op
     otherwise. *)
 
-val csv_dir : string option ref
+val csv_dir : string option Atomic.t
 (** CSV output directory for {!write_csv} — used by
-    [bench/main.exe --csv DIR] so plots can be regenerated. *)
+    [bench/main.exe --csv DIR] so plots can be regenerated.  An [Atomic.t]
+    so setting it is safe even with benchmark trials running on sibling
+    domains. *)
 
 val cell_f : float -> string
 (** Format a float cell compactly ("123", "12.3", "1.23"). *)

@@ -64,13 +64,106 @@ let qcheck_bit_identity =
       Runner.map ~domains:1 trial seeds = Runner.map ~domains trial seeds)
 
 (* ------------------------------------------------------------------ *)
-(* Faults                                                              *)
+(* The cross-domain round tally (Engine.simulated_rounds)              *)
 
 let listen_protocol =
   {
     Engine.decide = (fun ~round:_ ~node:_ -> Engine.Listen);
     deliver = (fun ~round:_ ~node:_ _ -> ());
   }
+
+let tiny_star n =
+  Rn_graph.Graph.create ~n ~edges:(List.init (n - 1) (fun i -> (0, i + 1)))
+
+let quiet_run ~max_rounds () =
+  let (_ : Engine.outcome) =
+    Engine.run ~graph:(tiny_star 8) ~detection:Engine.Collision_detection
+      ~protocol:listen_protocol
+      ~stop:(fun ~round:_ -> false)
+      ~max_rounds ()
+  in
+  ()
+
+(* Every Engine.run bumps the shared Atomic round tally once on exit.
+   Hammer it from every domain concurrently: with [trials] runs racing
+   their fetch_and_add, the total must equal the serial sum exactly — a
+   single lost update (the bug a plain ref would have) shows up as a
+   shortfall. *)
+let test_concurrent_tally_no_lost_updates () =
+  let trials = 64 and rounds_each = 10 in
+  let before = Engine.total_simulated_rounds () in
+  quiet_run ~max_rounds:rounds_each ();
+  let per_run = Engine.total_simulated_rounds () - before in
+  Alcotest.(check bool) "one run advances the tally" true (per_run > 0);
+  let before_serial = Engine.total_simulated_rounds () in
+  let (_ : unit list) =
+    Runner.map ~domains:1
+      (fun _ -> quiet_run ~max_rounds:rounds_each ())
+      (List.init trials Fun.id)
+  in
+  let serial_delta = Engine.total_simulated_rounds () - before_serial in
+  Alcotest.(check int) "serial tally is trials * per-run" (trials * per_run)
+    serial_delta;
+  let before_par = Engine.total_simulated_rounds () in
+  let (_ : unit list) =
+    Runner.map ~domains:(Runner.default_domains ())
+      (fun _ -> quiet_run ~max_rounds:rounds_each ())
+      (List.init trials Fun.id)
+  in
+  let par_delta = Engine.total_simulated_rounds () - before_par in
+  Alcotest.(check int) "concurrent Atomic tally equals the serial sum"
+    serial_delta par_delta
+
+(* The tally also feeds real protocol runs fanned out by the bench: the
+   delta accumulated across a parallel ensemble must match the serial
+   ensemble bit-for-bit, like the results themselves. *)
+let test_concurrent_tally_protocol_ensemble () =
+  let seeds = List.init 24 (fun i -> 500 + i) in
+  let trial ~seed =
+    let rng = Rng.create ~seed in
+    let g =
+      Rn_graph.Gen.layered_random ~rng:(Rng.split rng) ~depth:3 ~width:3 ~p:0.6
+    in
+    let r = Single_broadcast.run ~rng:(Rng.split rng) ~graph:g ~source:0 () in
+    r.Single_broadcast.rounds_total
+  in
+  let before = Engine.total_simulated_rounds () in
+  let serial = Runner.map_seeds ~domains:1 ~seeds trial in
+  let serial_delta = Engine.total_simulated_rounds () - before in
+  let before = Engine.total_simulated_rounds () in
+  let par = Runner.map_seeds ~domains:6 ~seeds trial in
+  let par_delta = Engine.total_simulated_rounds () - before in
+  Alcotest.(check (list int)) "trial results bit-identical" serial par;
+  Alcotest.(check int) "tally delta identical under parallel fan-out"
+    serial_delta par_delta;
+  Alcotest.(check bool) "tally advanced" true (serial_delta > 0)
+
+(* Alloc budget: reading the Atomic tally from inside the round loop must
+   stay off the minor heap — Atomic.get is a plain load and the count is
+   an immediate int, so polling it every round keeps the quiet steady
+   state at exactly zero minor words (the same budget test_alloc.ml
+   proves for the unpolled loop). *)
+let test_tally_read_alloc_free () =
+  let warmup = 16 and rounds = 256 in
+  let marks = [| 0.0; 0.0 |] in
+  let sink = [| 0 |] in
+  let after_round ~round =
+    sink.(0) <- Engine.total_simulated_rounds ();
+    if round = warmup then marks.(0) <- Gc.minor_words ()
+    else if round = warmup + rounds then marks.(1) <- Gc.minor_words ()
+  in
+  let (_ : Engine.outcome) =
+    Engine.run ~after_round ~graph:(tiny_star 128)
+      ~detection:Engine.Collision_detection ~protocol:listen_protocol
+      ~stop:(fun ~round:_ -> false)
+      ~max_rounds:(warmup + rounds + 2) ()
+  in
+  Alcotest.(check (float 0.0))
+    "polling the round tally allocates zero minor words" 0.0
+    (marks.(1) -. marks.(0))
+
+(* ------------------------------------------------------------------ *)
+(* Faults                                                              *)
 
 let action_testable =
   Alcotest.testable
@@ -188,6 +281,15 @@ let () =
           Alcotest.test_case "single item" `Quick test_single_item_many_domains;
           Alcotest.test_case "map_seeds order" `Quick test_map_seeds_order;
           QCheck_alcotest.to_alcotest qcheck_bit_identity;
+        ] );
+      ( "round tally",
+        [
+          Alcotest.test_case "no lost updates under concurrent bumps" `Quick
+            test_concurrent_tally_no_lost_updates;
+          Alcotest.test_case "parallel ensemble tally equals serial" `Quick
+            test_concurrent_tally_protocol_ensemble;
+          Alcotest.test_case "tally reads stay off the minor heap" `Quick
+            test_tally_read_alloc_free;
         ] );
       ( "faults",
         [

@@ -1,0 +1,169 @@
+(* benchdiff — regression gate over the bench perf records.
+
+   Usage: benchdiff BASELINE.json CURRENT.json [--threshold PCT]
+
+   Both files are `BENCH_engine.json`-format records written by
+   [bench/main.exe --json].  For every experiment id present in both:
+
+   - [rounds] must match the baseline exactly: the simulation is
+     deterministic per seed, so any drift in total simulated rounds is a
+     semantic change, not noise, and fails regardless of threshold;
+   - [rounds_per_sec] must not regress below baseline × (1 - PCT/100)
+     (default 25%).  Speedups and experiments missing on either side are
+     reported but never fail the gate, so the baseline can cover a
+     superset of the experiments a smoke run executes.
+
+   Exit codes: 0 ok, 1 regression, 2 usage/parse error.
+
+   The parser below handles exactly the flat object/array shape the bench
+   writes — a dependency-free subset of JSON, not a general parser. *)
+
+type experiment = { id : string; rounds : int; rounds_per_sec : float }
+
+let fail_usage () =
+  prerr_endline "usage: benchdiff BASELINE.json CURRENT.json [--threshold PCT]";
+  exit 2
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg ->
+      Printf.eprintf "benchdiff: %s\n" msg;
+      exit 2
+  | ic ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+
+(* Find `"key": value` after position [from]; value is a number or a
+   quoted string, returned as its raw text. *)
+let find_field s key from =
+  let pat = "\"" ^ key ^ "\"" in
+  let n = String.length s and pl = String.length pat in
+  let rec locate i =
+    if i + pl > n then None
+    else if String.sub s i pl = pat then Some (i + pl)
+    else locate (i + 1)
+  in
+  match locate from with
+  | None -> None
+  | Some i ->
+      let i = ref i in
+      while !i < n && (s.[!i] = ':' || s.[!i] = ' ' || s.[!i] = '\t') do
+        incr i
+      done;
+      if !i >= n then None
+      else if s.[!i] = '"' then begin
+        let j = ref (!i + 1) in
+        while !j < n && s.[!j] <> '"' do
+          incr j
+        done;
+        Some (String.sub s (!i + 1) (!j - !i - 1), !j + 1)
+      end
+      else begin
+        let j = ref !i in
+        while
+          !j < n
+          && (match s.[!j] with
+             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+             | _ -> false)
+        do
+          incr j
+        done;
+        if !j = !i then None else Some (String.sub s !i (!j - !i), !j)
+      end
+
+let parse_experiments path =
+  let s = read_file path in
+  let rec collect from acc =
+    match find_field s "id" from with
+    | None -> List.rev acc
+    | Some (id, after_id) -> (
+        match find_field s "rounds" after_id with
+        | None -> List.rev acc
+        | Some (rounds, after_rounds) -> (
+            match find_field s "rounds_per_sec" after_rounds with
+            | None -> List.rev acc
+            | Some (rps, after_rps) ->
+                let exp =
+                  try
+                    {
+                      id;
+                      rounds = int_of_string rounds;
+                      rounds_per_sec = float_of_string rps;
+                    }
+                  with _ ->
+                    Printf.eprintf "benchdiff: malformed record in %s\n" path;
+                    exit 2
+                in
+                collect after_rps (exp :: acc)))
+  in
+  let exps = collect 0 [] in
+  if exps = [] then begin
+    Printf.eprintf "benchdiff: no experiments found in %s\n" path;
+    exit 2
+  end;
+  exps
+
+let () =
+  let baseline_path, current_path, threshold =
+    match Array.to_list Sys.argv with
+    | [ _; b; c ] -> (b, c, 25.0)
+    | [ _; b; c; "--threshold"; pct ] -> (
+        match float_of_string_opt pct with
+        | Some t when t > 0.0 && t < 100.0 -> (b, c, t)
+        | _ -> fail_usage ())
+    | _ -> fail_usage ()
+  in
+  let baseline = parse_experiments baseline_path in
+  let current = parse_experiments current_path in
+  let failures = ref 0 in
+  let compared = ref 0 in
+  List.iter
+    (fun cur ->
+      match List.find_opt (fun b -> b.id = cur.id) baseline with
+      | None ->
+          Printf.printf "%-4s new experiment (no baseline), skipped\n" cur.id
+      | Some base ->
+          incr compared;
+          let rounds_ok = cur.rounds = base.rounds in
+          if not rounds_ok then begin
+            incr failures;
+            Printf.printf
+              "%-4s FAIL rounds drifted: %d -> %d (deterministic count must \
+               match baseline exactly)\n"
+              cur.id base.rounds cur.rounds
+          end;
+          let floor = base.rounds_per_sec *. (1.0 -. (threshold /. 100.0)) in
+          if cur.rounds_per_sec < floor then begin
+            incr failures;
+            Printf.printf
+              "%-4s FAIL throughput regressed beyond %.0f%%: %.0f -> %.0f \
+               rounds/s (floor %.0f)\n"
+              cur.id threshold base.rounds_per_sec cur.rounds_per_sec floor
+          end
+          else if rounds_ok then
+            Printf.printf "%-4s ok   rounds=%d  %.0f -> %.0f rounds/s (%+.1f%%)\n"
+              cur.id cur.rounds base.rounds_per_sec cur.rounds_per_sec
+              (if base.rounds_per_sec > 0.0 then
+                 (cur.rounds_per_sec -. base.rounds_per_sec)
+                 /. base.rounds_per_sec *. 100.0
+               else 0.0))
+    current;
+  List.iter
+    (fun b ->
+      if not (List.exists (fun c -> c.id = b.id) current) then
+        Printf.printf "%-4s not in current run, skipped\n" b.id)
+    baseline;
+  if !compared = 0 then begin
+    Printf.eprintf
+      "benchdiff: no overlapping experiments between baseline and current\n";
+    exit 2
+  end;
+  if !failures > 0 then begin
+    Printf.printf "benchdiff: %d regression(s) vs %s (threshold %.0f%%)\n"
+      !failures baseline_path threshold;
+    exit 1
+  end
+  else Printf.printf "benchdiff: ok (%d experiment(s) within %.0f%%)\n"
+         !compared threshold

@@ -1,27 +1,39 @@
 (* rblint — repo-specific static analysis for the radio-broadcast simulator.
 
-   Parses OCaml sources with compiler-libs and enforces the determinism,
-   hot-path and zero-allocation invariants that the simulator's
-   reproducibility claims rest on (DESIGN.md §8):
+   v2: the analysis runs on the *typed* AST.  The CLI reads the `.cmt`
+   files dune already emits (`-bin-annot`), so every identifier arrives as
+   a resolved [Path.t] (aliases and `open`s are seen through) and every
+   expression carries its inferred type.  A second frontend typechecks a
+   source string in-process (stdlib-only scope) so the fixture self-tests
+   stay hermetic.  Enforced invariants (DESIGN.md §8–§9):
 
      R1  no [Stdlib.Random] outside lib/util/rng.ml — all randomness must
          flow through the seeded SplitMix64 [Rng] so every trial replays
          from one integer seed.
-     R2  no polymorphic comparison ([compare], [Hashtbl.hash], comparison
-         operators used as values, or infix comparison against structured
-         operands such as [None] / [Some _] / [[]] / tuples) inside
-         lib/util, lib/graph, lib/core, lib/radio — monomorphic
-         comparators only.
+     R2  no polymorphic comparison inside lib/util, lib/graph, lib/core,
+         lib/radio: bare [compare], [Hashtbl.hash], comparison operators
+         used as values, and — now that operand *types* are visible — any
+         [=]/[<]/… whose operands are not of a type the compiler
+         specializes (int, char, bool, unit, float, string, bytes,
+         int32, int64, nativeint).
      R3  no [Obj.magic] / [Obj.repr] (any use of [Obj]) anywhere.
      R4  no console output from lib/ — library code returns data; only
          bin/, bench/ and examples/ print.
      R5  no [List.*] traversal and no closure-allocating [Array]
-         iteration inside a function tagged [@@zero_alloc_hot].
+         iteration inside a function tagged [@@zero_alloc_hot]; callees
+         are resolved through module aliases and [open]s.
+     R6  no top-level mutable state ([ref] cells, arrays, [Bytes],
+         [Hashtbl]/[Buffer]/[Queue]/[Stack], records with mutable
+         fields) in a module reachable from a [Domain.spawn] worker,
+         unless it is an [Atomic.t] or explicitly suppressed.
+     R7  no closure passed to [Domain.spawn] may capture (directly or
+         through a locally defined worker function) non-atomic mutable
+         state.
 
    Findings print as "file:line:col RULE message".  A finding is
-   suppressed by [(* rblint:allow RULE reason *)] on the same line or the
-   line directly above; a suppression with an empty reason is itself an
-   error (R0) and suppresses nothing. *)
+   suppressed by an inline [rblint:allow RULE reason] comment marker on
+   the same line or the line directly above; a suppression with an empty
+   reason is itself an error (R0) and suppresses nothing. *)
 
 type finding = {
   file : string;
@@ -32,6 +44,27 @@ type finding = {
 }
 
 let pp_finding f = Printf.sprintf "%s:%d:%d %s %s" f.file f.line f.col f.rule f.msg
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_of_finding f =
+  Printf.sprintf
+    "{ \"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \
+     \"msg\": \"%s\" }"
+    (json_escape f.file) f.line f.col (json_escape f.rule) (json_escape f.msg)
 
 (* ------------------------------------------------------------------ *)
 (* Path scoping                                                        *)
@@ -76,9 +109,10 @@ let r4_scope path = has_dir ~dir:"lib" path
 
 type allow = { a_line : int; a_rule : string; a_reason : string }
 
-(* Scan raw source for [(* rblint:allow RULE reason *)] markers.  The
-   parser drops comments, so this is a plain text scan; a marker applies
-   to findings on its own line and on the following line. *)
+(* Scan raw source for [rblint:allow RULE reason] markers (written inside a
+   comment).  The typed tree drops comments, so this is a plain text scan;
+   a marker applies to findings on its own line and on the following
+   line. *)
 let collect_allows source =
   let allows = ref [] in
   let lines = String.split_on_char '\n' source in
@@ -118,7 +152,9 @@ let collect_allows source =
     lines;
   List.rev !allows
 
-let apply_allows ~file allows findings =
+(* Split allows into R0 findings (malformed: missing rule or reason) and the
+   valid list. *)
+let validate_allows ~file allows =
   let invalid =
     List.filter_map
       (fun a ->
@@ -135,98 +171,199 @@ let apply_allows ~file allows findings =
       allows
   in
   let valid = List.filter (fun a -> a.a_rule <> "" && a.a_reason <> "") allows in
-  let kept =
-    List.filter
-      (fun f ->
-        not
-          (List.exists
-             (fun a ->
-               a.a_rule = f.rule && (a.a_line = f.line || a.a_line = f.line - 1))
-             valid))
-      findings
-  in
-  invalid @ kept
+  (invalid, valid)
+
+let filter_allowed valid findings =
+  List.filter
+    (fun f ->
+      not
+        (List.exists
+           (fun a ->
+             a.a_rule = f.rule && (a.a_line = f.line || a.a_line = f.line - 1))
+           valid))
+    findings
 
 (* ------------------------------------------------------------------ *)
-(* AST checks                                                          *)
+(* Typed-AST analysis                                                  *)
 
-open Parsetree
+open Typedtree
+
+type unit_info = {
+  u_path : string;  (** normalized source path, used for scoping *)
+  u_modname : string;  (** compilation-unit name, e.g. "Rn_radio__Runner" *)
+  u_imports : string list;  (** unit names this module depends on *)
+  u_spawns : bool;  (** contains a [Domain.spawn] occurrence *)
+  u_findings : finding list;  (** R0–R5, R7 — suppressions already applied *)
+  u_r6 : finding list;  (** R6 candidates — filtered at [finalize] time *)
+  u_allows : allow list;  (** valid suppressions, for the R6 filter *)
+}
 
 let loc_finding ~file (loc : Location.t) rule msg =
-  let p = loc.loc_start in
+  let p = loc.Location.loc_start in
   { file; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; rule; msg }
 
 let poly_ops = [ "="; "<"; ">"; "<="; ">="; "<>" ]
 
-(* Operands that make an infix comparison certainly polymorphic: constant
-   constructors other than bool/unit ([None], [[]]), constructor or variant
-   applications, tuples, records, arrays.  Comparisons between plain
-   identifiers or against int/float/char/string literals are left alone —
-   the typer specializes those. *)
-let rec structured e =
-  match e.pexp_desc with
-  | Pexp_construct ({ txt = Longident.Lident ("true" | "false" | "()"); _ }, None)
-    ->
-      false
-  | Pexp_construct _ | Pexp_variant _ | Pexp_tuple _ | Pexp_record _
-  | Pexp_array _ ->
-      true
-  | Pexp_constraint (e, _) -> structured e
+(* Resolve a path through locally-seen module aliases (module L = List), so
+   [L.map] compares equal to [Stdlib.List.map]. *)
+let rec resolve_alias aliases p =
+  match p with
+  | Path.Pident id -> (
+      match Hashtbl.find_opt aliases id with
+      | Some p' -> resolve_alias aliases p'
+      | None -> p)
+  | Path.Pdot (p', s) -> Path.Pdot (resolve_alias aliases p', s)
+  | _ -> p
+
+(* Flatten a resolved path to its component names, root first: the path of
+   [Random.int] becomes ["Stdlib"; "Random"; "int"].  Requiring the
+   "Stdlib" root makes the checks robust against local shadowing (a
+   module-local [compare] is a [Pident] without the root). *)
+let parts_of aliases p =
+  match Path.flatten (resolve_alias aliases p) with
+  | `Ok (id, rest) -> Ident.name id :: rest
+  | `Contains_apply -> []
+
+(* --- type classification ------------------------------------------- *)
+
+(* Rehydrate the (summarized) environment stored in a cmt so abbreviations
+   expand and type declarations resolve; fall back to the raw env when the
+   load path cannot serve a module. *)
+let real_env env = try Envaux.env_of_only_summary env with _ -> env
+
+let expand env ty = try Ctype.expand_head env ty with _ -> ty
+
+let type_to_string ty =
+  try Format.asprintf "%a" Printtyp.type_expr ty with _ -> "_"
+
+(* Types whose comparisons the compiler specializes to primitive calls
+   (Translcore's comparison table): polymorphic [=] on these costs no
+   caml_compare dispatch, so R2 leaves them alone. *)
+let specialized_paths =
+  [
+    Predef.path_int; Predef.path_char; Predef.path_bool; Predef.path_unit;
+    Predef.path_float; Predef.path_string; Predef.path_bytes;
+    Predef.path_int32; Predef.path_int64; Predef.path_nativeint;
+  ]
+
+let comparison_specialized env ty =
+  match Types.get_desc (expand env ty) with
+  | Types.Tconstr (p, _, _) -> List.exists (Path.same p) specialized_paths
   | _ -> false
 
-let lint_source ~path ~source =
+let type_parts p =
+  match Path.flatten p with
+  | `Ok (id, rest) -> (
+      match Ident.name id :: rest with
+      | "Stdlib" :: rest when rest <> [] -> rest
+      | parts -> parts)
+  | `Contains_apply -> []
+
+(* Shared-mutability classification of a value's type, used by R6/R7.
+   [`Atomic] is the sanctioned cross-domain cell; [`Mutable what] is
+   anything a second domain could race on. *)
+let rec mutability env ty =
+  let ty = expand env ty in
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> (
+      if
+        Path.same p Predef.path_array
+        || Path.same p Predef.path_bytes
+        || Path.same p Predef.path_floatarray
+      then `Mutable "array/bytes"
+      else
+        match type_parts p with
+        | [ "Atomic"; "t" ] -> `Atomic
+        | [ "ref" ] -> `Mutable "ref cell"
+        | [ "Hashtbl"; "t" ] -> `Mutable "hash table"
+        | [ "Buffer"; "t" ] -> `Mutable "buffer"
+        | [ "Queue"; "t" ] -> `Mutable "queue"
+        | [ "Stack"; "t" ] -> `Mutable "stack"
+        | [ "Random"; "State"; "t" ] -> `Mutable "PRNG state"
+        | _ -> (
+            match Env.find_type p env with
+            | decl -> (
+                match decl.Types.type_kind with
+                | Types.Type_record (lbls, _)
+                  when List.exists
+                         (fun l -> l.Types.ld_mutable = Asttypes.Mutable)
+                         lbls ->
+                    `Mutable "record with mutable fields"
+                | _ -> `Immutable)
+            | exception _ -> `Immutable))
+  | Types.Tpoly (ty, _) -> mutability env ty
+  | _ -> `Immutable
+
+let is_function_type env ty =
+  match Types.get_desc (expand env ty) with
+  | Types.Tarrow _ -> true
+  | _ -> false
+
+(* --- per-structure analysis ---------------------------------------- *)
+
+let closure_alloc_array_fns =
+  [ "iter"; "iteri"; "map"; "mapi"; "fold_left"; "fold_right"; "to_list";
+    "of_list" ]
+
+let print_fns =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_char";
+    "print_int"; "print_float"; "print_bytes"; "prerr_string";
+    "prerr_endline"; "prerr_newline"; "prerr_char"; "prerr_int";
+    "prerr_float"; "prerr_bytes"; "stdout"; "stderr";
+  ]
+
+let formatted_print_fns =
+  [
+    "printf"; "eprintf"; "pr"; "epr"; "print_string"; "print_newline";
+    "print_flush"; "std_formatter"; "err_formatter"; "stdout"; "stderr";
+  ]
+
+(* Analyze one typed structure.  Returns (findings, r6 candidates, spawns). *)
+let analyze ~path str =
   let file = normalize path in
   let findings = ref [] in
+  let r6 = ref [] in
+  let spawns = ref false in
   let emit loc rule msg = findings := loc_finding ~file loc rule msg :: !findings in
+  let emit_r6 loc msg = r6 := loc_finding ~file loc "R6" msg :: !r6 in
   let in_r2 = r2_scope file and in_r4 = r4_scope file in
   let rng_exempt = is_rng_ml file in
   let hot = ref 0 in
-  let check_longident loc lid =
-    let parts = Longident.flatten lid in
-    let parts =
-      match parts with "Stdlib" :: rest when rest <> [] -> rest | _ -> parts
-    in
+  let aliases : (Ident.t, Path.t) Hashtbl.t = Hashtbl.create 16 in
+  (* Map of every let-bound ident to its definition, so a worker function
+     passed to Domain.spawn can be expanded one level for R7. *)
+  let val_defs : (Ident.t, expression) Hashtbl.t = Hashtbl.create 64 in
+  let check_ident loc parts =
     (match parts with
-    | "Random" :: _ when not rng_exempt ->
+    | "Stdlib" :: "Random" :: _ when not rng_exempt ->
         emit loc "R1"
           "Stdlib.Random is banned: draw through the seeded Rng (SplitMix64) \
            so runs replay from one seed"
     | _ -> ());
     (match parts with
-    | "Obj" :: _ ->
+    | "Stdlib" :: "Obj" :: _ ->
         emit loc "R3" "Obj.magic/Obj.repr break abstraction and memory safety"
     | _ -> ());
     (if in_r2 then
        match parts with
-       | [ "compare" ] | [ "Pervasives"; "compare" ] ->
+       | [ "Stdlib"; "compare" ] ->
            emit loc "R2"
              "polymorphic compare: use a monomorphic comparator \
               (Int.compare, Float.compare, ...)"
-       | [ "Hashtbl"; "hash" ] ->
+       | [ "Stdlib"; "Hashtbl"; "hash" ] ->
            emit loc "R2" "polymorphic Hashtbl.hash: hash a concrete key type"
        | _ -> ());
     if in_r4 then begin
       (match parts with
-      | [ p ]
-        when List.mem p
-               [
-                 "print_string"; "print_endline"; "print_newline"; "print_char";
-                 "print_int"; "print_float"; "print_bytes"; "prerr_string";
-                 "prerr_endline"; "prerr_newline"; "prerr_char"; "prerr_int";
-                 "prerr_float"; "prerr_bytes"; "stdout"; "stderr";
-               ] ->
+      | [ "Stdlib"; p ] when List.mem p print_fns ->
           emit loc "R4"
             ("console output from lib/ (" ^ p
            ^ "): return data and let bin/bench/examples print")
       | _ -> ());
       match parts with
-      | [ ("Printf" | "Format" | "Fmt"); fn ]
-        when List.mem fn
-               [
-                 "printf"; "eprintf"; "pr"; "epr"; "print_string";
-                 "print_newline"; "print_flush"; "std_formatter";
-                 "err_formatter"; "stdout"; "stderr";
-               ] ->
+      | [ "Stdlib"; ("Printf" | "Format"); fn ] | [ "Fmt"; fn ]
+        when List.mem fn formatted_print_fns ->
           emit loc "R4"
             "console output from lib/: return data and let bin/bench/examples \
              print"
@@ -234,59 +371,203 @@ let lint_source ~path ~source =
     end;
     if !hot > 0 then
       match parts with
-      | "List" :: _ ->
+      | "Stdlib" :: "List" :: _ ->
           emit loc "R5"
             "List traversal inside [@@zero_alloc_hot]: lists allocate; use \
              preallocated arrays and indices"
-      | [ "Array"; fn ]
-        when List.mem fn
-               [ "iter"; "iteri"; "map"; "mapi"; "fold_left"; "fold_right";
-                 "to_list"; "of_list" ] ->
+      | [ "Stdlib"; "Array"; fn ] when List.mem fn closure_alloc_array_fns ->
           emit loc "R5"
             ("closure-allocating Array." ^ fn
            ^ " inside [@@zero_alloc_hot]: use an explicit for-loop")
       | _ -> ()
   in
-  let iter = Ast_iterator.default_iterator in
-  let rec expr it e =
-    match e.pexp_desc with
-    | Pexp_apply
-        ({ pexp_desc = Pexp_ident { txt = Longident.Lident op; loc }; _ }, args)
-      when List.mem op poly_ops -> (
-        match args with
-        | [ (_, a); (_, b) ] ->
-            if in_r2 && (structured a || structured b) then
-              emit loc "R2"
-                ("polymorphic (" ^ op
-               ^ ") on a structured operand: match instead, or use \
-                  Option.is_some/Option.is_none or a monomorphic equal");
-            expr it a;
-            expr it b
-        | args ->
+  (* R7: walk the expression passed to Domain.spawn; any free ident of
+     non-atomic mutable type is shared writable state crossing the domain
+     boundary.  Worker functions bound in the same unit are expanded one
+     level so [Domain.spawn (worker i)] is seen through. *)
+  let check_spawn_arg arg =
+    let bound : (Ident.t, unit) Hashtbl.t = Hashtbl.create 32 in
+    let expanded : (Ident.t, unit) Hashtbl.t = Hashtbl.create 8 in
+    let iter = Tast_iterator.default_iterator in
+    let pat_hook : type k. Tast_iterator.iterator -> k general_pattern -> unit
+        =
+     fun it p ->
+      List.iter (fun id -> Hashtbl.replace bound id ()) (pat_bound_idents p);
+      iter.pat it p
+    in
+    let rec expr_hook it e =
+      (match e.exp_desc with
+      | Texp_for (id, _, _, _, _, _) -> Hashtbl.replace bound id ()
+      | _ -> ());
+      (match e.exp_desc with
+      | Texp_ident (p, _, _) -> (
+          let env = real_env e.exp_env in
+          let free_local id = not (Hashtbl.mem bound id) in
+          let flag what =
+            emit e.exp_loc "R7"
+              ("closure passed to Domain.spawn captures non-atomic mutable \
+                state `" ^ Path.name p ^ "` (" ^ what ^ " : "
+              ^ type_to_string e.exp_type
+              ^ "): share through Atomic.t, or prove exclusive ownership and \
+                 suppress with a reasoned rblint:allow R7 marker")
+          in
+          match p with
+          | Path.Pident id when free_local id -> (
+              match mutability env e.exp_type with
+              | `Mutable what -> flag what
+              | `Atomic | `Immutable ->
+                  if
+                    is_function_type env e.exp_type
+                    && not (Hashtbl.mem expanded id)
+                  then
+                    match Hashtbl.find_opt val_defs id with
+                    | Some def ->
+                        Hashtbl.replace expanded id ();
+                        expr_hook it def
+                    | None -> ())
+          | Path.Pident _ -> ()
+          | _ -> (
+              (* Cross-module mutable state referenced from a worker. *)
+              match mutability env e.exp_type with
+              | `Mutable what -> flag what
+              | `Atomic | `Immutable -> ()))
+      | _ -> ());
+      iter.expr it e
+    in
+    let it = { iter with expr = expr_hook; pat = pat_hook } in
+    expr_hook it arg
+  in
+  (* R6 candidates: mutable state constructed while initializing a
+     top-level binding.  Function bodies are skipped — cells created per
+     call are not shared — and Atomic.make is the sanctioned escape. *)
+  let scan_top_rhs rhs =
+    let iter = Tast_iterator.default_iterator in
+    let rec expr_hook it e =
+      match e.exp_desc with
+      | Texp_function _ -> ()
+      | Texp_array _ ->
+          emit_r6 e.exp_loc
+            "top-level array literal is cross-domain mutable state: use \
+             Atomic.t, immutable data, or a reasoned rblint:allow R6 marker";
+          iter.expr it e
+      | Texp_record { fields; _ }
+        when Array.exists
+               (fun (l, _) -> l.Types.lbl_mut = Asttypes.Mutable)
+               fields ->
+          emit_r6 e.exp_loc
+            "top-level record with mutable fields is cross-domain mutable \
+             state: use Atomic.t, immutable data, or a reasoned \
+             rblint:allow R6 marker";
+          iter.expr it e
+      | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+          let parts = parts_of aliases p in
+          let ctor what =
+            emit_r6 e.exp_loc
+              ("top-level mutable state (" ^ what
+             ^ ") in a module reachable from a Domain.spawn worker: use \
+                Atomic.t or document domain safety with a reasoned \
+                rblint:allow R6 marker")
+          in
+          match parts with
+          | [ "Stdlib"; "Atomic"; "make" ] -> ()
+          | [ "Stdlib"; "ref" ] -> ctor "ref cell"
+          | [ "Stdlib"; "Array";
+              ( "make" | "init" | "create_float" | "make_matrix" | "copy"
+              | "of_list" | "append" | "sub" | "concat" ) ] ->
+              ctor "array"
+          | [ "Stdlib"; "Bytes";
+              ("create" | "make" | "init" | "of_string" | "copy" | "sub") ] ->
+              ctor "bytes"
+          | [ "Stdlib"; "Hashtbl"; "create" ] -> ctor "hash table"
+          | [ "Stdlib"; "Buffer"; "create" ] -> ctor "buffer"
+          | [ "Stdlib"; "Queue"; "create" ] -> ctor "queue"
+          | [ "Stdlib"; "Stack"; "create" ] -> ctor "stack"
+          | _ ->
+              List.iter (fun (_, eo) -> Option.iter (expr_hook it) eo) args)
+      | _ -> iter.expr it e
+    in
+    let it = { iter with expr = expr_hook } in
+    expr_hook it rhs
+  in
+  (* --- main traversal ---------------------------------------------- *)
+  let iter = Tast_iterator.default_iterator in
+  let rec expr_hook it e =
+    match e.exp_desc with
+    | Texp_apply (({ exp_desc = Texp_ident (p, _, _); _ } as fn), args) -> (
+        let parts = parts_of aliases p in
+        match parts with
+        | [ "Stdlib"; op ] when List.mem op poly_ops ->
+            (if in_r2 then
+               match args with
+               | [ (_, Some a); (_, Some b) ] ->
+                   let spec x =
+                     comparison_specialized (real_env x.exp_env) x.exp_type
+                   in
+                   if not (spec a && spec b) then
+                     let bad = if spec a then b else a in
+                     emit fn.exp_loc "R2"
+                       ("polymorphic (" ^ op ^ ") at type "
+                       ^ type_to_string bad.exp_type
+                       ^ ": the compiler cannot specialize this comparison — \
+                          match instead, or use a monomorphic equal/compare")
+               | _ ->
+                   emit fn.exp_loc "R2"
+                     ("comparison operator (" ^ op
+                    ^ ") partially applied: pass a monomorphic comparator"));
+            List.iter (fun (_, eo) -> Option.iter (expr_hook it) eo) args
+        | [ "Stdlib"; "Domain"; "spawn" ] ->
+            spawns := true;
+            List.iter
+              (fun (_, eo) -> Option.iter (fun a -> check_spawn_arg a) eo)
+              args;
+            List.iter (fun (_, eo) -> Option.iter (expr_hook it) eo) args
+        | _ ->
+            check_ident fn.exp_loc parts;
+            List.iter (fun (_, eo) -> Option.iter (expr_hook it) eo) args)
+    | Texp_ident (p, _, _) -> (
+        let parts = parts_of aliases p in
+        match parts with
+        | [ "Stdlib"; op ] when List.mem op poly_ops ->
             if in_r2 then
-              emit loc "R2"
+              emit e.exp_loc "R2"
                 ("comparison operator (" ^ op
-               ^ ") partially applied: pass a monomorphic comparator");
-            List.iter (fun (_, a) -> expr it a) args)
-    | Pexp_ident { txt = Longident.Lident op; loc } when List.mem op poly_ops ->
-        if in_r2 then
-          emit loc "R2"
-            ("comparison operator (" ^ op
-           ^ ") used as a value: pass a monomorphic comparator")
-    | Pexp_ident { txt; loc } ->
-        check_longident loc txt;
+               ^ ") used as a value: pass a monomorphic comparator")
+        | [ "Stdlib"; "Domain"; "spawn" ] -> spawns := true
+        | _ -> check_ident e.exp_loc parts)
+    | Texp_letmodule (Some id, _, _, { mod_desc = Tmod_ident (p, _); _ }, _) ->
+        Hashtbl.replace aliases id (resolve_alias aliases p);
         iter.expr it e
     | _ -> iter.expr it e
   in
-  let module_expr it m =
-    (match m.pmod_desc with
-    | Pmod_ident { txt; loc } -> check_longident loc txt
+  let module_expr_hook it m =
+    (match m.mod_desc with
+    | Tmod_ident (p, _) -> (
+        let parts = parts_of aliases p in
+        match parts with
+        | "Stdlib" :: "Random" :: _ when not rng_exempt ->
+            emit m.mod_loc "R1"
+              "aliasing Stdlib.Random is banned: draw through the seeded Rng"
+        | "Stdlib" :: "Obj" :: _ ->
+            emit m.mod_loc "R3" "aliasing Obj breaks abstraction"
+        | _ -> ())
     | _ -> ());
     iter.module_expr it m
   in
-  let value_binding it vb =
+  let module_binding_hook it mb =
+    (match (mb.mb_id, mb.mb_expr.mod_desc) with
+    | Some id, Tmod_ident (p, _) ->
+        Hashtbl.replace aliases id (resolve_alias aliases p)
+    | _ -> ());
+    iter.module_binding it mb
+  in
+  let value_binding_hook it vb =
+    (match vb.vb_pat.pat_desc with
+    | Tpat_var (id, _) -> Hashtbl.replace val_defs id vb.vb_expr
+    | _ -> ());
     let is_hot =
-      List.exists (fun a -> a.attr_name.txt = "zero_alloc_hot") vb.pvb_attributes
+      List.exists
+        (fun a -> a.Parsetree.attr_name.txt = "zero_alloc_hot")
+        vb.vb_attributes
     in
     if is_hot then begin
       incr hot;
@@ -295,9 +576,115 @@ let lint_source ~path ~source =
     end
     else iter.value_binding it vb
   in
-  let it = { iter with expr; module_expr; value_binding } in
+  let it =
+    {
+      iter with
+      expr = expr_hook;
+      module_expr = module_expr_hook;
+      module_binding = module_binding_hook;
+      value_binding = value_binding_hook;
+    }
+  in
+  it.structure it str;
+  (* R6 pass: top-level bindings only, including nested top-level modules. *)
+  let rec scan_structure s =
+    List.iter
+      (fun item ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) -> List.iter (fun vb -> scan_top_rhs vb.vb_expr) vbs
+        | Tstr_module mb -> scan_module mb.mb_expr
+        | Tstr_recmodule mbs -> List.iter (fun mb -> scan_module mb.mb_expr) mbs
+        | _ -> ())
+      s.str_items
+  and scan_module m =
+    match m.mod_desc with
+    | Tmod_structure s -> scan_structure s
+    | Tmod_constraint (m, _, _, _) -> scan_module m
+    | _ -> ()
+  in
+  scan_structure str;
+  let sort fs =
+    List.sort
+      (fun a b ->
+        match Int.compare a.line b.line with
+        | 0 -> Int.compare a.col b.col
+        | c -> c)
+      fs
+  in
+  (sort (List.rev !findings), sort (List.rev !r6), !spawns)
+
+(* ------------------------------------------------------------------ *)
+(* Frontends                                                           *)
+
+let make_unit ~path ~source ~modname ~imports str =
+  let file = normalize path in
+  let findings, r6, sp = analyze ~path str in
+  let r0, valid = validate_allows ~file (collect_allows source) in
+  {
+    u_path = file;
+    u_modname = modname;
+    u_imports = imports;
+    u_spawns = sp;
+    u_findings = r0 @ filter_allowed valid findings;
+    u_r6 = r6;
+    u_allows = valid;
+  }
+
+let error_unit ~path ~rule msg =
+  {
+    u_path = normalize path;
+    u_modname = "";
+    u_imports = [];
+    u_spawns = false;
+    u_findings = [ { file = normalize path; line = 1; col = 0; rule; msg } ];
+    u_r6 = [];
+    u_allows = [];
+  }
+
+(* cmt frontend: the CLI path.  Sets the load path recorded in the cmt so
+   the stored environments rehydrate (run from the dune context root,
+   where those relative paths resolve). *)
+let unit_of_cmt cmt_path =
+  match Cmt_format.read_cmt cmt_path with
+  | exception _ ->
+      `Error
+        (error_unit ~path:cmt_path ~rule:"CMT"
+           ("unreadable cmt file: " ^ cmt_path))
+  | cmt -> (
+      match (cmt.Cmt_format.cmt_sourcefile, cmt.Cmt_format.cmt_annots) with
+      | Some src, Cmt_format.Implementation str
+        when Filename.check_suffix src ".ml" ->
+          Load_path.init ~auto_include:Load_path.no_auto_include
+            cmt.Cmt_format.cmt_loadpath;
+          Envaux.reset_cache ();
+          let source =
+            match open_in_bin src with
+            | exception Sys_error _ -> ""
+            | ic ->
+                let len = in_channel_length ic in
+                let s = really_input_string ic len in
+                close_in ic;
+                s
+          in
+          `Unit
+            (make_unit ~path:src ~source ~modname:cmt.Cmt_format.cmt_modname
+               ~imports:(List.map fst cmt.Cmt_format.cmt_imports)
+               str)
+      | _ -> `Skip)
+
+(* In-process typechecking frontend (stdlib scope only): used by the
+   fixture self-tests so they need no build artifacts. *)
+let typecheck_initialized = ref false
+
+let lint_unit_of_source ~path ~source =
+  if not !typecheck_initialized then begin
+    typecheck_initialized := true;
+    Clflags.dont_write_files := true;
+    ignore (Warnings.parse_options false "-a");
+    Compmisc.init_path ()
+  end;
   let lexbuf = Lexing.from_string source in
-  Lexing.set_filename lexbuf file;
+  Lexing.set_filename lexbuf (normalize path);
   match Parse.implementation lexbuf with
   | exception exn ->
       let msg =
@@ -305,22 +692,83 @@ let lint_source ~path ~source =
         | Some (`Ok e) -> Format.asprintf "%a" Location.print_report e
         | _ -> Printexc.to_string exn
       in
-      [ { file; line = 1; col = 0; rule = "PARSE"; msg } ]
-  | ast ->
-      it.structure it ast;
-      let found =
-        List.sort
-          (fun a b ->
-            match Int.compare a.line b.line with
-            | 0 -> Int.compare a.col b.col
-            | c -> c)
-          (List.rev !findings)
-      in
-      apply_allows ~file (collect_allows source) found
+      error_unit ~path ~rule:"PARSE" msg
+  | ast -> (
+      Env.reset_cache ();
+      let env = Compmisc.initial_env () in
+      match Typemod.type_structure env ast with
+      | exception exn ->
+          let msg =
+            match Location.error_of_exn exn with
+            | Some (`Ok e) -> Format.asprintf "%a" Location.print_report e
+            | _ -> Printexc.to_string exn
+          in
+          error_unit ~path ~rule:"TYPE" msg
+      | str, _, _, _, _ ->
+          let modname =
+            String.capitalize_ascii
+              (Filename.remove_extension (Filename.basename path))
+          in
+          make_unit ~path ~source ~modname ~imports:[] str)
 
-let lint_file path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let source = really_input_string ic len in
-  close_in ic;
-  lint_source ~path ~source
+(* ------------------------------------------------------------------ *)
+(* Whole-tree finalization: Domain-reachability and R6                 *)
+
+(* A module is domain-shared when code in it can run on a spawned domain:
+   (a) it calls Domain.spawn itself, or (b) it depends on a spawning
+   module — its closures may be handed to a worker (Runner.map f) — and
+   then transitively everything such a module depends on, since the worker
+   may call into any of it. *)
+let domain_reachable units =
+  let by_name = Hashtbl.create 64 in
+  List.iter
+    (fun u -> if u.u_modname <> "" then Hashtbl.replace by_name u.u_modname u)
+    units;
+  let spawner_names =
+    List.filter_map (fun u -> if u.u_spawns then Some u.u_modname else None) units
+  in
+  let seeds =
+    List.filter
+      (fun u ->
+        u.u_spawns
+        || List.exists (fun i -> List.mem i spawner_names) u.u_imports)
+      units
+  in
+  let reachable = Hashtbl.create 64 in
+  let rec visit u =
+    if not (Hashtbl.mem reachable u.u_modname) then begin
+      Hashtbl.replace reachable u.u_modname ();
+      List.iter
+        (fun i ->
+          match Hashtbl.find_opt by_name i with
+          | Some dep -> visit dep
+          | None -> ())
+        u.u_imports
+    end
+  in
+  List.iter visit seeds;
+  fun u -> u.u_modname <> "" && Hashtbl.mem reachable u.u_modname
+
+let finalize units =
+  let reachable = domain_reachable units in
+  let all =
+    List.concat_map
+      (fun u ->
+        let r6 = if reachable u then filter_allowed u.u_allows u.u_r6 else [] in
+        u.u_findings @ r6)
+      units
+  in
+  List.sort
+    (fun a b ->
+      match String.compare a.file b.file with
+      | 0 -> (
+          match Int.compare a.line b.line with
+          | 0 -> Int.compare a.col b.col
+          | c -> c)
+      | c -> c)
+    all
+
+(* Convenience for tests: lint one standalone source string (typechecked
+   in-process; the module is its own reachability universe, so R6 fires
+   only when the source itself spawns domains). *)
+let lint_source ~path ~source = finalize [ lint_unit_of_source ~path ~source ]

@@ -1,38 +1,87 @@
-(* rblint CLI: lint every .ml under the given files/directories.
+(* rblint CLI.
 
-   Usage: rblint PATH...
-   Exit 0 when clean, 1 when any finding survives suppression, 2 on usage
-   errors.  See lint.ml for the rules. *)
+   Usage: rblint [--json] PATH...
 
-let rec collect path acc =
-  if Sys.is_directory path then
-    Array.fold_left
-      (fun acc entry ->
-        if entry = "_build" || entry = ".git" then acc
-        else collect (Filename.concat path entry) acc)
-      acc
-      (let entries = Sys.readdir path in
-       Array.sort String.compare entries;
-       entries)
-  else if Filename.check_suffix path ".ml" then path :: acc
-  else acc
+   Each PATH is a file or directory searched recursively for `.cmt` files
+   (dune emits them under `_build/default/.../byte/`); the typed trees
+   inside are analyzed by [Lint].  Run from the dune context root
+   (`_build/default`) so the load paths recorded in the cmts resolve and
+   stored typing environments rehydrate.
+
+   Exit codes: 0 clean, 1 findings, 2 usage error. *)
+
+let usage () =
+  prerr_endline "usage: rblint [--json] PATH...";
+  exit 2
+
+let rec collect_cmts path acc =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> acc
+  | true ->
+      let entries = Sys.readdir path in
+      Array.sort String.compare entries;
+      Array.fold_left
+        (fun acc entry ->
+          if entry = ".git" then acc
+          else collect_cmts (Filename.concat path entry) acc)
+        acc entries
+  | false -> if Filename.check_suffix path ".cmt" then path :: acc else acc
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  if args = [] then begin
-    prerr_endline "usage: rblint PATH...";
-    exit 2
-  end;
-  let missing = List.filter (fun p -> not (Sys.file_exists p)) args in
-  if missing <> [] then begin
-    List.iter (fun p -> prerr_endline ("rblint: no such path: " ^ p)) missing;
-    exit 2
-  end;
-  let files = List.rev (List.fold_left (fun acc p -> collect p acc) [] args) in
-  let findings = List.concat_map Lint.lint_file files in
-  List.iter (fun f -> print_endline (Lint.pp_finding f)) findings;
-  if findings <> [] then begin
-    Printf.printf "rblint: %d finding(s) in %d file(s) scanned\n"
-      (List.length findings) (List.length files);
-    exit 1
+  let json, paths =
+    match Array.to_list Sys.argv with
+    | _ :: "--json" :: rest -> (true, rest)
+    | _ :: rest ->
+        if List.mem "--json" rest then usage ();
+        (false, rest)
+    | [] -> usage ()
+  in
+  if paths = [] then usage ();
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then begin
+        Printf.eprintf "rblint: no such path: %s\n" p;
+        exit 2
+      end)
+    paths;
+  let cmts = List.fold_left (fun acc p -> collect_cmts p acc) [] paths in
+  (* One compilation unit can be compiled into several artifacts (library
+     + executable); analyze each source once. *)
+  let seen = Hashtbl.create 64 in
+  let units =
+    List.filter_map
+      (fun cmt ->
+        match Lint.unit_of_cmt cmt with
+        | `Skip -> None
+        | `Error u -> Some u
+        | `Unit u ->
+            if Hashtbl.mem seen u.Lint.u_path then None
+            else begin
+              Hashtbl.replace seen u.Lint.u_path ();
+              Some u
+            end)
+      (List.rev cmts)
+  in
+  let findings = Lint.finalize units in
+  if json then begin
+    print_string "{ \"files\": ";
+    print_string (string_of_int (List.length units));
+    print_string ", \"findings\": [";
+    List.iteri
+      (fun i f ->
+        if i > 0 then print_string ",";
+        print_string "\n  ";
+        print_string (Lint.json_of_finding f))
+      findings;
+    if findings <> [] then print_newline ();
+    print_endline "] }"
   end
+  else begin
+    List.iter (fun f -> print_endline (Lint.pp_finding f)) findings;
+    let nfiles = List.length units in
+    if findings <> [] then
+      Printf.printf "rblint: %d finding(s) in %d file(s) scanned\n"
+        (List.length findings) nfiles
+    else Printf.printf "rblint: clean (%d files scanned)\n" nfiles
+  end;
+  exit (if findings = [] then 0 else 1)

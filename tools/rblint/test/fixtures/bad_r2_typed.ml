@@ -1,0 +1,19 @@
+(* Fixture: typed R2 — polymorphic comparison between bare variables, the
+   exact form the untyped v1 pass could not see (no [compare] token, no
+   structural literal on either side: just [a = b]). *)
+
+type point = { px : int; py : int }
+
+let same_point (a : point) (b : point) = a = b
+
+let lt_opt (a : int option) (b : int option) = a < b
+
+let eq_list (a : int list) (b : int list) = a = b
+
+(* Comparisons at compiler-specialized types are legal and must stay
+   unflagged, operands bare or not. *)
+let eq_int (a : int) (b : int) = a = b
+
+let eq_float (a : float) (b : float) = a = b
+
+let eq_string (a : string) (b : string) = a = b

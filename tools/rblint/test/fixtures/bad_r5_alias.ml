@@ -1,0 +1,20 @@
+(* Fixture: R5 resolved through module aliases and opens — the untyped v1
+   pass matched callee names syntactically and missed every one of
+   these. *)
+
+module L = List
+
+let hot_alias xs = L.fold_left ( + ) 0 xs [@@zero_alloc_hot]
+
+let hot_open a =
+  let open Array in
+  fold_left ( + ) 0 a
+[@@zero_alloc_hot]
+
+let hot_local_alias xs =
+  let module M = List in
+  M.length xs
+[@@zero_alloc_hot]
+
+(* The alias is fine outside a hot body. *)
+let cold_alias xs = L.length xs

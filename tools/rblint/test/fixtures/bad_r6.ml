@@ -1,0 +1,26 @@
+(* Fixture: R6 — top-level mutable state in a module that spawns domains.
+   The Atomic counter mirrors [Engine.simulated_rounds], the sanctioned
+   cross-domain tally, and must stay clean; everything below it races. *)
+
+let tally : int Atomic.t = Atomic.make 0
+
+let hits = ref 0
+
+let scratch = Array.make 16 0
+
+let buf = Bytes.create 32
+
+let memo : (int, int) Hashtbl.t = Hashtbl.create 8
+
+type cell = { mutable v : int }
+
+let shared = { v = 0 }
+
+let run () =
+  let d = Domain.spawn (fun () -> Atomic.incr tally) in
+  Domain.join d;
+  ignore !hits;
+  ignore scratch.(0);
+  ignore (Bytes.get buf 0);
+  ignore (Hashtbl.length memo);
+  shared.v

@@ -1,0 +1,23 @@
+(* Fixture: R7 — closures crossing the Domain.spawn boundary.  [race]
+   captures a plain ref (flagged), [safe] shares through Atomic.t (clean),
+   [worker_indirect] hides the capture behind a locally-bound worker
+   function that the analysis expands one level. *)
+
+let race () =
+  let counter = ref 0 in
+  let d = Domain.spawn (fun () -> incr counter) in
+  Domain.join d;
+  !counter
+
+let safe () =
+  let counter = Atomic.make 0 in
+  let d = Domain.spawn (fun () -> Atomic.incr counter) in
+  Domain.join d;
+  Atomic.get counter
+
+let worker_indirect () =
+  let cells = Array.make 4 0 in
+  let worker i () = cells.(i) <- i in
+  let d = Domain.spawn (worker 0) in
+  Domain.join d;
+  cells.(0)

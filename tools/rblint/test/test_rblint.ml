@@ -1,7 +1,11 @@
 (* Fixture-driven self-tests for rblint: every rule must fire on its bad
    fixture, stay quiet on the clean one, and the suppression grammar must
-   require a reason.  Fixtures are linted under a pretend path inside
-   lib/core/ so the scoped rules (R2, R4) apply. *)
+   require a reason.  Fixtures are typechecked in-process and linted under
+   a pretend path inside lib/core/ (or wherever the rule's scope needs)
+   so the scoped rules (R2, R4) apply.  The v2 cases prove the typed
+   analysis sees what the untyped v1 pass provably could not: bare-variable
+   polymorphic comparisons, aliased hot-path callees, and mutable state
+   crossing Domain.spawn. *)
 
 let read_fixture name =
   let path = Filename.concat "fixtures" name in
@@ -39,6 +43,28 @@ let test_r2 () =
   let fs = lint_as ~path:"bench/bad_r2.ml" "bad_r2.ml" in
   Alcotest.(check int) "bench exempt from R2" 0 (count "R2" fs)
 
+let test_r2_typed () =
+  (* The v1 blind spot: [a = b] between bare variables carries no token the
+     parsetree could match; only the operand types expose it. *)
+  let fs = lint_as ~path:"lib/core/bad_r2_typed.ml" "bad_r2_typed.ml" in
+  check_rules "R2 only" [ "R2" ] fs;
+  Alcotest.(check int) "record, option, list comparisons flagged" 3
+    (count "R2" fs);
+  (* each message names the offending operand type *)
+  let msgs = List.map (fun f -> f.Lint.msg) fs in
+  List.iter2
+    (fun ty msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "message mentions %s" ty)
+        true
+        (let tyl = String.length ty and n = String.length msg in
+         let rec scan i =
+           i + tyl <= n && (String.sub msg i tyl = ty || scan (i + 1))
+         in
+         scan 0))
+    [ "point"; "int option"; "int list" ]
+    msgs
+
 let test_r3 () =
   let fs = lint_as ~path:"examples/bad_r3.ml" "bad_r3.ml" in
   check_rules "R3 only" [ "R3" ] fs;
@@ -56,6 +82,95 @@ let test_r5 () =
   let fs = lint_as ~path:"lib/radio/bad_r5.ml" "bad_r5.ml" in
   check_rules "R5 only" [ "R5" ] fs;
   Alcotest.(check int) "three R5 sites" 3 (count "R5" fs)
+
+let test_r5_alias () =
+  (* v1 matched callee names syntactically; [module L = List],
+     [let open Array in] and [let module M = List in] all dodged it. *)
+  let fs = lint_as ~path:"lib/radio/bad_r5_alias.ml" "bad_r5_alias.ml" in
+  check_rules "R5 only" [ "R5" ] fs;
+  Alcotest.(check int) "alias, open, local alias all resolved" 3
+    (count "R5" fs)
+
+let test_r6 () =
+  let fs = lint_as ~path:"lib/radio/bad_r6.ml" "bad_r6.ml" in
+  check_rules "R6 only" [ "R6" ] fs;
+  (* ref, array, bytes, hashtbl, mutable record — the Atomic tally is the
+     sanctioned pattern and must stay clean *)
+  Alcotest.(check int) "five R6 sites, Atomic exempt" 5 (count "R6" fs);
+  (* the same module without a Domain.spawn anywhere is not domain-shared,
+     so R6 stays quiet: reachability gates the rule *)
+  let source = read_fixture "bad_r6.ml" in
+  let replace ~sub ~by s =
+    let sl = String.length sub in
+    let b = Buffer.create (String.length s) in
+    let i = ref 0 in
+    while !i < String.length s do
+      if !i + sl <= String.length s && String.sub s !i sl = sub then begin
+        Buffer.add_string b by;
+        i := !i + sl
+      end
+      else begin
+        Buffer.add_char b s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents b
+  in
+  let serial =
+    "let serial_apply f = f ()\n"
+    ^ replace ~sub:"Domain.join" ~by:"ignore"
+        (replace ~sub:"Domain.spawn" ~by:"serial_apply" source)
+  in
+  let fs = Lint.lint_source ~path:"lib/radio/bad_r6_serial.ml" ~source:serial in
+  Alcotest.(check int) "no spawn, no R6" 0 (List.length fs)
+
+let test_r7 () =
+  let fs = lint_as ~path:"lib/radio/bad_r7.ml" "bad_r7.ml" in
+  check_rules "R7 only" [ "R7" ] fs;
+  (* the direct ref capture and the one hidden behind a worker function;
+     the Atomic twin stays clean *)
+  Alcotest.(check int) "two R7 sites, Atomic exempt" 2 (count "R7" fs)
+
+let test_reachability () =
+  (* R6 candidates fire only in units reachable from a spawner: a unit
+     that imports the spawner (it hands closures to workers) is shared;
+     an unrelated unit with identical mutable state is not. *)
+  let candidate file =
+    { Lint.file; line = 3; col = 0; rule = "R6"; msg = "top-level ref" }
+  in
+  let unit ~path ~modname ~imports ~spawns ~r6 =
+    {
+      Lint.u_path = path;
+      u_modname = modname;
+      u_imports = imports;
+      u_spawns = spawns;
+      u_findings = [];
+      u_r6 = (if r6 then [ candidate path ] else []);
+      u_allows = [];
+    }
+  in
+  let runner =
+    unit ~path:"lib/radio/runner.ml" ~modname:"Runner" ~imports:[]
+      ~spawns:true ~r6:false
+  in
+  let feeder =
+    unit ~path:"bench/main.ml" ~modname:"Main" ~imports:[ "Runner" ]
+      ~spawns:false ~r6:true
+  in
+  let dep_of_feeder =
+    unit ~path:"lib/util/table.ml" ~modname:"Table" ~imports:[] ~spawns:false
+      ~r6:true
+  in
+  let feeder' = { feeder with Lint.u_imports = [ "Runner"; "Table" ] } in
+  let unrelated =
+    unit ~path:"tools/plot.ml" ~modname:"Plot" ~imports:[] ~spawns:false
+      ~r6:true
+  in
+  let fs = Lint.finalize [ runner; feeder'; dep_of_feeder; unrelated ] in
+  Alcotest.(check (list string))
+    "feeder and its deps flagged, unrelated unit clean"
+    [ "bench/main.ml"; "lib/util/table.ml" ]
+    (List.map (fun f -> f.Lint.file) fs)
 
 let test_clean () =
   let fs = lint_as ~path:"lib/core/ok_clean.ml" "ok_clean.ml" in
@@ -85,6 +200,23 @@ let test_parse_error () =
   let fs = Lint.lint_source ~path:"lib/core/broken.ml" ~source:"let let = in" in
   check_rules "syntax errors reported" [ "PARSE" ] fs
 
+let test_type_error () =
+  let fs =
+    Lint.lint_source ~path:"lib/core/illtyped.ml"
+      ~source:"let x : int = \"not an int\""
+  in
+  check_rules "type errors reported" [ "TYPE" ] fs
+
+let test_json () =
+  let f =
+    { Lint.file = "lib/a.ml"; line = 3; col = 7; rule = "R2"; msg = "a \"b\"" }
+  in
+  Alcotest.(check string)
+    "json escaping"
+    "{ \"file\": \"lib/a.ml\", \"line\": 3, \"col\": 7, \"rule\": \"R2\", \
+     \"msg\": \"a \\\"b\\\"\" }"
+    (Lint.json_of_finding f)
+
 let () =
   Alcotest.run "rblint"
     [
@@ -92,9 +224,16 @@ let () =
         [
           Alcotest.test_case "R1 randomness" `Quick test_r1;
           Alcotest.test_case "R2 polymorphic compare" `Quick test_r2;
+          Alcotest.test_case "R2 typed operands (v1 blind spot)" `Quick
+            test_r2_typed;
           Alcotest.test_case "R3 Obj" `Quick test_r3;
           Alcotest.test_case "R4 printing" `Quick test_r4;
           Alcotest.test_case "R5 hot-path traversals" `Quick test_r5;
+          Alcotest.test_case "R5 aliased callees (v1 blind spot)" `Quick
+            test_r5_alias;
+          Alcotest.test_case "R6 top-level mutable state" `Quick test_r6;
+          Alcotest.test_case "R7 spawn captures" `Quick test_r7;
+          Alcotest.test_case "R6 reachability gating" `Quick test_reachability;
         ] );
       ( "machinery",
         [
@@ -102,5 +241,7 @@ let () =
           Alcotest.test_case "suppressions" `Quick test_suppression;
           Alcotest.test_case "finding positions" `Quick test_positions;
           Alcotest.test_case "parse errors" `Quick test_parse_error;
+          Alcotest.test_case "type errors" `Quick test_type_error;
+          Alcotest.test_case "json output" `Quick test_json;
         ] );
     ]
