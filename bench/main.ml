@@ -10,8 +10,10 @@
    (configuration, seed) cell is a pure function of its inputs, so the
    parallel run is bit-identical to the serial one (--domains 1).
 
-   Usage: dune exec bench/main.exe                 (all experiments)
+   Usage: dune exec bench/main.exe                 (all default experiments)
           dune exec bench/main.exe -- E1 E5        (a subset)
+          dune exec bench/main.exe -- ES           (E-scale, explicit-only:
+                                                    minutes at n = 10^5)
           dune exec bench/main.exe -- micro        (Bechamel micro-benchmarks)
           dune exec bench/main.exe -- --csv out/   (also write CSV tables)
           dune exec bench/main.exe -- --domains 1  (force serial trials)
@@ -57,36 +59,34 @@ let domains_used () =
 (* [per_config configs seeds f] evaluates [f cfg seed] for every cell of the
    configs × seeds grid in parallel and hands each config its seed-ordered
    result list, in config order.  The printing stays serial and ordered; only
-   the trials fan out. *)
+   the trials fan out.  One array split per config — the old list walk
+   recomputed [List.length seeds] and re-took a prefix per config,
+   quadratic in the grid. *)
 let per_config configs seeds f k =
   let pairs =
     List.concat_map (fun c -> List.map (fun s -> (c, s)) seeds) configs
   in
   let results =
-    Rn_radio.Runner.map ?domains:(Atomic.get domains) (fun (c, s) -> f c s) pairs
+    Array.of_list
+      (Rn_radio.Runner.map ?domains:(Atomic.get domains)
+         (fun (c, s) -> f c s)
+         pairs)
   in
-  let rec chunk cfgs rs =
-    match cfgs with
-    | [] -> ()
-    | c :: cfgs ->
-        let rec take n l acc =
-          if n = 0 then (List.rev acc, l)
-          else
-            match l with
-            | x :: tl -> take (n - 1) tl (x :: acc)
-            | [] -> (List.rev acc, [])
-        in
-        let mine, rest = take (List.length seeds) rs [] in
-        k c mine;
-        chunk cfgs rest
-  in
-  chunk configs results
+  let ns = List.length seeds in
+  List.iteri
+    (fun i c -> k c (Array.to_list (Array.sub results (i * ns) ns)))
+    configs
 
 let pmap_seeds seeds f =
   Rn_radio.Runner.map_seeds ?domains:(Atomic.get domains) ~seeds f
 
-(* Per-experiment perf record, written to BENCH_engine.json at exit. *)
+(* Per-experiment perf record, written to BENCH_engine.json at exit.
+   Experiments may add their own finer-grained rows (the E-scale
+   per-domain-count timings) alongside the per-experiment totals. *)
 let bench_records : (string * float * int) list Atomic.t = Atomic.make []
+
+let record_bench id wall rounds =
+  Atomic.set bench_records ((id, wall, rounds) :: Atomic.get bench_records)
 
 let json_path : string Atomic.t = Atomic.make "BENCH_engine.json"
 
@@ -1067,6 +1067,18 @@ let micro () =
           (Staged.stage (fun () -> one_engine_round grid));
         Test.make ~name:"engine_round_n1e4"
           (Staged.stage (fun () -> one_engine_round big_grid));
+        (* Graph construction straight into CSR via Graph.Builder (no
+           intermediate edge lists) — the Gen scalability path. *)
+        Test.make ~name:"gen_layered_n1e4"
+          (Staged.stage (fun () ->
+               Topo.layered_random
+                 ~rng:(Rng.create ~seed:1)
+                 ~depth:100 ~width:100 ~p:0.3));
+        Test.make ~name:"gen_random_connected_n1e4"
+          (Staged.stage (fun () ->
+               Topo.random_connected
+                 ~rng:(Rng.create ~seed:1)
+                 ~n:10_000 ~extra:40_000));
       ]
   in
   let ols =
@@ -1093,13 +1105,135 @@ let micro () =
   print_table t
 
 (* ------------------------------------------------------------------ *)
+(* ES — E-scale: the sharded engine at n = 10^4 / 10^5                  *)
+
+(* One Decay broadcast per engine configuration, each checked byte-identical
+   to the serial reference before its timing is reported.  Per-configuration
+   rounds/sec rows land in BENCH_engine.json next to the per-experiment
+   totals (ids like "ES-layered[domains=2]"). *)
+let es_decay ~id ~graph_name g ~domain_counts =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "%s  Decay on %s (n=%d, m=%d)" id graph_name
+           (Graph.n g) (Graph.m g))
+      ~columns:[ "engine"; "wall s"; "rounds/s"; "vs serial" ]
+  in
+  let run domains =
+    let rng = Rng.create ~seed:42 in
+    let w0 = Unix.gettimeofday () in
+    let r = Decay.broadcast ?domains ~rng ~graph:g ~source:0 () in
+    (Unix.gettimeofday () -. w0, r)
+  in
+  let ref_wall, ref_r = run None in
+  let rounds = ref_r.Decay.stats.Rn_radio.Engine.rounds in
+  let row name wall =
+    record_bench (Printf.sprintf "%s[%s]" id name) wall rounds;
+    Table.add_row t
+      [
+        name;
+        Printf.sprintf "%.2f" wall;
+        Table.cell_f (float_of_int rounds /. wall);
+        Printf.sprintf "%.2fx" (ref_wall /. wall);
+      ]
+  in
+  row "serial" ref_wall;
+  List.iter
+    (fun d ->
+      let wall, r = run (Some d) in
+      if
+        r.Decay.outcome <> ref_r.Decay.outcome
+        || r.Decay.received_round <> ref_r.Decay.received_round
+        || r.Decay.stats <> ref_r.Decay.stats
+      then
+        failwith
+          (Printf.sprintf "%s: domains=%d diverged from the serial engine" id
+             d);
+      row (Printf.sprintf "domains=%d" d) wall)
+    domain_counts;
+  print_table t;
+  note
+    (Printf.sprintf
+       "every sharded run verified byte-identical to serial (outcome, \
+        per-node receive rounds, stats); %d engine rounds each"
+       rounds)
+
+let es_smoke () =
+  section "ESsmoke  sharded engine ≡ serial, CI-sized (n = 10^4)";
+  es_decay ~id:"ESsmoke" ~graph_name:"layered D=100 w=100"
+    (layered ~seed:7 ~depth:100 ~width:100)
+    ~domain_counts:[ 2 ]
+
+let es () =
+  section "ES  E-scale: Decay rounds/sec per domain count (n = 10^5, 10^6)";
+  es_decay ~id:"ES-layered" ~graph_name:"layered D=100 w=1000"
+    (layered ~seed:7 ~depth:100 ~width:1000)
+    ~domain_counts:[ 1; 2; 4 ];
+  es_decay ~id:"ES-random" ~graph_name:"random_connected deg~10"
+    (Topo.random_connected ~rng:(Rng.create ~seed:11) ~n:100_000
+       ~extra:400_000)
+    ~domain_counts:[ 1; 2; 4 ];
+  (* The million-node point stays sparse: a dense layered graph at
+     n = 10^6 is ~3*10^8 edges of CSR, past what a CI-class machine
+     holds. *)
+  es_decay ~id:"ES-random-1e6" ~graph_name:"random_connected deg~8"
+    (Topo.random_connected ~rng:(Rng.create ~seed:13) ~n:1_000_000
+       ~extra:3_000_000)
+    ~domain_counts:[ 1; 2; 4 ];
+  (* Theorem 1.1 comparison point.  The paper's algorithm is
+     O(D + log^6 n): at every n this harness can reach, the polylog term
+     towers over Decay's O(D log n + log^2 n), so the honest comparison is
+     round counts at n = 10^4 — a 10^5-node Single_broadcast run is hours
+     of wall clock. *)
+  let g = layered ~seed:7 ~depth:100 ~width:100 in
+  let t =
+    Table.create
+      ~title:"ES  Decay vs Theorem 1.1 round counts (layered n=10^4, D=100)"
+      ~columns:[ "algorithm"; "rounds"; "wall s" ]
+  in
+  let wd, rd =
+    let w0 = Unix.gettimeofday () in
+    let r = Decay.broadcast ~rng:(Rng.create ~seed:42) ~graph:g ~source:0 () in
+    (Unix.gettimeofday () -. w0, r)
+  in
+  Table.add_row t
+    [
+      "Decay (BGI)";
+      string_of_int rd.Decay.stats.Rn_radio.Engine.rounds;
+      Printf.sprintf "%.2f" wd;
+    ];
+  let ws, rs =
+    let rng = Rng.create ~seed:42 in
+    let w0 = Unix.gettimeofday () in
+    let r = Single_broadcast.run ~rng:(Rng.split rng) ~graph:g ~source:0 () in
+    (Unix.gettimeofday () -. w0, r)
+  in
+  assert rs.Single_broadcast.delivered;
+  record_bench "ES-thm11[n=1e4]" ws rs.Single_broadcast.rounds_total;
+  Table.add_row t
+    [
+      "Theorem 1.1";
+      string_of_int rs.Single_broadcast.rounds_total;
+      Printf.sprintf "%.2f" ws;
+    ];
+  print_table t;
+  note
+    "Theorem 1.1's O(D + log^6 n) constant dominates at any feasible n; \
+     its asymptotic advantage needs D >> log^5 n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13); ("E14", e14); ("F1", f1); ("micro", micro);
+    ("E12", e12); ("E13", e13); ("E14", e14); ("F1", f1);
+    ("ESsmoke", es_smoke); ("ES", es); ("micro", micro);
   ]
+
+(* Heavyweight experiments that only run when named explicitly: ES is
+   minutes of wall clock at n = 10^5. *)
+let explicit_only = [ "ES" ]
 
 let () =
   let args = match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest in
@@ -1119,7 +1253,9 @@ let () =
   let args = strip_opts [] args in
   let requested = match args with [] -> None | ids -> Some ids in
   let wanted id =
-    match requested with None -> true | Some ids -> List.mem id ids
+    match requested with
+    | None -> not (List.mem id explicit_only)
+    | Some ids -> List.mem id ids
   in
   let t0 = Unix.gettimeofday () in
   List.iter
@@ -1130,7 +1266,7 @@ let () =
         f ();
         let wall = Unix.gettimeofday () -. w0 in
         let rounds = Rn_radio.Engine.total_simulated_rounds () - r0 in
-        Atomic.set bench_records ((id, wall, rounds) :: Atomic.get bench_records)
+        record_bench id wall rounds
       end)
     experiments;
   let total_wall = Unix.gettimeofday () -. t0 in

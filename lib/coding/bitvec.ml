@@ -25,6 +25,41 @@ let set t i b =
   if b then t.words.(w) <- t.words.(w) lor (1 lsl o)
   else t.words.(w) <- t.words.(w) land lnot (1 lsl o)
 
+(* Unchecked hot-path accessors for loops that have already bounds-checked
+   their range.  [unsafe_set]/[unsafe_clear] are single-bit orientations
+   of [set] without the branch on a bool argument. *)
+let unsafe_get t i =
+  Array.unsafe_get t.words (i / bits_per_word) lsr (i mod bits_per_word) land 1
+  = 1
+
+let unsafe_set t i =
+  let w = i / bits_per_word in
+  Array.unsafe_set t.words w
+    (Array.unsafe_get t.words w lor (1 lsl (i mod bits_per_word)))
+
+let unsafe_clear t i =
+  let w = i / bits_per_word in
+  Array.unsafe_set t.words w
+    (Array.unsafe_get t.words w land lnot (1 lsl (i mod bits_per_word)))
+
+let clear_range t ~lo ~hi =
+  if lo < 0 || hi > t.len || lo > hi then invalid_arg "Bitvec.clear_range";
+  if lo < hi then begin
+    let wl = lo / bits_per_word and wh = (hi - 1) / bits_per_word in
+    let mask_lo = (1 lsl (lo mod bits_per_word)) - 1 in
+    (* Bits of the top word at offsets >= hi survive.  Two-step shift: the
+       offset can be [bits_per_word - 1], and [lsl] by a full word is
+       unspecified ([lsl] is right-associative — the inner shift must be
+       parenthesized or the shift counts compose). *)
+    let keep_hi = (-1 lsl ((hi - 1) mod bits_per_word)) lsl 1 in
+    if wl = wh then t.words.(wl) <- t.words.(wl) land (mask_lo lor keep_hi)
+    else begin
+      t.words.(wl) <- t.words.(wl) land mask_lo;
+      Array.fill t.words (wl + 1) (wh - wl - 1) 0;
+      t.words.(wh) <- t.words.(wh) land keep_hi
+    end
+  end
+
 let unit len i =
   let t = create len in
   set t i true;

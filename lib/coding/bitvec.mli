@@ -16,6 +16,28 @@ val copy : t -> t
 val get : t -> int -> bool
 val set : t -> int -> bool -> unit
 
+val bits_per_word : int
+(** Bits stored per backing word (63 on a 64-bit platform).  Concurrent
+    writers that partition the index space must align their partition
+    boundaries to multiples of this so no two ever touch the same word —
+    {!Rn_graph.Graph.shard_cuts} takes it as [align]. *)
+
+val unsafe_get : t -> int -> bool
+
+val unsafe_set : t -> int -> unit
+(** [unsafe_set t i] sets bit [i] to one — no bounds check; the caller must
+    guarantee [0 <= i < length t].  Hot-path variant for loops over an
+    already-validated range. *)
+
+val unsafe_clear : t -> int -> unit
+(** [unsafe_clear t i] sets bit [i] to zero — same contract as
+    {!unsafe_set}. *)
+
+val clear_range : t -> lo:int -> hi:int -> unit
+(** [clear_range t ~lo ~hi] zeroes bits [\[lo, hi)] with whole-word stores
+    (O(range/63) rather than O(range)).
+    @raise Invalid_argument unless [0 <= lo <= hi <= length t]. *)
+
 val unit : int -> int -> t
 (** [unit len i] is the standard basis vector e_i. *)
 

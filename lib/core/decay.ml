@@ -16,8 +16,8 @@ type result = {
 type msg = Payload | Noise
 
 let broadcast ?(params = Params.default) ?ladder
-    ?(detection = Engine.No_collision_detection) ?max_rounds ?faults ~rng
-    ~graph ~source () =
+    ?(detection = Engine.No_collision_detection) ?max_rounds ?faults ?domains
+    ~rng ~graph ~source () =
   let n = Graph.n graph in
   if source < 0 || source >= n then invalid_arg "Decay.broadcast: bad source";
   let ladder = match ladder with Some l -> l | None -> Params.phase_len ~n in
@@ -29,7 +29,11 @@ let broadcast ?(params = Params.default) ?ladder
   let node_rng = Rng.split_n rng n in
   let received_round = Array.make n (-1) in
   received_round.(source) <- 0;
-  let missing = ref (n - 1) in
+  (* The only cross-node aggregate; atomic so the sharded engine's
+     parallel deliver phase may decrement it from any lane.  Everything
+     else the callbacks touch is per-node (own RNG stream, own
+     received_round cell), which is exactly the Engine_sharded contract. *)
+  let missing = Atomic.make (n - 1) in
   let decide ~round ~node =
     if received_round.(node) >= 0 then begin
       if Rng.bernoulli node_rng.(node) (probability ~ladder round) then
@@ -43,7 +47,7 @@ let broadcast ?(params = Params.default) ?ladder
     | Engine.Received Payload ->
         if received_round.(node) < 0 then begin
           received_round.(node) <- round;
-          decr missing
+          Atomic.decr missing
         end
     | Engine.Received Noise | Engine.Silence | Engine.Collision -> ()
   in
@@ -56,10 +60,13 @@ let broadcast ?(params = Params.default) ?ladder
           protocol
   in
   let stats = Engine.fresh_stats () in
+  let stop ~round:_ = Atomic.get missing = 0 in
   let outcome =
-    Engine.run ~stats ~graph ~detection ~protocol
-      ~stop:(fun ~round:_ -> !missing = 0)
-      ~max_rounds ()
+    match domains with
+    | Some d ->
+        Engine_sharded.run ~stats ~domains:d ~graph ~detection ~protocol ~stop
+          ~max_rounds ()
+    | None -> Engine.run ~stats ~graph ~detection ~protocol ~stop ~max_rounds ()
   in
   { outcome; received_round; stats }
 

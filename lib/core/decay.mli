@@ -39,6 +39,7 @@ val broadcast :
   ?detection:Engine.detection ->
   ?max_rounds:int ->
   ?faults:Faults.spec ->
+  ?domains:int ->
   rng:Rng.t ->
   graph:Rn_graph.Graph.t ->
   source:int ->
@@ -49,7 +50,12 @@ val broadcast :
     rounds.  [ladder] defaults to [⌈log n⌉]; passing a smaller ladder gives
     the truncated variant (progress [O(log(n/D))] per hop when layer degrees
     are ≤ n/D).  Collision detection is irrelevant to Decay; the default is
-    [No_collision_detection] as in [2]. *)
+    [No_collision_detection] as in [2].
+
+    [domains], when given, runs the round loop on {!Engine_sharded} with
+    that shard count — bit-identical results to the serial default for any
+    [domains ≥ 1] (the protocol's callbacks touch only per-node state; the
+    completion count is atomic).  This is the E-scale workload. *)
 
 val cr_ladder : n:int -> diameter:int -> int
 (** The truncated ladder [⌈log(n/D)⌉ + 1] used by the Czumaj–Rytter-style

@@ -26,14 +26,14 @@ let complete n =
 let grid ~w ~h =
   if w < 1 || h < 1 then invalid_arg "Gen.grid";
   let id x y = (y * w) + x in
-  let edges = ref [] in
+  let b = Graph.Builder.create ~capacity:(2 * w * h) ~n:(w * h) () in
   for y = 0 to h - 1 do
     for x = 0 to w - 1 do
-      if x + 1 < w then edges := (id x y, id (x + 1) y) :: !edges;
-      if y + 1 < h then edges := (id x y, id x (y + 1)) :: !edges
+      if x + 1 < w then Graph.Builder.add_edge b (id x y) (id (x + 1) y);
+      if y + 1 < h then Graph.Builder.add_edge b (id x y) (id x (y + 1))
     done
   done;
-  Graph.create ~n:(w * h) ~edges:!edges
+  Graph.Builder.finish b
 
 let balanced_tree ~arity ~depth =
   if arity < 1 || depth < 0 then invalid_arg "Gen.balanced_tree";
@@ -71,67 +71,69 @@ let caterpillar ~spine ~legs =
 
 let gnp ~rng ~n ~p =
   if n < 0 then invalid_arg "Gen.gnp";
-  let edges = ref [] in
+  let b = Graph.Builder.create ~n () in
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
-      if Rng.bernoulli rng p then edges := (u, v) :: !edges
+      if Rng.bernoulli rng p then Graph.Builder.add_edge b u v
     done
   done;
-  Graph.create ~n ~edges:!edges
+  Graph.Builder.finish b
 
 let random_connected ~rng ~n ~extra =
   if n < 1 then invalid_arg "Gen.random_connected";
-  let edges = ref [] in
+  let b = Graph.Builder.create ~capacity:(n + max extra 0) ~n () in
   for v = 1 to n - 1 do
-    edges := (Rng.int rng v, v) :: !edges
+    Graph.Builder.add_edge b (Rng.int rng v) v
   done;
   for _ = 1 to extra do
     if n >= 2 then begin
       let u = Rng.int rng n in
       let v = Rng.int rng n in
-      if u <> v then edges := (u, v) :: !edges
+      if u <> v then Graph.Builder.add_edge b u v
     end
   done;
-  Graph.create ~n ~edges:!edges
+  Graph.Builder.finish b
 
 let layered_random ~rng ~depth ~width ~p =
   if depth < 1 || width < 1 then invalid_arg "Gen.layered_random";
   let n = 1 + (depth * width) in
   let node layer j = if layer = 0 then 0 else 1 + ((layer - 1) * width) + j in
-  let edges = ref [] in
+  let b = Graph.Builder.create ~capacity:(2 * n) ~n () in
   for layer = 1 to depth do
     let prev_width = if layer = 1 then 1 else width in
     for j = 0 to width - 1 do
       let v = node layer j in
       (* Guaranteed uplink keeps the BFS level equal to the layer index. *)
       let forced = Rng.int rng prev_width in
-      edges := (node (layer - 1) forced, v) :: !edges;
+      Graph.Builder.add_edge b (node (layer - 1) forced) v;
       for i = 0 to prev_width - 1 do
         if i <> forced && Rng.bernoulli rng p then
-          edges := (node (layer - 1) i, v) :: !edges
+          Graph.Builder.add_edge b (node (layer - 1) i) v
       done
     done
   done;
-  Graph.create ~n ~edges:!edges
+  Graph.Builder.finish b
 
 let cluster_path ~rng ~clusters ~size ~p_intra =
   if clusters < 1 || size < 1 then invalid_arg "Gen.cluster_path";
   let n = clusters * size in
   let node c j = (c * size) + j in
-  let edges = ref [] in
+  let b = Graph.Builder.create ~capacity:(2 * n) ~n () in
   for c = 0 to clusters - 1 do
     (* Spanning path inside the cluster guarantees connectivity. *)
     for j = 0 to size - 2 do
-      edges := (node c j, node c (j + 1)) :: !edges
+      Graph.Builder.add_edge b (node c j) (node c (j + 1))
     done;
     for j = 0 to size - 1 do
       for i = j + 2 to size - 1 do
-        if Rng.bernoulli rng p_intra then edges := (node c j, node c i) :: !edges
+        if Rng.bernoulli rng p_intra then
+          Graph.Builder.add_edge b (node c j) (node c i)
       done
     done;
-    if c + 1 < clusters then edges := (node c (size - 1), node (c + 1) 0) :: !edges
+    if c + 1 < clusters then
+      Graph.Builder.add_edge b (node c (size - 1)) (node (c + 1) 0)
   done;
-  Graph.create ~n ~edges:!edges
+  Graph.Builder.finish b
 
 let barbell ~clique ~bridge =
   if clique < 1 || bridge < 0 then invalid_arg "Gen.barbell";
@@ -197,28 +199,28 @@ let unit_disk ~rng ~n ~radius =
 
 let bipartite_random ~rng ~reds ~blues ~p =
   if reds < 1 || blues < 0 then invalid_arg "Gen.bipartite_random";
-  let edges = ref [] in
+  let bld = Graph.Builder.create ~capacity:(2 * (reds + blues)) ~n:(reds + blues) () in
   for b = 0 to blues - 1 do
     let blue = reds + b in
     let forced = Rng.int rng reds in
-    edges := (forced, blue) :: !edges;
+    Graph.Builder.add_edge bld forced blue;
     for r = 0 to reds - 1 do
-      if r <> forced && Rng.bernoulli rng p then edges := (r, blue) :: !edges
+      if r <> forced && Rng.bernoulli rng p then Graph.Builder.add_edge bld r blue
     done
   done;
-  Graph.create ~n:(reds + blues) ~edges:!edges
+  Graph.Builder.finish bld
 
 let bipartite_regular ~rng ~reds ~blues ~degree =
   if reds < 1 || blues < 0 || degree < 1 || degree > reds then
     invalid_arg "Gen.bipartite_regular";
-  let edges = ref [] in
+  let bld = Graph.Builder.create ~capacity:(blues * degree) ~n:(reds + blues) () in
   for b = 0 to blues - 1 do
     let blue = reds + b in
     Array.iter
-      (fun r -> edges := (r, blue) :: !edges)
+      (fun r -> Graph.Builder.add_edge bld r blue)
       (Rng.sample_without_replacement rng degree reds)
   done;
-  Graph.create ~n:(reds + blues) ~edges:!edges
+  Graph.Builder.finish bld
 
 let dot g =
   let buf = Buffer.create 256 in

@@ -44,7 +44,12 @@ let rec sort_range (a : int array) lo hi =
     sort_range a (!j + 1) hi
   end
 
-let create ~n ~edges =
+(* Shared CSR finisher over a flat endpoint buffer: edge [i] is
+   [(pairs.(2i), pairs.(2i+1))], [i < len].  Both the list-based [create]
+   and the list-free [Builder] funnel through here, so the two construction
+   paths produce identical graphs for the same edge multiset by
+   construction. *)
+let of_flat ~n ~pairs ~len =
   if n < 0 then invalid_arg "Graph.create: negative n";
   let check v =
     if v < 0 || v >= n then
@@ -52,15 +57,15 @@ let create ~n ~edges =
   in
   (* Pass 1: validate and count directed half-edges (self-loops dropped). *)
   let deg = Array.make (max n 1) 0 in
-  List.iter
-    (fun (u, v) ->
-      check u;
-      check v;
-      if u <> v then begin
-        deg.(u) <- deg.(u) + 1;
-        deg.(v) <- deg.(v) + 1
-      end)
-    edges;
+  for i = 0 to len - 1 do
+    let u = pairs.(2 * i) and v = pairs.((2 * i) + 1) in
+    check u;
+    check v;
+    if u <> v then begin
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1
+    end
+  done;
   let off = Array.make (n + 1) 0 in
   for v = 0 to n - 1 do
     off.(v + 1) <- off.(v) + deg.(v)
@@ -68,15 +73,15 @@ let create ~n ~edges =
   (* Pass 2: scatter targets; [cursor] tracks each row's write position. *)
   let cursor = Array.sub off 0 (max n 1) in
   let tgt = Array.make (max off.(n) 1) 0 in
-  List.iter
-    (fun (u, v) ->
-      if u <> v then begin
-        tgt.(cursor.(u)) <- v;
-        cursor.(u) <- cursor.(u) + 1;
-        tgt.(cursor.(v)) <- u;
-        cursor.(v) <- cursor.(v) + 1
-      end)
-    edges;
+  for i = 0 to len - 1 do
+    let u = pairs.(2 * i) and v = pairs.((2 * i) + 1) in
+    if u <> v then begin
+      tgt.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1;
+      tgt.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1
+    end
+  done;
   for v = 0 to n - 1 do
     sort_range tgt off.(v) off.(v + 1)
   done;
@@ -99,6 +104,47 @@ let create ~n ~edges =
   coff.(n) <- !w;
   let tgt = if !w = Array.length tgt then tgt else Array.sub tgt 0 !w in
   { off = coff; tgt; m = !w / 2 }
+
+let create ~n ~edges =
+  let len = List.length edges in
+  let pairs = Array.make (max (2 * len) 1) 0 in
+  List.iteri
+    (fun i (u, v) ->
+      pairs.(2 * i) <- u;
+      pairs.((2 * i) + 1) <- v)
+    edges;
+  of_flat ~n ~pairs ~len
+
+module Builder = struct
+  type b = { n : int; mutable pairs : int array; mutable len : int }
+
+  let create ?(capacity = 256) ~n () =
+    if n < 0 then invalid_arg "Graph.Builder.create: negative n";
+    { n; pairs = Array.make (2 * max capacity 1) 0; len = 0 }
+
+  let add_edge b u v =
+    let check w =
+      if w < 0 || w >= b.n then
+        invalid_arg
+          (Printf.sprintf "Graph.Builder.add_edge: node %d out of range [0,%d)"
+             w b.n)
+    in
+    check u;
+    check v;
+    if 2 * b.len = Array.length b.pairs then begin
+      (* Amortized doubling: the buffer is the only O(m) intermediate, flat
+         ints rather than a list of boxed pairs. *)
+      let bigger = Array.make (4 * max b.len 1) 0 in
+      Array.blit b.pairs 0 bigger 0 (2 * b.len);
+      b.pairs <- bigger
+    end;
+    b.pairs.(2 * b.len) <- u;
+    b.pairs.((2 * b.len) + 1) <- v;
+    b.len <- b.len + 1
+
+  let edge_count b = b.len
+  let finish b = of_flat ~n:b.n ~pairs:b.pairs ~len:b.len
+end
 
 let n t = Array.length t.off - 1
 let m t = t.m
@@ -169,5 +215,39 @@ let induced_bipartite g ~left ~right =
           | None -> ()))
     left;
   (create ~n:(nl + nr) ~edges:!es, back)
+
+(* The adjacency matrix of an undirected graph is symmetric, so the CSR
+   arrays are their own reverse-adjacency (CSC) view: the in-edges of [v]
+   are exactly its out-edges.  The sharded engine iterates these under the
+   gather-side name; exposing them as O(1) aliases documents the intent
+   without copying 2m ints. *)
+let csc_offsets t = t.off
+let csc_targets t = t.tgt
+
+let shard_cuts ?(align = 1) t ~parts =
+  if parts < 1 then invalid_arg "Graph.shard_cuts: parts must be >= 1";
+  if align < 1 then invalid_arg "Graph.shard_cuts: align must be >= 1";
+  let nn = n t in
+  let off = t.off in
+  (* Weight of the node prefix [0, v): one unit per node plus its degree,
+     so a cut balances the decide scan plus the gather work per shard. *)
+  let prefix v = v + off.(v) in
+  let total = prefix nn in
+  let cuts = Array.make (parts + 1) 0 in
+  cuts.(parts) <- nn;
+  for k = 1 to parts - 1 do
+    let target = total * k / parts in
+    (* Smallest v with prefix v >= target; prefix is strictly increasing. *)
+    let lo = ref 0 and hi = ref nn in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if prefix mid >= target then hi := mid else lo := mid + 1
+    done;
+    (* Rounding down to the alignment can only undershoot, so cuts stay in
+       [0, n]; the max keeps the sequence nondecreasing when several cuts
+       collapse onto the same aligned boundary (empty shards are legal). *)
+    cuts.(k) <- max (!lo / align * align) cuts.(k - 1)
+  done;
+  cuts
 
 let pp fmt t = Format.fprintf fmt "graph(n=%d, m=%d)" (n t) t.m

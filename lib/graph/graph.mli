@@ -15,6 +15,37 @@ val create : n:int -> edges:(int * int) list -> t
     duplicate edges are dropped; endpoints must lie in [\[0, n)].
     @raise Invalid_argument on an out-of-range endpoint or [n < 0]. *)
 
+module Builder : sig
+  (** Incremental, list-free construction for large graphs.
+
+      The list-based {!create} boxes every edge twice (a tuple inside a
+      cons cell); at [n = 10⁶] that intermediate dominates generation time
+      and heap.  A builder accumulates endpoints in one flat int array with
+      amortized doubling and funnels through the same CSR finisher as
+      {!create}, so [finish] yields a graph identical to
+      [create ~n ~edges] for the same edge multiset. *)
+
+  type b
+
+  val create : ?capacity:int -> n:int -> unit -> b
+  (** [create ~n ()] starts an empty builder for a graph on [n] nodes;
+      [capacity] is an optional edge-count hint (the buffer grows as
+      needed either way).  @raise Invalid_argument if [n < 0]. *)
+
+  val add_edge : b -> int -> int -> unit
+  (** [add_edge b u v] appends the undirected edge [(u, v)].  Self-loops
+      and duplicates are accepted here and dropped by [finish], exactly as
+      {!create} drops them.  @raise Invalid_argument if an endpoint is
+      outside [\[0, n)]. *)
+
+  val edge_count : b -> int
+  (** Edges appended so far (before self-loop/duplicate dropping). *)
+
+  val finish : b -> t
+  (** Build the graph.  The builder may be reused afterwards (it is not
+      consumed), though typical callers discard it. *)
+end
+
 val n : t -> int
 (** Number of nodes. *)
 
@@ -39,6 +70,30 @@ val offsets : t -> int array
 
 val targets : t -> int array
 (** The physical CSR targets array, length [2m] — do not mutate. *)
+
+val csc_offsets : t -> int array
+
+val csc_targets : t -> int array
+(** Reverse-adjacency (CSC) view: [csc_targets.(csc_offsets.(v)) ..
+    csc_targets.(csc_offsets.(v+1) - 1)] are the {e in}-neighbors of [v].
+    The graph is undirected, so its adjacency matrix is symmetric and the
+    CSR arrays are their own CSC — these are O(1) aliases of
+    {!offsets}/{!targets}, exposed under the gather-side name for readers
+    of pull-model loops (the sharded engine iterates the in-edges of its
+    own listeners so that every write stays shard-local).  Do not
+    mutate. *)
+
+val shard_cuts : ?align:int -> t -> parts:int -> int array
+(** [shard_cuts t ~parts] partitions the node range into [parts] contiguous
+    shards balanced by CSR edge count: the returned array [cuts] has length
+    [parts + 1] with [cuts.(0) = 0], [cuts.(parts) = n], nondecreasing, and
+    shard [k] owns nodes [\[cuts.(k), cuts.(k+1))].  Balance weights each
+    node as [1 + degree], matching a decide scan plus a gather sweep.
+    [align] (default 1) forces every interior cut onto a multiple of
+    [align] — the sharded engine aligns cuts to the bit-vector word size so
+    no two shards ever touch the same word.  Cuts may coincide (empty
+    shards) when [parts > n] or alignment collapses them.
+    @raise Invalid_argument if [parts < 1] or [align < 1]. *)
 
 val mem_edge : t -> int -> int -> bool
 (** Edge test in O(log deg). *)

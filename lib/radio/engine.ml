@@ -39,6 +39,7 @@ type 'msg trace_event =
    harness reads the delta around an experiment to report rounds/sec. *)
 let simulated_rounds = Atomic.make 0
 let total_simulated_rounds () = Atomic.get simulated_rounds
+let add_simulated_rounds k = Atomic.fetch_and_add simulated_rounds k |> ignore
 
 (* The round loop is allocation-free outside the tracing path: node sets are
    int-array stacks reused every round, stats are mutated directly, and a

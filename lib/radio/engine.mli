@@ -72,6 +72,11 @@ val total_simulated_rounds : unit -> int
     (across all domains; the counter is atomic).  The bench harness reads
     the delta around an experiment to report rounds/sec. *)
 
+val add_simulated_rounds : int -> unit
+(** Credit rounds to the process-wide tally.  For alternate engine front
+    ends ({!Engine_sharded}) that simulate rounds without going through
+    [run]; protocols and benches never call this. *)
+
 val run :
   ?stats:stats ->
   ?on_round:(round:int -> 'msg trace_event list -> unit) ->

@@ -1,4 +1,4 @@
-(** Parallel trial runner.
+(** Parallel trial runner and the shared worker-domain pool.
 
     Theorem-validation experiments are embarrassingly parallel: thousands of
     independent [Engine.run] calls, one per (configuration, seed) pair, each
@@ -17,12 +17,58 @@ val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()], floored at 1. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [map f items] evaluates [f] on every item, fanning out over
-    [min domains (length items)] domains ([default_domains ()] if
-    unspecified), and returns the results in input order.  [domains <= 1]
-    runs serially in the calling domain.  An exception raised by any [f] is
-    re-raised by [Domain.join]. *)
+(** [map f items] evaluates [f] on every item, fanned out over
+    [min domains (length items)] deterministic lanes ([default_domains ()]
+    if unspecified) executed by pool workers plus the calling domain, and
+    returns the results in input order.  [domains <= 1] runs serially in
+    the calling domain.  The result depends only on [domains], never on
+    how many pool workers were actually available.  An exception raised by
+    any [f] is re-raised after all lanes finish. *)
 
 val map_seeds : ?domains:int -> seeds:int list -> (seed:int -> 'a) -> 'a list
 (** [map_seeds ~seeds f] is [map] over a seed list — the shape of every
     per-seed trial loop in [bench/main.ml]. *)
+
+(** The process-wide pool of reusable worker domains behind [map] and
+    {!Engine_sharded.run}.
+
+    Workers park on a condition variable between jobs, so borrowing is
+    cheap enough for round-granularity use.  [borrow] reuses idle workers
+    freely but {e spawns} new domains only when no worker is busy: a nested
+    parallel region (a sharded run inside a [map] trial, or vice versa)
+    gets zero workers and runs in its calling domain, bounding the live
+    domain count to one level of parallelism.  Callers must treat a short
+    allocation as normal, not an error — every parallel entry point here
+    degrades to a serial execution of the same deterministic schedule.
+
+    Parked workers are joined by an [at_exit] hook. *)
+module Pool : sig
+  type worker
+
+  val size_cap : int Atomic.t
+  (** Upper bound on the total number of worker domains the pool will ever
+      hold, defaulting to [default_domains () - 1] — the calling domain
+      plus a full pool then exactly saturate the hardware.  CPU-bound lanes
+      gain nothing from more executors than cores and lose badly (every
+      barrier crossing becomes a scheduler round-trip), and by the
+      determinism contracts of {!map} and {!Engine_sharded.run} the
+      executor count never affects results, so requests beyond the cap
+      simply degrade toward the calling domain.  Tests raise it to force
+      true multi-domain execution on small machines. *)
+
+  val borrow : want:int -> worker array
+  (** At most [want] workers; possibly fewer (including none) when the
+      pool is busy or [size_cap] is reached.  Every borrowed worker must be
+      passed to [release] after its last [await]. *)
+
+  val run_on : worker -> (unit -> unit) -> unit
+  (** Start a job on an idle borrowed worker.  At most one job may be in
+      flight per worker; [await] before reusing it. *)
+
+  val await : worker -> exn option
+  (** Block until the worker's job finishes; returns the exception it
+      raised, if any.  The worker is idle and reusable afterwards. *)
+
+  val release : worker array -> unit
+  (** Return workers to the pool.  Call only with every job awaited. *)
+end

@@ -12,6 +12,13 @@
 open Rn_graph
 open Rn_radio
 
+(* The per-lane budgets below rely on lane [j] being pinned to executor
+   [j], i.e. on real worker domains; on small machines the pool's
+   hardware cap would otherwise degrade every lane to the calling
+   domain. *)
+let () =
+  Atomic.set Runner.Pool.size_cap (max 8 (Atomic.get Runner.Pool.size_cap))
+
 (* Minor-heap words allocated by [rounds] steady-state rounds, measured
    after [warmup] rounds so per-run scratch setup is excluded. *)
 let engine_round_words ?decide_active ~graph ~protocol ~warmup ~rounds () =
@@ -127,6 +134,61 @@ let test_active_set_round_loop () =
     true
     (words <= budget)
 
+(* Sharded engine, per-shard-lane budget: each lane writes Gc.minor_words
+   (its executing domain's counter — lane j is pinned to executor j when
+   the pool is idle) into its own row of a preallocated matrix at its first
+   decide of every round.  The delta between consecutive rounds on the same
+   lane is the steady-state cost of one lane-round: two or three barrier
+   crossings plus the phase loops, all of which must be allocation-free —
+   the budget only has to absorb whatever the runtime's Mutex/Condition
+   path spends. *)
+let test_sharded_lane_budget () =
+  let n = 256 and domains = 2 in
+  let graph = Gen.path n in
+  let cuts =
+    Graph.shard_cuts ~align:Rn_coding.Bitvec.bits_per_word graph
+      ~parts:domains
+  in
+  Alcotest.(check bool)
+    "both lanes nonempty" true
+    (cuts.(1) > 0 && cuts.(2) > cuts.(1));
+  let warmup = 16 and rounds = 256 in
+  let total = warmup + rounds + 2 in
+  let marks = Array.init domains (fun _ -> Array.make total 0.0) in
+  let round_no = ref 0 in
+  let protocol =
+    {
+      Engine.decide =
+        (fun ~round ~node ->
+          if node = cuts.(0) then marks.(0).(round) <- Gc.minor_words ()
+          else if node = cuts.(1) then marks.(1).(round) <- Gc.minor_words ();
+          Engine.Listen);
+      deliver = (fun ~round:_ ~node:_ _ -> ());
+    }
+  in
+  let (_ : Engine.outcome) =
+    Engine_sharded.run ~domains ~graph
+      ~detection:Engine.Collision_detection ~protocol
+      ~after_round:(fun ~round -> round_no := round)
+      ~stop:(fun ~round:_ -> false)
+      ~max_rounds:total ()
+  in
+  Alcotest.(check int) "ran all rounds" (total - 1) !round_no;
+  let budget = 128.0 in
+  for j = 0 to domains - 1 do
+    let worst = ref 0.0 in
+    for r = warmup to warmup + rounds - 1 do
+      let delta = marks.(j).(r + 1) -. marks.(j).(r) in
+      if delta > !worst then worst := delta
+    done;
+    Alcotest.(check bool)
+      (Printf.sprintf
+         "lane %d steady-state round allocates <= %.0f words (worst %.0f)" j
+         budget !worst)
+      true
+      (!worst <= budget)
+  done
+
 (* Runner shard loop: every domain lane records Gc.minor_words (its own
    domain's counter) at each item it processes; the delta between two
    consecutive items of the same lane is the steady-state cost of one
@@ -183,6 +245,11 @@ let () =
             test_round_loop_independent_of_n;
           Alcotest.test_case "decide_active loop" `Quick
             test_active_set_round_loop;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "lane round budget" `Quick
+            test_sharded_lane_budget;
         ] );
       ( "runner",
         [

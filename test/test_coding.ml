@@ -55,6 +55,44 @@ let test_bitvec_unit () =
   let v = Bitvec.unit 5 3 in
   Alcotest.(check string) "unit" "00010" (Bitvec.to_string v)
 
+let test_bitvec_clear_range () =
+  (* Exhaustive over every [lo, hi) window of a 130-bit vector (three
+     words), so every boundary offset is hit — including [hi - 1] at the
+     top bit of a word, where a one-step mask shift would be an
+     unspecified full-word [lsl] (a real bug once: [lsl] is
+     right-associative, so an unparenthesized two-step shift composed the
+     shift counts and left stale bits behind). *)
+  let len = 130 in
+  for lo = 0 to len do
+    for hi = lo to len do
+      let v = Bitvec.create len in
+      for i = 0 to len - 1 do
+        Bitvec.set v i true
+      done;
+      Bitvec.clear_range v ~lo ~hi;
+      for i = 0 to len - 1 do
+        let expect = i < lo || i >= hi in
+        if Bitvec.get v i <> expect then
+          Alcotest.failf "clear_range ~lo:%d ~hi:%d: bit %d = %b" lo hi i
+            (not expect)
+      done
+    done
+  done;
+  Alcotest.(check_raises) "lo > hi rejected"
+    (Invalid_argument "Bitvec.clear_range") (fun () ->
+      Bitvec.clear_range (Bitvec.create 8) ~lo:5 ~hi:4)
+
+let test_bitvec_unsafe_bits () =
+  let v = Bitvec.create 100 in
+  Bitvec.unsafe_set v 62;
+  Bitvec.unsafe_set v 63;
+  Alcotest.(check bool) "set 62" true (Bitvec.unsafe_get v 62);
+  Alcotest.(check bool) "set 63" true (Bitvec.unsafe_get v 63);
+  Alcotest.(check bool) "others untouched" false (Bitvec.unsafe_get v 64);
+  Bitvec.unsafe_clear v 62;
+  Alcotest.(check bool) "cleared 62" false (Bitvec.unsafe_get v 62);
+  Alcotest.(check bool) "63 survives" true (Bitvec.unsafe_get v 63)
+
 (* ------------------------------------------------------------------ *)
 (* Rlnc *)
 
@@ -325,6 +363,9 @@ let () =
           Alcotest.test_case "first_set" `Quick test_bitvec_first_set;
           Alcotest.test_case "string roundtrip" `Quick test_bitvec_string_roundtrip;
           Alcotest.test_case "unit vector" `Quick test_bitvec_unit;
+          Alcotest.test_case "clear_range exhaustive" `Quick
+            test_bitvec_clear_range;
+          Alcotest.test_case "unsafe bit ops" `Quick test_bitvec_unsafe_bits;
         ] );
       ( "rlnc",
         [

@@ -1,0 +1,365 @@
+(* Equivalence of the sharded engine with the serial engine: same outcome,
+   same per-node deliver log, same traced events (order included), same
+   after_round sequence, same stats — for any graph, schedule, detection
+   mode, with and without decide_active, for every shard count.  The
+   deliver log is an array indexed by node (each lane appends only to its
+   own nodes' cells), so the observation itself respects the engine's
+   per-node-state contract and works unchanged under parallel delivery. *)
+
+open Rn_util
+open Rn_graph
+module Topo = Rn_graph.Gen
+open Rn_radio
+
+(* Equivalence must hold under true multi-domain execution; on small
+   machines the pool's hardware cap would otherwise degrade every sharded
+   run to the calling domain. *)
+let () =
+  Atomic.set Runner.Pool.size_cap (max 8 (Atomic.get Runner.Pool.size_cap))
+
+(* A random but deterministic schedule, same construction as the serial
+   equivalence suite: action of (round, node) precomputed from the seed,
+   messages tagged so cross-wiring is visible. *)
+let make_script ~rng ~n ~rounds =
+  Array.init rounds (fun r ->
+      Array.init n (fun v ->
+          match Rng.int rng 4 with
+          | 0 -> Engine.Sleep
+          | 1 | 2 -> Engine.Listen
+          | _ -> Engine.Transmit ((r * 10_000) + v)))
+
+type 'msg observation = {
+  obs_outcome : Engine.outcome;
+  obs_logs : (int * 'msg Engine.reception) list array;  (* per node *)
+  obs_events : (int * 'msg Engine.trace_event list) list;
+  obs_after : int list;
+  obs_stats : Engine.stats;
+}
+
+let observing ~n ~script k =
+  let logs = Array.make (max n 1) [] in
+  let events = ref [] and after = ref [] in
+  let stats = Engine.fresh_stats () in
+  let decide ~round ~node =
+    if round < Array.length script then script.(round).(node) else Engine.Listen
+  in
+  let deliver ~round ~node reception =
+    logs.(node) <- (round, reception) :: logs.(node)
+  in
+  let outcome =
+    k ~stats
+      ~on_round:(fun ~round evs -> events := (round, evs) :: !events)
+      ~after_round:(fun ~round -> after := round :: !after)
+      ~protocol:{ Engine.decide; deliver }
+  in
+  {
+    obs_outcome = outcome;
+    obs_logs = logs;
+    obs_events = !events;
+    obs_after = !after;
+    obs_stats = stats;
+  }
+
+let observe_serial ?decide_active ~graph ~detection ~script ~max_rounds () =
+  observing ~n:(Graph.n graph) ~script
+    (fun ~stats ~on_round ~after_round ~protocol ->
+      Engine.run ~stats ~on_round ~after_round ?decide_active ~graph ~detection
+        ~protocol
+        ~stop:(fun ~round:_ -> false)
+        ~max_rounds ())
+
+let observe_sharded ?decide_active ~domains ~graph ~detection ~script
+    ~max_rounds () =
+  observing ~n:(Graph.n graph) ~script
+    (fun ~stats ~on_round ~after_round ~protocol ->
+      Engine_sharded.run ~stats ~on_round ~after_round ?decide_active ~domains
+        ~graph ~detection ~protocol
+        ~stop:(fun ~round:_ -> false)
+        ~max_rounds ())
+
+let same_observation a b =
+  a.obs_outcome = b.obs_outcome && a.obs_logs = b.obs_logs
+  && a.obs_events = b.obs_events && a.obs_after = b.obs_after
+  && a.obs_stats = b.obs_stats
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (n, extra, rounds, seed, cd) ->
+      Printf.sprintf "(n=%d,extra=%d,rounds=%d,seed=%d,cd=%b)" n extra rounds
+        seed cd)
+    QCheck.Gen.(
+      tup5 (int_range 2 40) (int_range 0 30) (int_range 1 12)
+        (int_range 0 100_000) bool)
+
+let detection_of cd =
+  if cd then Engine.Collision_detection else Engine.No_collision_detection
+
+let setup (n, extra, rounds, seed, cd) =
+  let rng = Rng.create ~seed in
+  let g = Topo.random_connected ~rng ~n ~extra in
+  let script = make_script ~rng ~n ~rounds in
+  (g, script, detection_of cd, rounds)
+
+(* Active set = exactly the non-Sleep nodes of the script, ascending — the
+   sharded engine slices this buffer contiguously across lanes. *)
+let awake_set script n ~round (buf : int array) =
+  let k = ref 0 in
+  if round < Array.length script then
+    for v = 0 to n - 1 do
+      match script.(round).(v) with
+      | Engine.Sleep -> ()
+      | Engine.Listen | Engine.Transmit _ ->
+          buf.(!k) <- v;
+          incr k
+    done
+  else
+    for v = 0 to n - 1 do
+      buf.(v) <- v;
+      incr k
+    done;
+  !k
+
+let domain_counts = [ 1; 2; 4 ]
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"sharded ≡ serial (full scan), domains 1/2/4" ~count:200
+      arb_case
+      (fun case ->
+        let g, script, detection, rounds = setup case in
+        let a = observe_serial ~graph:g ~detection ~script ~max_rounds:rounds () in
+        List.for_all
+          (fun domains ->
+            same_observation a
+              (observe_sharded ~domains ~graph:g ~detection ~script
+                 ~max_rounds:rounds ()))
+          domain_counts);
+    Test.make ~name:"sharded ≡ serial (decide_active), domains 1/2/4"
+      ~count:150 arb_case
+      (fun case ->
+        let g, script, detection, rounds = setup case in
+        let n = Graph.n g in
+        let da = awake_set script n in
+        let a =
+          observe_serial ~decide_active:da ~graph:g ~detection ~script
+            ~max_rounds:rounds ()
+        in
+        List.for_all
+          (fun domains ->
+            same_observation a
+              (observe_sharded ~decide_active:da ~domains ~graph:g ~detection
+                 ~script ~max_rounds:rounds ()))
+          domain_counts);
+    (* Degenerate sharding as a property: more shards than nodes — most
+       lanes own nothing (and in active mode most slices are empty). *)
+    Test.make ~name:"sharded ≡ serial with domains > n" ~count:80
+      (pair arb_case (int_range 1 12))
+      (fun (case, extra_domains) ->
+        let g, script, detection, rounds = setup case in
+        let domains = Graph.n g + extra_domains in
+        let a = observe_serial ~graph:g ~detection ~script ~max_rounds:rounds () in
+        let b =
+          observe_sharded ~domains ~graph:g ~detection ~script
+            ~max_rounds:rounds ()
+        in
+        same_observation a b);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Degenerate shards, unit-style *)
+
+let listen_all_script rounds n =
+  Array.init rounds (fun _ -> Array.make n Engine.Listen)
+
+let check_matches_serial ?decide_active ~graph ~detection ~script ~max_rounds
+    domains_list =
+  let a = observe_serial ?decide_active ~graph ~detection ~script ~max_rounds () in
+  List.iter
+    (fun domains ->
+      let b =
+        observe_sharded ?decide_active ~domains ~graph ~detection ~script
+          ~max_rounds ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d matches serial" domains)
+        true (same_observation a b))
+    domains_list
+
+let test_single_node () =
+  (* n = 1: no edges, every shard after the first is empty. *)
+  let g = Topo.path 1 in
+  let script =
+    [| [| Engine.Transmit 3 |]; [| Engine.Listen |]; [| Engine.Sleep |] |]
+  in
+  check_matches_serial ~graph:g ~detection:Engine.Collision_detection ~script
+    ~max_rounds:3 [ 1; 2; 3; 8 ]
+
+let test_n_less_than_domains () =
+  let rng = Rng.create ~seed:7 in
+  let g = Topo.path 2 in
+  let script = make_script ~rng ~n:2 ~rounds:6 in
+  check_matches_serial ~graph:g ~detection:Engine.No_collision_detection
+    ~script ~max_rounds:6 [ 4; 7 ]
+
+let test_empty_shards_star () =
+  (* A star's edge mass sits on the hub, so word-aligned cuts collapse and
+     several interior shards own zero nodes; results must not care. *)
+  let n = 100 in
+  let g = Topo.star n in
+  let rng = Rng.create ~seed:11 in
+  let script = make_script ~rng ~n ~rounds:8 in
+  check_matches_serial ~graph:g ~detection:Engine.Collision_detection ~script
+    ~max_rounds:8 [ 2; 8; 64 ];
+  (* and the degenerate active set: empty every other round *)
+  let da ~round (buf : int array) =
+    if round mod 2 = 0 then 0
+    else begin
+      for v = 0 to n - 1 do
+        buf.(v) <- v
+      done;
+      n
+    end
+  in
+  check_matches_serial ~decide_active:da ~graph:g
+    ~detection:Engine.Collision_detection ~script ~max_rounds:8 [ 2; 8 ]
+
+let test_domains_must_be_positive () =
+  let g = Topo.path 3 in
+  let p =
+    {
+      Engine.decide = (fun ~round:_ ~node:_ -> Engine.Listen);
+      deliver = (fun ~round:_ ~node:_ _ -> ());
+    }
+  in
+  Alcotest.check_raises "domains = 0 rejected"
+    (Invalid_argument "Engine_sharded.run: domains must be >= 1") (fun () ->
+      ignore
+        (Engine_sharded.run ~domains:0 ~graph:g
+           ~detection:Engine.Collision_detection ~protocol:p
+           ~stop:(fun ~round:_ -> false)
+           ~max_rounds:1 ()))
+
+let test_active_set_bad_id () =
+  let g = Topo.path 3 in
+  let p =
+    {
+      Engine.decide = (fun ~round:_ ~node:_ -> Engine.Listen);
+      deliver = (fun ~round:_ ~node:_ _ -> ());
+    }
+  in
+  List.iter
+    (fun domains ->
+      Alcotest.check_raises
+        (Printf.sprintf "out-of-range id, domains=%d" domains)
+        (Invalid_argument "Engine_sharded.run: decide_active wrote a bad node id")
+        (fun () ->
+          ignore
+            (Engine_sharded.run ~domains ~graph:g
+               ~detection:Engine.Collision_detection ~protocol:p
+               ~decide_active:(fun ~round:_ buf ->
+                 buf.(0) <- 5;
+                 1)
+               ~stop:(fun ~round:_ -> false)
+               ~max_rounds:1 ())))
+    [ 1; 3 ]
+
+let test_active_set_bad_count () =
+  let g = Topo.path 3 in
+  let p =
+    {
+      Engine.decide = (fun ~round:_ ~node:_ -> Engine.Listen);
+      deliver = (fun ~round:_ ~node:_ _ -> ());
+    }
+  in
+  Alcotest.check_raises "count > n rejected"
+    (Invalid_argument "Engine_sharded.run: decide_active returned a bad count")
+    (fun () ->
+      ignore
+        (Engine_sharded.run ~domains:2 ~graph:g
+           ~detection:Engine.Collision_detection ~protocol:p
+           ~decide_active:(fun ~round:_ _ -> 17)
+           ~stop:(fun ~round:_ -> false)
+           ~max_rounds:1 ()))
+
+(* A protocol exception raised inside a lane must shut the pool down
+   cleanly and resurface in the caller — deterministically, regardless of
+   which lanes also failed. *)
+exception Boom of int
+
+let test_lane_exception_propagates () =
+  let g = Topo.path 40 in
+  let p =
+    {
+      Engine.decide =
+        (fun ~round ~node ->
+          if round = 2 && node >= 20 then raise (Boom node) else Engine.Listen);
+      deliver = (fun ~round:_ ~node:_ _ -> ());
+    }
+  in
+  List.iter
+    (fun domains ->
+      match
+        Engine_sharded.run ~domains ~graph:g
+          ~detection:Engine.Collision_detection ~protocol:p
+          ~stop:(fun ~round:_ -> false)
+          ~max_rounds:10 ()
+      with
+      | _ -> Alcotest.failf "domains=%d: expected Boom" domains
+      | exception Boom _ -> ())
+    [ 1; 2; 4 ];
+  (* The pool must still be usable after the failed run. *)
+  let g2 = Topo.path 8 in
+  let script = listen_all_script 3 8 in
+  check_matches_serial ~graph:g2 ~detection:Engine.Collision_detection
+    ~script ~max_rounds:3 [ 4 ]
+
+(* Decay end-to-end: the protocol the sharded engine was built for, with
+   its atomic completion count, across detection modes and shard counts. *)
+let test_decay_integration () =
+  let open Rn_broadcast in
+  List.iter
+    (fun seed ->
+      let mk () = Rng.create ~seed in
+      let graph =
+        Topo.layered_random ~rng:(mk ()) ~depth:6 ~width:12 ~p:0.4
+      in
+      let run domains =
+        Decay.broadcast ?domains ~rng:(mk ()) ~graph ~source:0 ()
+      in
+      let base = run None in
+      List.iter
+        (fun d ->
+          let r = run (Some d) in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed=%d domains=%d ≡ serial" seed d)
+            true
+            (base.Decay.outcome = r.Decay.outcome
+            && base.Decay.received_round = r.Decay.received_round
+            && base.Decay.stats = r.Decay.stats))
+        [ 1; 2; 3; 4 ])
+    [ 1; 2; 3 ]
+
+let () =
+  Alcotest.run "engine_sharded"
+    [
+      ( "degenerate",
+        [
+          Alcotest.test_case "single node" `Quick test_single_node;
+          Alcotest.test_case "n < domains" `Quick test_n_less_than_domains;
+          Alcotest.test_case "empty shards (star)" `Quick
+            test_empty_shards_star;
+          Alcotest.test_case "domains >= 1 enforced" `Quick
+            test_domains_must_be_positive;
+          Alcotest.test_case "bad active id rejected" `Quick
+            test_active_set_bad_id;
+          Alcotest.test_case "bad active count rejected" `Quick
+            test_active_set_bad_count;
+          Alcotest.test_case "lane exception propagates" `Quick
+            test_lane_exception_propagates;
+        ] );
+      ( "decay",
+        [ Alcotest.test_case "serial ≡ sharded" `Quick test_decay_integration ]
+      );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -208,6 +208,99 @@ let test_gen_dot () =
   Alcotest.(check bool) "edge 1--2" true (contains s "1 -- 2")
 
 (* ------------------------------------------------------------------ *)
+(* Builder and shard_cuts *)
+
+let same_graph a b =
+  Graph.n a = Graph.n b && Graph.m a = Graph.m b
+  && Graph.offsets a = Graph.offsets b
+  && Graph.targets a = Graph.targets b
+
+let test_builder_matches_create () =
+  let edges = [ (0, 1); (1, 0); (3, 2); (2, 2); (0, 3); (0, 1) ] in
+  let b = Graph.Builder.create ~n:4 () in
+  List.iter (fun (u, v) -> Graph.Builder.add_edge b u v) edges;
+  Alcotest.(check int) "edge_count pre-dedup" 6 (Graph.Builder.edge_count b);
+  Alcotest.(check bool) "builder ≡ create" true
+    (same_graph (Graph.Builder.finish b) (Graph.create ~n:4 ~edges))
+
+let test_builder_empty_and_bounds () =
+  let b = Graph.Builder.create ~capacity:1 ~n:3 () in
+  Alcotest.(check bool) "empty builder" true
+    (same_graph (Graph.Builder.finish b) (Graph.create ~n:3 ~edges:[]));
+  Alcotest.check_raises "endpoint out of range"
+    (Invalid_argument "Graph.Builder.add_edge: node 3 out of range [0,3)")
+    (fun () -> Graph.Builder.add_edge b 0 3)
+
+let test_builder_growth () =
+  (* Start from a 1-slot buffer so every doubling path is exercised. *)
+  let n = 200 in
+  let b = Graph.Builder.create ~capacity:1 ~n () in
+  let edges = ref [] in
+  for i = 0 to n - 2 do
+    Graph.Builder.add_edge b i (i + 1);
+    edges := (i, i + 1) :: !edges
+  done;
+  Alcotest.(check bool) "grown builder ≡ create" true
+    (same_graph (Graph.Builder.finish b) (Graph.create ~n ~edges:!edges))
+
+let test_csc_is_csr () =
+  let g = Topo.random_connected ~rng:(rng ()) ~n:20 ~extra:10 in
+  Alcotest.(check bool) "csc offsets alias" true
+    (Graph.csc_offsets g == Graph.offsets g);
+  Alcotest.(check bool) "csc targets alias" true
+    (Graph.csc_targets g == Graph.targets g)
+
+let check_cuts_shape ~n ~parts ~align cuts =
+  Alcotest.(check int) "length" (parts + 1) (Array.length cuts);
+  Alcotest.(check int) "first" 0 cuts.(0);
+  Alcotest.(check int) "last" n cuts.(parts);
+  for k = 1 to parts do
+    Alcotest.(check bool) "nondecreasing" true (cuts.(k) >= cuts.(k - 1))
+  done;
+  for k = 1 to parts - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "cut %d aligned" k)
+      0
+      (cuts.(k) mod align)
+  done
+
+let test_shard_cuts_shapes () =
+  let cases =
+    [
+      (Topo.path 256, 4, 63);
+      (Topo.star 100, 8, 63);
+      (Topo.path 2, 7, 63) (* parts > n *);
+      (Topo.path 1, 3, 1);
+      (Graph.create ~n:0 ~edges:[], 2, 63);
+      (Topo.complete 12, 5, 1);
+    ]
+  in
+  List.iter
+    (fun (g, parts, align) ->
+      check_cuts_shape ~n:(Graph.n g) ~parts ~align
+        (Graph.shard_cuts ~align g ~parts))
+    cases;
+  Alcotest.check_raises "parts < 1"
+    (Invalid_argument "Graph.shard_cuts: parts must be >= 1") (fun () ->
+      ignore (Graph.shard_cuts (Topo.path 3) ~parts:0))
+
+let test_shard_cuts_balance () =
+  (* On a uniform-degree shape, unaligned cuts land within one node-weight
+     of the ideal split. *)
+  let n = 1000 in
+  let g = Topo.cycle n in
+  let parts = 4 in
+  let cuts = Graph.shard_cuts g ~parts in
+  check_cuts_shape ~n ~parts ~align:1 cuts;
+  for k = 1 to parts - 1 do
+    let ideal = n * k / parts in
+    Alcotest.(check bool)
+      (Printf.sprintf "cut %d near ideal (%d vs %d)" k cuts.(k) ideal)
+      true
+      (abs (cuts.(k) - ideal) <= 1)
+  done
+
+(* ------------------------------------------------------------------ *)
 (* qcheck properties *)
 
 let arb_connected =
@@ -265,6 +358,33 @@ let qcheck_tests =
       (pair (int_range 2 40) (int_range 0 1000))
       (fun (n, seed) ->
         Bfs.is_connected (Topo.unit_disk ~rng:(Rng.create ~seed) ~n ~radius:0.2));
+    Test.make ~name:"Builder ≡ create on random edge lists" ~count:200
+      arb_connected
+      (fun (n, extra, seed) ->
+        let rng = Rng.create ~seed in
+        (* Random multiset with duplicates and self-loops: both paths must
+           drop them identically. *)
+        let k = extra + (2 * n) in
+        let edges =
+          List.init k (fun _ -> (Rng.int rng n, Rng.int rng n))
+        in
+        let b = Graph.Builder.create ~capacity:(1 + (seed mod 4)) ~n () in
+        List.iter (fun (u, v) -> Graph.Builder.add_edge b u v) edges;
+        same_graph (Graph.Builder.finish b) (Graph.create ~n ~edges));
+    Test.make ~name:"shard_cuts covers, sorted, aligned" ~count:200
+      (pair arb_connected (pair (int_range 1 12) (int_range 1 64)))
+      (fun ((n, extra, seed), (parts, align)) ->
+        let g = Topo.random_connected ~rng:(Rng.create ~seed) ~n ~extra in
+        let cuts = Graph.shard_cuts ~align g ~parts in
+        let ok = ref (Array.length cuts = parts + 1) in
+        if cuts.(0) <> 0 || cuts.(parts) <> n then ok := false;
+        for k = 1 to parts do
+          if cuts.(k) < cuts.(k - 1) then ok := false
+        done;
+        for k = 1 to parts - 1 do
+          if cuts.(k) mod align <> 0 then ok := false
+        done;
+        !ok);
     Test.make ~name:"layered_random levels = layers" ~count:50
       (triple (int_range 1 8) (int_range 1 6) (int_range 0 1000))
       (fun (depth, width, seed) ->
@@ -293,6 +413,18 @@ let () =
           Alcotest.test_case "induced bipartite" `Quick test_induced_bipartite;
           Alcotest.test_case "induced bipartite mapping" `Quick
             test_induced_bipartite_mapping;
+        ] );
+      ( "builder & shard_cuts",
+        [
+          Alcotest.test_case "builder matches create" `Quick
+            test_builder_matches_create;
+          Alcotest.test_case "builder empty & bounds" `Quick
+            test_builder_empty_and_bounds;
+          Alcotest.test_case "builder growth" `Quick test_builder_growth;
+          Alcotest.test_case "csc aliases csr" `Quick test_csc_is_csr;
+          Alcotest.test_case "shard_cuts shapes" `Quick test_shard_cuts_shapes;
+          Alcotest.test_case "shard_cuts balance" `Quick
+            test_shard_cuts_balance;
         ] );
       ( "bfs",
         [

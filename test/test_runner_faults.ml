@@ -6,6 +6,12 @@ open Rn_util
 open Rn_radio
 open Rn_broadcast
 
+(* The concurrency tests below (Atomic tally hammering, serial ≡ parallel)
+   only bite with real worker domains; on small machines the pool's
+   hardware cap would otherwise run every lane in the calling domain. *)
+let () =
+  Atomic.set Runner.Pool.size_cap (max 8 (Atomic.get Runner.Pool.size_cap))
+
 (* ------------------------------------------------------------------ *)
 (* Runner.map edge cases                                               *)
 

@@ -13,6 +13,11 @@
      reported but never fail the gate, so the baseline can cover a
      superset of the experiments a smoke run executes.
 
+   Experiments present only in the current run are new — informational,
+   never a failure, even when the runs share nothing (a run made of only
+   new experiments passes; the ids join the baseline whenever it is next
+   re-seeded).
+
    Exit codes: 0 ok, 1 regression, 2 usage/parse error.
 
    The parser below handles exactly the flat object/array shape the bench
@@ -123,7 +128,8 @@ let () =
     (fun cur ->
       match List.find_opt (fun b -> b.id = cur.id) baseline with
       | None ->
-          Printf.printf "%-4s new experiment (no baseline), skipped\n" cur.id
+          Printf.printf "%-4s new experiment (no baseline), informational\n"
+            cur.id
       | Some base ->
           incr compared;
           let rounds_ok = cur.rounds = base.rounds in
@@ -155,11 +161,13 @@ let () =
       if not (List.exists (fun c -> c.id = b.id) current) then
         Printf.printf "%-4s not in current run, skipped\n" b.id)
     baseline;
-  if !compared = 0 then begin
-    Printf.eprintf
-      "benchdiff: no overlapping experiments between baseline and current\n";
-    exit 2
-  end;
+  if !compared = 0 then
+    (* Every current experiment is new: nothing to gate.  [parse_experiments]
+       already rejected empty runs, so this is the all-new case. *)
+    Printf.printf
+      "benchdiff: no overlapping experiments — %d new experiment(s), \
+       informational only\n"
+      (List.length current);
   if !failures > 0 then begin
     Printf.printf "benchdiff: %d regression(s) vs %s (threshold %.0f%%)\n"
       !failures baseline_path threshold;

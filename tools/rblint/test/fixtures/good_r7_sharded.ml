@@ -1,0 +1,14 @@
+(* Fixture: R7 in the sharded-engine shape — a worker closure carries a
+   shared array across Domain.spawn.  Writes stay inside the lane's owned
+   index range, which the analysis cannot see; the reasoned allow records
+   the ownership argument.  Stripping the allow must resurface exactly one
+   R7 finding (the self-test does). *)
+
+let run n =
+  let state = Array.make (max n 2) 0 in
+  let mid = max n 2 / 2 in
+  (* rblint:allow R7 lanes own disjoint index ranges; no element has two writers *)
+  let d = Domain.spawn (fun () -> state.(mid) <- 1) in
+  state.(0) <- 2;
+  Domain.join d;
+  state.(0) + state.(mid)

@@ -26,6 +26,22 @@ let count rule fs =
 let check_rules what expected fs =
   Alcotest.(check (list string)) what expected (rules fs)
 
+let replace ~sub ~by s =
+  let sl = String.length sub in
+  let b = Buffer.create (String.length s) in
+  let i = ref 0 in
+  while !i < String.length s do
+    if !i + sl <= String.length s && String.sub s !i sl = sub then begin
+      Buffer.add_string b by;
+      i := !i + sl
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
 let test_r1 () =
   let fs = lint_as ~path:"bench/bad_r1.ml" "bad_r1.ml" in
   check_rules "R1 only" [ "R1" ] fs;
@@ -100,22 +116,6 @@ let test_r6 () =
   (* the same module without a Domain.spawn anywhere is not domain-shared,
      so R6 stays quiet: reachability gates the rule *)
   let source = read_fixture "bad_r6.ml" in
-  let replace ~sub ~by s =
-    let sl = String.length sub in
-    let b = Buffer.create (String.length s) in
-    let i = ref 0 in
-    while !i < String.length s do
-      if !i + sl <= String.length s && String.sub s !i sl = sub then begin
-        Buffer.add_string b by;
-        i := !i + sl
-      end
-      else begin
-        Buffer.add_char b s.[!i];
-        incr i
-      end
-    done;
-    Buffer.contents b
-  in
   let serial =
     "let serial_apply f = f ()\n"
     ^ replace ~sub:"Domain.join" ~by:"ignore"
@@ -130,6 +130,33 @@ let test_r7 () =
   (* the direct ref capture and the one hidden behind a worker function;
      the Atomic twin stays clean *)
   Alcotest.(check int) "two R7 sites, Atomic exempt" 2 (count "R7" fs)
+
+let test_r6_sharded () =
+  (* The sharded-engine shape: hoisting a run's lane state ([out_act],
+     shard cuts) to the top level of a spawning module must fire once per
+     array; the Atomic rounds tally stays sanctioned. *)
+  let fs = lint_as ~path:"lib/radio/bad_r6_sharded.ml" "bad_r6_sharded.ml" in
+  check_rules "R6 only" [ "R6" ] fs;
+  Alcotest.(check int) "out_act and cuts flagged, Atomic tally exempt" 2
+    (count "R6" fs)
+
+let test_r7_sharded () =
+  (* Disjoint-ownership sharing is invisible to the analysis; the reasoned
+     allow is the sanctioned escape hatch, and stripping it must resurface
+     exactly the one spawn capture. *)
+  let fs = lint_as ~path:"lib/radio/good_r7_sharded.ml" "good_r7_sharded.ml" in
+  Alcotest.(check int) "reasoned allow keeps the lane worker clean" 0
+    (List.length fs);
+  let stripped =
+    replace ~sub:"rblint:allow R7" ~by:"ownership note:"
+      (read_fixture "good_r7_sharded.ml")
+  in
+  let fs =
+    Lint.lint_source ~path:"lib/radio/good_r7_sharded_stripped.ml"
+      ~source:stripped
+  in
+  check_rules "allow stripped: R7 resurfaces" [ "R7" ] fs;
+  Alcotest.(check int) "exactly the one spawn capture" 1 (count "R7" fs)
 
 let test_reachability () =
   (* R6 candidates fire only in units reachable from a spawner: a unit
@@ -233,6 +260,9 @@ let () =
             test_r5_alias;
           Alcotest.test_case "R6 top-level mutable state" `Quick test_r6;
           Alcotest.test_case "R7 spawn captures" `Quick test_r7;
+          Alcotest.test_case "R6 sharded-engine shape" `Quick test_r6_sharded;
+          Alcotest.test_case "R7 sharded allow round-trip" `Quick
+            test_r7_sharded;
           Alcotest.test_case "R6 reachability gating" `Quick test_reachability;
         ] );
       ( "machinery",
