@@ -84,31 +84,63 @@ type algo = Decay_a | Cr_a | Gst_a | Thm11_a
 let algo_conv =
   Arg.enum [ ("decay", Decay_a); ("cr", Cr_a); ("gst", Gst_a); ("thm11", Thm11_a) ]
 
+(* JSONL trace: one object per retained round, then the run summary. *)
+let write_trace path m =
+  let oc = open_out path in
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    (Rn_obs.Export.round_jsonl m);
+  output_string oc (Rn_obs.Export.summary_json m);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "trace: %d round rows + summary -> %s\n"
+    (Rn_obs.Metrics.ring_length m) path
+
 let broadcast_cmd =
-  let run graph algo seed =
+  let run graph algo seed trace =
     let rng = Rng.create ~seed in
     let source = 0 in
     let d = Bfs.eccentricity graph source in
     Printf.printf "n=%d m=%d eccentricity=%d\n" (Graph.n graph) (Graph.m graph) d;
+    (* One registry per traced run, sized to retain a full run; the
+       histogram bins first-receive rounds by the Decay phase length. *)
+    let metrics =
+      match (trace, algo) with
+      | None, _ | _, Thm11_a -> None
+      | Some _, _ ->
+          Some
+            (Rn_obs.Metrics.create ~phases:1024 ~ring:65536 ~hist_bins:1024
+               ~hist_width:(max 1 (Ilog.clog (Graph.n graph)))
+               ())
+    in
     (match algo with
     | Decay_a ->
-        let r = Baselines.decay_broadcast ~rng ~graph ~source () in
+        let r = Baselines.decay_broadcast ?metrics ~rng ~graph ~source () in
         Printf.printf "decay: %d rounds (tx=%d collisions=%d)\n"
           (Rn_radio.Engine.rounds_of_outcome r.Decay.outcome)
           r.Decay.stats.Rn_radio.Engine.transmissions
           r.Decay.stats.Rn_radio.Engine.collisions
     | Cr_a ->
-        let r = Baselines.cr_broadcast ~rng ~graph ~source ~diameter:d () in
+        let r =
+          Baselines.cr_broadcast ?metrics ~rng ~graph ~source ~diameter:d ()
+        in
         Printf.printf "cr: %d rounds\n"
           (Rn_radio.Engine.rounds_of_outcome r.Decay.outcome)
     | Gst_a ->
         let gst = Gst.build_centralized ~graph ~roots:[| source |] () in
         let vd = Gst.virtual_distances gst in
         let msgs = [| Rn_coding.Bitvec.random rng 32 |] in
-        let r = Gst_broadcast.run ~rng ~gst ~vd ~msgs ~sources:[| source |] () in
+        let r =
+          Gst_broadcast.run ?metrics ~rng ~gst ~vd ~msgs ~sources:[| source |]
+            ()
+        in
         Printf.printf "gst schedule (known topology): %d rounds\n"
           r.Gst_broadcast.rounds
     | Thm11_a ->
+        if trace <> None then
+          prerr_endline "rbcast: --trace is not supported for --algo thm11";
         let r = Single_broadcast.run ~rng ~graph ~source () in
         Printf.printf
           "theorem 1.1: %d rounds (layering %d, construction %d, spread %d, \
@@ -117,15 +149,24 @@ let broadcast_cmd =
           r.Single_broadcast.rounds_construction
           r.Single_broadcast.rounds_broadcast r.Single_broadcast.ring_count
           r.Single_broadcast.delivered);
+    (match (trace, metrics) with
+    | Some path, Some m -> write_trace path m
+    | _ -> ());
     0
   in
   let algo =
     Arg.(value & opt algo_conv Thm11_a & info [ "algo" ] ~docv:"ALGO"
            ~doc:"decay, cr, gst or thm11.")
   in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a per-round JSONL trace (round, phase, tx, deliveries, \
+                 collisions; final line is the run summary) to $(docv). \
+                 Supported for decay, cr and gst.")
+  in
   Cmd.v
     (Cmd.info "broadcast" ~doc:"Single-message broadcast from node 0.")
-    Term.(const run $ topo_args $ algo $ seed_arg)
+    Term.(const run $ topo_args $ algo $ seed_arg $ trace)
 
 (* ------------------------------------------------------------------ *)
 (* multi *)

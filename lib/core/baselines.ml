@@ -2,10 +2,11 @@ open Rn_util
 open Rn_graph
 open Rn_radio
 
-let decay_broadcast ?(params = Params.default) ~rng ~graph ~source () =
-  Decay.broadcast ~params ~rng ~graph ~source ()
+let decay_broadcast ?(params = Params.default) ?metrics ~rng ~graph ~source () =
+  Decay.broadcast ~params ?metrics ~rng ~graph ~source ()
 
-let cr_broadcast ?(params = Params.default) ~rng ~graph ~source ~diameter () =
+let cr_broadcast ?(params = Params.default) ?metrics ~rng ~graph ~source
+    ~diameter () =
   let n = Graph.n graph in
   if source < 0 || source >= n then invalid_arg "Baselines.cr_broadcast";
   let full = Params.phase_len ~n in
@@ -41,12 +42,28 @@ let cr_broadcast ?(params = Params.default) ~rng ~graph ~source ~diameter () =
     | Engine.Received _ | Engine.Silence | Engine.Collision -> ()
   in
   let stats = Engine.fresh_stats () in
+  (* Phase annotation: one full short³+full cycle per phase id. *)
+  let after_round =
+    match metrics with
+    | None -> None
+    | Some m ->
+        Rn_obs.Phase.enter m 0;
+        Some
+          (fun ~round -> Rn_obs.Phase.enter_of_round m ~len:cycle ~round:(round + 1))
+  in
   let outcome =
-    Engine.run ~stats ~graph ~detection:Engine.No_collision_detection
+    Engine.run ?metrics ?after_round ~stats ~graph
+      ~detection:Engine.No_collision_detection
       ~protocol:{ Engine.decide; deliver }
       ~stop:(fun ~round:_ -> !missing = 0)
       ~max_rounds ()
   in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      for v = 0 to n - 1 do
+        if v <> source then Rn_obs.Metrics.observe_receive_round m received_round.(v)
+      done);
   { Decay.outcome; received_round; stats }
 
 type multi_result = {

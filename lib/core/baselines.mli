@@ -23,6 +23,7 @@ open Rn_radio
 
 val decay_broadcast :
   ?params:Params.t ->
+  ?metrics:Rn_obs.Metrics.t ->
   rng:Rng.t ->
   graph:Rn_graph.Graph.t ->
   source:int ->
@@ -31,6 +32,7 @@ val decay_broadcast :
 
 val cr_broadcast :
   ?params:Params.t ->
+  ?metrics:Rn_obs.Metrics.t ->
   rng:Rng.t ->
   graph:Rn_graph.Graph.t ->
   source:int ->
@@ -38,7 +40,9 @@ val cr_broadcast :
   unit ->
   Decay.result
 (** [diameter] is the constant-factor estimate of [D] the model grants
-    every node (§1.1). *)
+    every node (§1.1).  [metrics], when given, records every round with
+    one short³+full schedule cycle per phase id and folds first-receive
+    rounds into the histogram after the run. *)
 
 type multi_result = {
   rounds : int;

@@ -546,8 +546,8 @@ type outcome = {
   epoch_history : (int * int) list;
 }
 
-let run_standalone ?(detection = Engine.No_collision_detection) ~rng ~params
-    ~graph ~reds ~blues ~blue_ranks () =
+let run_standalone ?(detection = Engine.No_collision_detection) ?metrics ~rng
+    ~params ~graph ~reds ~blues ~blue_ranks () =
   let n = Graph.n graph in
   let parents = Array.make n (-1) in
   let ranks = Array.make n 0 in
@@ -566,13 +566,26 @@ let run_standalone ?(detection = Engine.No_collision_detection) ~rng ~params
       deliver = (fun ~round:_ ~node r -> deliver t ~node r);
     }
   in
+  (* [Ilog.pow] now overflow-checked: [clog n ≤ 63] keeps [63^5 < 2^30]
+     comfortably in range, and a bad exponent raises instead of silently
+     wrapping into a negative round budget. *)
   let max_rounds =
     params.Params.max_round_factor
     * Ilog.pow (Ilog.clog (max 2 n)) 5
   in
+  (* Phase = bipartite epoch (Lemma 2.4's shrinkage unit), read off the
+     machine's own counter right after [advance] — coordinator-serial. *)
+  let after_round =
+    match metrics with
+    | None -> fun ~round:_ -> advance t
+    | Some m ->
+        Rn_obs.Phase.enter m 0;
+        fun ~round:_ ->
+          advance t;
+          Rn_obs.Phase.enter m t.epoch
+  in
   ignore
-    (Engine.run ~graph ~detection ~protocol
-       ~after_round:(fun ~round:_ -> advance t)
+    (Engine.run ?metrics ~graph ~detection ~protocol ~after_round
        ~stop:(fun ~round:_ -> finished t)
        ~max_rounds ());
   {

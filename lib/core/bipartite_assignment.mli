@@ -96,6 +96,7 @@ type outcome = {
 
 val run_standalone :
   ?detection:Engine.detection ->
+  ?metrics:Rn_obs.Metrics.t ->
   rng:Rng.t ->
   params:Params.t ->
   graph:Rn_graph.Graph.t ->
@@ -105,4 +106,7 @@ val run_standalone :
   unit ->
   outcome
 (** Solve a single level pair on [graph] where [blue_ranks] gives each
-    blue's (already final) rank; node ids index [blue_ranks] directly. *)
+    blue's (already final) rank; node ids index [blue_ranks] directly.
+    [metrics], when given, records each round under the phase annotation
+    [epoch] — Lemma 2.4's shrinkage unit (epoch survivor counts themselves
+    are in [epoch_history]). *)

@@ -17,7 +17,7 @@ type msg = Payload | Noise
 
 let broadcast ?(params = Params.default) ?ladder
     ?(detection = Engine.No_collision_detection) ?max_rounds ?faults ?domains
-    ~rng ~graph ~source () =
+    ?metrics ~rng ~graph ~source () =
   let n = Graph.n graph in
   if source < 0 || source >= n then invalid_arg "Decay.broadcast: bad source";
   let ladder = match ladder with Some l -> l | None -> Params.phase_len ~n in
@@ -61,13 +61,36 @@ let broadcast ?(params = Params.default) ?ladder
   in
   let stats = Engine.fresh_stats () in
   let stop ~round:_ = Atomic.get missing = 0 in
+  (* Phase annotation runs in [after_round] — coordinator-serial under both
+     engines — so per-phase aggregation never touches the parallel deliver
+     phase.  Round r belongs to Decay phase r/ladder (Lemma 2.2's unit). *)
+  let after_round =
+    match metrics with
+    | None -> None
+    | Some m ->
+        Rn_obs.Phase.enter m 0;
+        Some
+          (fun ~round ->
+            Rn_obs.Phase.enter_of_round m ~len:ladder ~round:(round + 1))
+  in
   let outcome =
     match domains with
     | Some d ->
-        Engine_sharded.run ~stats ~domains:d ~graph ~detection ~protocol ~stop
-          ~max_rounds ()
-    | None -> Engine.run ~stats ~graph ~detection ~protocol ~stop ~max_rounds ()
+        Engine_sharded.run ~stats ?metrics ?after_round ~domains:d ~graph
+          ~detection ~protocol ~stop ~max_rounds ()
+    | None ->
+        Engine.run ~stats ?metrics ?after_round ~graph ~detection ~protocol
+          ~stop ~max_rounds ()
   in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      (* First-receive histogram; the source holds the message from the
+         start rather than receiving it, so it is excluded. *)
+      for v = 0 to n - 1 do
+        if v <> source then
+          Rn_obs.Metrics.observe_receive_round m received_round.(v)
+      done);
   { outcome; received_round; stats }
 
 let cr_ladder ~n ~diameter =

@@ -40,6 +40,7 @@ val broadcast :
   ?max_rounds:int ->
   ?faults:Faults.spec ->
   ?domains:int ->
+  ?metrics:Rn_obs.Metrics.t ->
   rng:Rng.t ->
   graph:Rn_graph.Graph.t ->
   source:int ->
@@ -55,7 +56,15 @@ val broadcast :
     [domains], when given, runs the round loop on {!Engine_sharded} with
     that shard count — bit-identical results to the serial default for any
     [domains ≥ 1] (the protocol's callbacks touch only per-node state; the
-    completion count is atomic).  This is the E-scale workload. *)
+    completion count is atomic).  This is the E-scale workload.
+
+    [metrics], when given, records every round into the registry with the
+    phase annotation [round / ladder] (Lemma 2.2's unit — set from
+    [after_round], never from the parallel deliver phase) and, after the
+    run, folds each non-source node's first-receive round into the
+    registry's histogram — create the registry with
+    [~hist_width:ladder] to make the histogram a per-phase first-receive
+    count.  Identical registry contents for serial and any [domains]. *)
 
 val cr_ladder : n:int -> diameter:int -> int
 (** The truncated ladder [⌈log(n/D)⌉ + 1] used by the Czumaj–Rytter-style

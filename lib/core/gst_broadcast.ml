@@ -27,8 +27,8 @@ let slow_exponent ~clogn ~level_or_vd ~round =
 type msg = Data of Rlnc.packet
 
 let run ?(noise_when_empty = true) ?(slow_key = By_virtual_distance)
-    ?step_reset ?faults ?max_rounds ?(params = Params.default) ~rng ~gst ~vd
-    ~msgs ~sources () =
+    ?step_reset ?faults ?max_rounds ?(params = Params.default) ?metrics ~rng
+    ~gst ~vd ~msgs ~sources () =
   let graph = gst.Gst.graph in
   let n = Graph.n graph in
   let k = Array.length msgs in
@@ -140,6 +140,27 @@ let run ?(noise_when_empty = true) ?(slow_key = By_virtual_distance)
                 end
               done)
   in
+  (* Phase annotation: the slow schedule repeats with period [6·clogn]
+     (the slow_exponent ladder completes one sweep), which is the natural
+     "GST epoch".  Annotated from [after_round] (coordinator-serial),
+     composed before any [step_reset] action for the same round. *)
+  let after_round =
+    match metrics with
+    | None -> after_round
+    | Some m ->
+        Rn_obs.Phase.enter m 0;
+        let epoch_len = 6 * clogn in
+        let annotate ~round =
+          Rn_obs.Phase.enter_of_round m ~len:epoch_len ~round:(round + 1)
+        in
+        Some
+          (match after_round with
+          | None -> annotate
+          | Some g ->
+              fun ~round ->
+                annotate ~round;
+                g ~round)
+  in
   let protocol = { Engine.decide; deliver } in
   let protocol =
     match faults with
@@ -182,7 +203,7 @@ let run ?(noise_when_empty = true) ?(slow_key = By_virtual_distance)
   in
   let stats = Engine.fresh_stats () in
   let outcome =
-    Engine.run ?after_round ?decide_active ~stats ~graph
+    Engine.run ?metrics ?after_round ?decide_active ~stats ~graph
       ~detection:Engine.No_collision_detection ~protocol
       ~stop:(fun ~round:_ -> !missing = 0)
       ~max_rounds ()

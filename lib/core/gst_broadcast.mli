@@ -49,6 +49,7 @@ val run :
   ?faults:Faults.spec ->
   ?max_rounds:int ->
   ?params:Params.t ->
+  ?metrics:Rn_obs.Metrics.t ->
   rng:Rng.t ->
   gst:Gst.t ->
   vd:int array ->
@@ -62,6 +63,11 @@ val run :
     {!Gst.virtual_distances} or the distributed learning of Lemma 3.10).
     Completion = every forest node can decode all [k] messages.
     Defaults: [noise_when_empty = true], [slow_key = By_virtual_distance].
+
+    [metrics], when given, records every round into the registry with the
+    phase annotation [round / (6·⌈log n⌉)] — one sweep of the slow-wave
+    exponent ladder, the natural GST epoch (annotated from [after_round],
+    composed before any [step_reset] action).
 
     [step_reset] enables the bounded-memory discipline from the strips
     argument at the end of §3.4: time is cut into steps of the given

@@ -223,8 +223,8 @@ type outcome = {
   classes_consistent : bool;
 }
 
-let run_standalone ?(detection = Engine.No_collision_detection) ~rng ~params
-    ~graph ~reds ~blues () =
+let run_standalone ?(detection = Engine.No_collision_detection) ?metrics ~rng
+    ~params ~graph ~reds ~blues () =
   let t = create ~rng ~params ~scale_n:(Graph.n graph) ~graph ~reds ~blues () in
   let protocol =
     {
@@ -232,9 +232,20 @@ let run_standalone ?(detection = Engine.No_collision_detection) ~rng ~params
       deliver = (fun ~round:_ ~node r -> deliver t ~node r);
     }
   in
+  (* Phase = recruiting iteration (one announce/claim/verdict cycle).
+     [advance] moves [t.round], so the annotation reads the machine's own
+     iteration counter right after advancing — coordinator-serial. *)
+  let after_round =
+    match metrics with
+    | None -> fun ~round:_ -> advance t
+    | Some m ->
+        Rn_obs.Phase.enter m 0;
+        fun ~round:_ ->
+          advance t;
+          Rn_obs.Phase.enter m (iteration t)
+  in
   let outcome =
-    Engine.run ~graph ~detection ~protocol
-      ~after_round:(fun ~round:_ -> advance t)
+    Engine.run ?metrics ~graph ~detection ~protocol ~after_round
       ~stop:(fun ~round:_ -> finished t)
       ~max_rounds:(t.total_rounds + 1) ()
   in

@@ -95,6 +95,7 @@ type outcome = {
 
 val run_standalone :
   ?detection:Engine.detection ->
+  ?metrics:Rn_obs.Metrics.t ->
   rng:Rng.t ->
   params:Params.t ->
   graph:Rn_graph.Graph.t ->
@@ -103,4 +104,6 @@ val run_standalone :
   unit ->
   outcome
 (** Run recruiting alone on [graph] (e.g. a random bipartite graph) until
-    [finished]; used by experiment E3 and the test-suite. *)
+    [finished]; used by experiment E3 and the test-suite.  [metrics], when
+    given, records each round under the phase annotation [iteration t] —
+    one announce/claim/verdict cycle per phase. *)

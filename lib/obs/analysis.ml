@@ -1,0 +1,101 @@
+(* Post-run analyses that turn the paper's per-phase lemmas into measured
+   numbers.  These run once after a broadcast (allocation is fine here) on
+   plain int arrays — CSR [offsets]/[targets] as exposed by Rn_graph.Graph
+   and the per-node receive-round array a protocol driver returns — so the
+   library stays dependency-free. *)
+
+type phase_stat = {
+  phase : int;
+  start_round : int;
+  eligible : int;
+  delivered : int;
+  informed_end : int;
+}
+
+(* Lemma 2.2 (Decay): in each phase, a node that is uninformed at the
+   phase start but has an informed neighbor receives the message during
+   the phase with probability >= 1/8.  We measure exactly that ratio:
+
+     eligible(p)  = nodes other than [source], uninformed at the phase
+                    start, with at least one neighbor informed by then;
+     delivered(p) = eligible nodes whose first receive falls inside the
+                    phase.
+
+   "Informed by round s" means [source], or a first receive in a round
+   < s.  [received_round.(v)] is v's first receive round (< 0 = never);
+   the source conventionally holds the message from round 0. *)
+let decay_phases ~offsets ~targets ~received_round ~source ~ladder =
+  if ladder < 1 then invalid_arg "Analysis.decay_phases: ladder < 1";
+  let n = Array.length received_round in
+  if source < 0 || source >= n then
+    invalid_arg "Analysis.decay_phases: bad source";
+  if Array.length offsets <> n + 1 then
+    invalid_arg "Analysis.decay_phases: offsets/received_round mismatch";
+  let informed_by v s =
+    v = source || (received_round.(v) >= 0 && received_round.(v) < s)
+  in
+  let max_rr = ref 0 in
+  for v = 0 to n - 1 do
+    if received_round.(v) > !max_rr then max_rr := received_round.(v)
+  done;
+  let n_phases = (!max_rr / ladder) + 1 in
+  List.init n_phases (fun p ->
+      let s = p * ladder in
+      let e = s + ladder in
+      let eligible = ref 0 and delivered = ref 0 and informed_end = ref 0 in
+      for v = 0 to n - 1 do
+        if informed_by v e then incr informed_end;
+        if (not (informed_by v s)) && v <> source then begin
+          let has_informed_nbr = ref false in
+          let j = ref offsets.(v) in
+          let stop = offsets.(v + 1) in
+          while (not !has_informed_nbr) && !j < stop do
+            if informed_by targets.(!j) s then has_informed_nbr := true;
+            incr j
+          done;
+          if !has_informed_nbr then begin
+            incr eligible;
+            let rr = received_round.(v) in
+            if rr >= s && rr < e then incr delivered
+          end
+        end
+      done;
+      {
+        phase = p;
+        start_round = s;
+        eligible = !eligible;
+        delivered = !delivered;
+        informed_end = !informed_end;
+      })
+
+let delivery_ratio st =
+  if st.eligible = 0 then nan
+  else float_of_int st.delivered /. float_of_int st.eligible
+
+(* Minimum per-phase delivery ratio over phases with at least [min_eligible]
+   eligible nodes (tiny phases are noise); nan when no phase qualifies. *)
+let min_delivery_ratio ?(min_eligible = 1) stats =
+  List.fold_left
+    (fun acc st ->
+      if st.eligible >= min_eligible then
+        let r = delivery_ratio st in
+        if Float.is_nan acc || Float.compare r acc < 0 then r else acc
+      else acc)
+    nan stats
+
+(* Lemma 2.4 (bipartite epochs): the count of unassigned left nodes shrinks
+   by a constant factor per epoch (w.h.p.).  Given the per-epoch survivor
+   counts a driver records (e.g. Bipartite_assignment epoch history), return
+   the per-epoch shrink factors prev/next (infinite when next = 0, skipped
+   when prev = 0). *)
+let shrink_factors counts =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        if a <= 0 then go rest
+        else
+          (if b = 0 then infinity
+           else float_of_int a /. float_of_int b)
+          :: go rest
+    | _ -> []
+  in
+  go counts

@@ -1,0 +1,45 @@
+(** Post-run analyses: the paper's per-phase lemmas as measured numbers.
+
+    These run once after a broadcast on plain int arrays (CSR
+    [offsets]/[targets] plus a per-node receive-round array), keeping the
+    library dependency-free.  Allocation is fine here — nothing below is
+    on the round loop. *)
+
+type phase_stat = {
+  phase : int;  (** phase index (rounds [start_round ..
+                    start_round+ladder-1]) *)
+  start_round : int;
+  eligible : int;
+      (** nodes uninformed at the phase start with an informed neighbor *)
+  delivered : int;
+      (** eligible nodes whose first receive falls inside the phase *)
+  informed_end : int;  (** nodes informed by the end of the phase *)
+}
+
+val decay_phases :
+  offsets:int array ->
+  targets:int array ->
+  received_round:int array ->
+  source:int ->
+  ladder:int ->
+  phase_stat list
+(** Per-phase Lemma 2.2 measurement for a Decay run: for each phase,
+    how many nodes were eligible (uninformed at the phase start, with an
+    informed neighbor) and how many of those were delivered during the
+    phase.  L2.2 promises E[delivered/eligible] >= 1/8.
+    [received_round.(v)] is v's first receive round, < 0 for never; the
+    source holds the message from round 0.
+    @raise Invalid_argument on bad [ladder]/[source] or CSR shape
+    mismatch. *)
+
+val delivery_ratio : phase_stat -> float
+(** [delivered / eligible]; [nan] when no node was eligible. *)
+
+val min_delivery_ratio : ?min_eligible:int -> phase_stat list -> float
+(** Minimum {!delivery_ratio} over phases with at least [min_eligible]
+    (default 1) eligible nodes; [nan] when no phase qualifies. *)
+
+val shrink_factors : int list -> float list
+(** Lemma 2.4 helper: per-epoch shrink factors [prev/next] of a survivor
+    count sequence (e.g. bipartite epoch history).  [infinity] when a
+    step reaches 0; steps starting at 0 are skipped. *)

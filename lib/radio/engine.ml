@@ -58,8 +58,8 @@ let add_simulated_rounds k = Atomic.fetch_and_add simulated_rounds k |> ignore
    iterated the lists head-first): transmitters spray and listeners are
    delivered in *descending* decide order, so the stacks are walked
    top-down. *)
-let run ?stats ?on_round ?after_round ?decide_active ~graph ~detection ~protocol
-    ~stop ~max_rounds () =
+let run ?stats ?metrics ?on_round ?after_round ?decide_active ~graph ~detection
+    ~protocol ~stop ~max_rounds () =
   let n = Graph.n graph in
   let off = Graph.offsets graph and tgt = Graph.targets graph in
   let s = match stats with Some s -> s | None -> fresh_stats () in
@@ -111,7 +111,9 @@ let run ?stats ?on_round ?after_round ?decide_active ~graph ~detection ~protocol
               invalid_arg "Engine.run: decide_active wrote a bad node id";
             decide_one round v
           done);
-      let tx_happened = !n_tx > 0 in
+      let round_tx = !n_tx in
+      let tx_happened = round_tx > 0 in
+      let del0 = s.deliveries and col0 = s.collisions in
       for i = !n_tx - 1 downto 0 do
         let t = transmitters.(i) in
         s.transmissions <- s.transmissions + 1;
@@ -161,6 +163,12 @@ let run ?stats ?on_round ?after_round ?decide_active ~graph ~detection ~protocol
       n_ls := 0;
       s.rounds <- s.rounds + 1;
       if tx_happened then s.busy_rounds <- s.busy_rounds + 1;
+      (match metrics with
+      | Some m ->
+          Rn_obs.Metrics.record_round m ~round ~transmissions:round_tx
+            ~deliveries:(s.deliveries - del0)
+            ~collisions:(s.collisions - col0)
+      | None -> ());
       (match on_round with
       | Some f ->
           (* rblint:allow R5 tracing path: reached only when [on_round] is set, never in steady-state benchmarking *)

@@ -79,6 +79,7 @@ val add_simulated_rounds : int -> unit
 
 val run :
   ?stats:stats ->
+  ?metrics:Rn_obs.Metrics.t ->
   ?on_round:(round:int -> 'msg trace_event list -> unit) ->
   ?after_round:(round:int -> unit) ->
   ?decide_active:(round:int -> int array -> int) ->
@@ -91,7 +92,12 @@ val run :
   outcome
 (** [run ~graph ~detection ~protocol ~stop ~max_rounds ()] simulates rounds
     until [stop ~round] holds (checked before each round) or [max_rounds]
-    rounds have been simulated.  [on_round], when given, receives every
+    rounds have been simulated.  [metrics], when given, receives one
+    [Rn_obs.Metrics.record_round] call at the end of every simulated round
+    (this round's transmissions/deliveries/collisions, attributed to the
+    registry's current phase) — pure int mutation, so the quiet-round
+    0-word budget still holds; protocols annotate phase boundaries from
+    [after_round] (see [Rn_obs.Phase]).  [on_round], when given, receives every
     transmit/receive event of the round (including sleep-free listens that
     heard silence) — intended for examples and debugging, not benchmarks.
     [after_round] is a cheap per-round hook (no event capture) called after

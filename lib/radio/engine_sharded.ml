@@ -126,8 +126,8 @@ module Barrier = struct
     Mutex.unlock b.lock
 end
 
-let run ?stats ?on_round ?after_round ?decide_active ~domains ~graph ~detection
-    ~protocol ~stop ~max_rounds () =
+let run ?stats ?metrics ?on_round ?after_round ?decide_active ~domains ~graph
+    ~detection ~protocol ~stop ~max_rounds () =
   if domains < 1 then invalid_arg "Engine_sharded.run: domains must be >= 1";
   let n = Graph.n graph in
   let off = Graph.csc_offsets graph and tgt = Graph.csc_targets graph in
@@ -418,15 +418,28 @@ let run ?stats ?on_round ?after_round ?decide_active ~domains ~graph ~detection
        totals are order-independent sums; the event list is rebuilt in the
        serial order (transmits ascending, then receptions descending). *)
     let busy = ref false in
+    let rtx = ref 0 and rdel = ref 0 and rcol = ref 0 in
     for j = 0 to shards - 1 do
       let lane = lanes.(j) in
       if lane.n_tx > 0 then busy := true;
-      s.Engine.transmissions <- s.Engine.transmissions + lane.n_tx;
-      s.Engine.deliveries <- s.Engine.deliveries + lane.deliveries;
-      s.Engine.collisions <- s.Engine.collisions + lane.collisions
+      rtx := !rtx + lane.n_tx;
+      rdel := !rdel + lane.deliveries;
+      rcol := !rcol + lane.collisions
     done;
+    s.Engine.transmissions <- s.Engine.transmissions + !rtx;
+    s.Engine.deliveries <- s.Engine.deliveries + !rdel;
+    s.Engine.collisions <- s.Engine.collisions + !rcol;
     s.Engine.rounds <- s.Engine.rounds + 1;
     if !busy then s.Engine.busy_rounds <- s.Engine.busy_rounds + 1;
+    (* Same call the serial engine makes at its round tail, fed by the
+       shard-order sums of the owner-local lane counters — so the registry
+       contents (and anything exported from them) are byte-identical for
+       every domain count. *)
+    (match metrics with
+    | Some m ->
+        Rn_obs.Metrics.record_round m ~round ~transmissions:!rtx
+          ~deliveries:!rdel ~collisions:!rcol
+    | None -> ());
     (match on_round with
     | Some f ->
         (* Cold path, mirrors the serial engine's tracing reconstruction. *)

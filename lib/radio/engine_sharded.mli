@@ -46,6 +46,7 @@
 
 val run :
   ?stats:Engine.stats ->
+  ?metrics:Rn_obs.Metrics.t ->
   ?on_round:(round:int -> 'msg Engine.trace_event list -> unit) ->
   ?after_round:(round:int -> unit) ->
   ?decide_active:(round:int -> int array -> int) ->
@@ -58,6 +59,10 @@ val run :
   unit ->
   Engine.outcome
 (** Same surface as {!Engine.run} plus [domains ≥ 1], the shard count.
+    [metrics] follows the determinism contract: the coordinator records
+    each round from the shard-order sums of the owner-local lane counters
+    at the post-barrier merge, so the registry (and any export of it) is
+    byte-identical to a serial run with the same registry configuration.
     [domains = 1] runs the sharded schedule inline in the calling domain
     (no pool, no barriers).  [domains] exceeding the node count leaves the
     extra shards empty, which is legal.

@@ -14,12 +14,24 @@ let pow2 k =
   if k < 0 || k >= 62 then invalid_arg "Ilog.pow2";
   1 lsl k
 
+(* Overflow-checked multiply: the division round-trip fails iff a*b wrapped.
+   [a = -1 && b = min_int] is the one case where the product wraps yet the
+   round-trip succeeds (min_int / -1 itself wraps). *)
+let mul_exn a b =
+  let p = a * b in
+  if a <> 0 && (p / a <> b || (a = -1 && b = min_int)) then
+    invalid_arg "Ilog.pow: overflow"
+  else p
+
 let pow b k =
   if k < 0 then invalid_arg "Ilog.pow";
+  (* Square-and-multiply, but only square the base while higher bits of [k]
+     remain: the pre-guard version squared unconditionally, so [b * b] could
+     wrap (silently, then poison acc) even when the result fit. *)
   let rec go acc b k =
-    if k = 0 then acc
-    else if k land 1 = 1 then go (acc * b) (b * b) (k lsr 1)
-    else go acc (b * b) (k lsr 1)
+    let acc = if k land 1 = 1 then mul_exn acc b else acc in
+    let k = k lsr 1 in
+    if k = 0 then acc else go acc (mul_exn b b) k
   in
   go 1 b k
 

@@ -20,7 +20,14 @@ val pow2 : int -> int
 (** [pow2 k] is [2^k] for [0 ≤ k < 62]. *)
 
 val pow : int -> int -> int
-(** [pow b k] is [b^k] by repeated squaring, for [k ≥ 0]. *)
+(** [pow b k] is [b^k] by repeated squaring, for [k ≥ 0].
+
+    @raise Invalid_argument if [k < 0] or if any intermediate product
+    overflows native [int] range.  Theorem round budgets multiply
+    [log^5 n]-scale factors through this function ([⌈log n⌉ ≤ 63] on a
+    64-bit host, so [pow (clog n) 5 ≤ 63^5 < 2^30] is always safe); the
+    guard exists so a bad exponent fails loudly instead of silently
+    wrapping into a nonsense (possibly negative) round budget. *)
 
 val isqrt : int -> int
 (** Integer square root: greatest [r] with [r*r ≤ n], for [n ≥ 0]. *)

@@ -41,17 +41,27 @@ let percentile xs p =
 
 let median xs = percentile xs 50.0
 
+(* Min/max folds ordered by Float.compare, matching the percentile sort
+   above: NaN is equal to itself and below every number, so [fmin] of a
+   sample containing NaN is NaN (= percentile 0) and [fmax] ignores NaN
+   unless the sample is all-NaN.  [Stdlib.min]/[max] use the polymorphic
+   [<=], for which NaN comparisons are all false — the result then depends
+   on operand order and disagrees with the percentiles in the same
+   summary. *)
+let fmin (a : float) (x : float) = if Float.compare x a < 0 then x else a
+let fmax (a : float) (x : float) = if Float.compare x a > 0 then x else a
+
 let summarize xs =
   if Array.length xs = 0 then invalid_arg "Stats.summarize";
   {
     n = Array.length xs;
     mean = mean xs;
     stddev = stddev xs;
-    min = Array.fold_left min xs.(0) xs;
+    min = Array.fold_left fmin xs.(0) xs;
     p25 = percentile xs 25.0;
     median = median xs;
     p75 = percentile xs 75.0;
-    max = Array.fold_left max xs.(0) xs;
+    max = Array.fold_left fmax xs.(0) xs;
   }
 
 type fit = { slope : float; intercept : float; r2 : float }
@@ -146,7 +156,8 @@ let ratio_spread pts =
   | [] -> invalid_arg "Stats.ratio_spread: no usable points"
   | r0 :: _ ->
       let arr = Array.of_list ratios in
-      let mn = Array.fold_left min r0 arr and mx = Array.fold_left max r0 arr in
+      let mn = Array.fold_left fmin r0 arr
+      and mx = Array.fold_left fmax r0 arr in
       (mean arr, if mn = 0.0 then infinity else mx /. mn)
 
 let of_ints a = Array.map float_of_int a

@@ -21,14 +21,15 @@ let () =
 
 (* Minor-heap words allocated by [rounds] steady-state rounds, measured
    after [warmup] rounds so per-run scratch setup is excluded. *)
-let engine_round_words ?decide_active ~graph ~protocol ~warmup ~rounds () =
+let engine_round_words ?decide_active ?metrics ~graph ~protocol ~warmup
+    ~rounds () =
   let marks = [| 0.0; 0.0 |] in
   let after_round ~round =
     if round = warmup then marks.(0) <- Gc.minor_words ()
     else if round = warmup + rounds then marks.(1) <- Gc.minor_words ()
   in
   let (_ : Engine.outcome) =
-    Engine.run ?decide_active ~after_round ~graph
+    Engine.run ?decide_active ?metrics ~after_round ~graph
       ~detection:Engine.Collision_detection ~protocol
       ~stop:(fun ~round:_ -> false)
       ~max_rounds:(warmup + rounds + 2) ()
@@ -51,6 +52,26 @@ let test_quiet_round_loop () =
   let words = engine_round_words ~graph ~protocol ~warmup:16 ~rounds:256 () in
   Alcotest.(check (float 0.0))
     "quiet steady-state rounds allocate zero minor words" 0.0 words
+
+(* The same zero-word bound with a metrics registry attached: record_round
+   and set_phase are pure int mutation on preallocated arrays, so enabling
+   observability must not cost a single word on the round loop. *)
+let test_quiet_round_loop_with_metrics () =
+  let graph = star 512 in
+  let protocol =
+    {
+      Engine.decide = (fun ~round:_ ~node:_ -> Engine.Listen);
+      deliver = (fun ~round:_ ~node:_ _ -> ());
+    }
+  in
+  let metrics = Rn_obs.Metrics.create ~ring:1024 () in
+  let words =
+    engine_round_words ~metrics ~graph ~protocol ~warmup:16 ~rounds:256 ()
+  in
+  Alcotest.(check (float 0.0))
+    "metrics-enabled quiet rounds allocate zero minor words" 0.0 words;
+  Alcotest.(check bool) "registry recorded the rounds" true
+    (Rn_obs.Metrics.rounds metrics >= 256)
 
 (* A busy star: the hub transmits a preallocated packet every round, all
    leaves listen and are delivered.  The only legal per-round allocation is
@@ -78,7 +99,17 @@ let test_busy_round_loop_delivery_budget () =
        "busy rounds stay within the delivery budget (%.0f words <= %.0f)"
        words budget)
     true
-    (words <= budget)
+    (words <= budget);
+  (* same traffic, same budget, with the registry recording every round *)
+  let metrics = Rn_obs.Metrics.create () in
+  let words_m =
+    engine_round_words ~metrics ~graph ~protocol ~warmup:16 ~rounds ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "metrics add no allocation (%.0f words <= %.0f)" words_m
+       budget)
+    true
+    (words_m <= budget)
 
 (* Allocation must track the active set, not the graph: one transmitter and
    one listener inside a 4096-node graph stay under a tiny constant per
@@ -239,6 +270,8 @@ let () =
         [
           Alcotest.test_case "quiet loop is allocation-free" `Quick
             test_quiet_round_loop;
+          Alcotest.test_case "quiet loop with metrics" `Quick
+            test_quiet_round_loop_with_metrics;
           Alcotest.test_case "busy loop: deliveries only" `Quick
             test_busy_round_loop_delivery_budget;
           Alcotest.test_case "allocation independent of n" `Quick

@@ -194,6 +194,61 @@ let test_stats_ratio_spread () =
   check_float "mean ratio" 2.0 m;
   check_float "spread" 1.0 spread
 
+(* The summary's min/max must order by Float.compare like its percentiles:
+   NaN below every number, and independent of where NaN sits in the input.
+   (The old polymorphic fold returned a NaN-position-dependent number.) *)
+let test_stats_nan_summary () =
+  let check xs =
+    let s = Stats.summarize xs in
+    Alcotest.(check bool) "min is NaN" true (Float.is_nan s.Stats.min);
+    check_float "max ignores NaN" 2.0 s.Stats.max;
+    (* consistency with the percentile path of the same summary *)
+    Alcotest.(check int) "min = p0 under Float.compare" 0
+      (Float.compare s.Stats.min (Stats.percentile xs 0.0));
+    check_float "max = p100" (Stats.percentile xs 100.0) s.Stats.max
+  in
+  check [| 1.0; nan; 2.0 |];
+  check [| nan; 1.0; 2.0 |];
+  check [| 1.0; 2.0; nan |];
+  let s = Stats.summarize [| nan; nan |] in
+  Alcotest.(check bool) "all-NaN max" true (Float.is_nan s.Stats.max)
+
+let test_stats_ratio_spread_zero () =
+  (* x = 0.0 points are dropped by a float-equality test; -0.0 = 0.0 so a
+     negative zero is dropped too (no division by -0.0 → -infinity). *)
+  let m, spread = Stats.ratio_spread [ (0.0, 5.0); (1.0, 2.0); (2.0, 4.0) ] in
+  check_float "zero-x dropped" 2.0 m;
+  check_float "spread" 1.0 spread;
+  let m, _ = Stats.ratio_spread [ (-0.0, 5.0); (3.0, 6.0) ] in
+  check_float "negative zero dropped" 2.0 m;
+  (* a zero *ratio* makes the spread infinite rather than dividing by 0 *)
+  let _, spread = Stats.ratio_spread [ (1.0, 0.0); (1.0, 2.0) ] in
+  check_float "zero ratio -> infinite spread" infinity spread;
+  Alcotest.check_raises "all x zero"
+    (Invalid_argument "Stats.ratio_spread: no usable points") (fun () ->
+      ignore (Stats.ratio_spread [ (0.0, 1.0); (0.0, 2.0) ]))
+
+let test_ilog_pow_overflow () =
+  Alcotest.(check int) "2^61 fits" (1 lsl 61) (Ilog.pow 2 61);
+  Alcotest.(check int) "10^18 fits" 1_000_000_000_000_000_000 (Ilog.pow 10 18);
+  Alcotest.(check int) "3^39 fits" 4052555153018976267 (Ilog.pow 3 39);
+  Alcotest.(check int) "(-2)^3" (-8) (Ilog.pow (-2) 3);
+  Alcotest.(check int) "1^big" 1 (Ilog.pow 1 1_000_000);
+  Alcotest.(check int) "0^10" 0 (Ilog.pow 0 10);
+  (* k = 1 must not square the base: max_int^1 is representable even though
+     max_int * max_int is not (the pre-guard code squared unconditionally) *)
+  Alcotest.(check int) "max_int^1" max_int (Ilog.pow max_int 1);
+  let ov b k =
+    Alcotest.check_raises
+      (Printf.sprintf "%d^%d overflows" b k)
+      (Invalid_argument "Ilog.pow: overflow")
+      (fun () -> ignore (Ilog.pow b k))
+  in
+  ov 2 62;
+  ov 10 19;
+  ov 3 40;
+  ov max_int 2
+
 (* ------------------------------------------------------------------ *)
 (* qcheck properties *)
 
@@ -222,7 +277,30 @@ let qcheck_tests =
       (fun l ->
         let a = Array.of_list l in
         let m = Stats.median a in
-        m >= Array.fold_left min a.(0) a && m <= Array.fold_left max a.(0) a);
+        let s = Stats.summarize a in
+        m >= s.Stats.min && m <= s.Stats.max);
+    Test.make ~name:"percentile interpolates between order statistics"
+      ~count:300
+      (pair
+         (list_of_size (Gen.int_range 1 40) (float_range (-50.) 50.))
+         (float_range 0. 100.))
+      (fun (l, p) ->
+        let a = Array.of_list l in
+        let sorted = Array.copy a in
+        Array.sort Float.compare sorted;
+        let v = Stats.percentile a p in
+        let n = Array.length sorted in
+        let rank = p /. 100. *. float_of_int (n - 1) in
+        let lo = sorted.(int_of_float (floor rank))
+        and hi = sorted.(int_of_float (ceil rank)) in
+        Float.compare lo v <= 0 && Float.compare v hi <= 0);
+    Test.make ~name:"summary min/max are the extreme percentiles" ~count:200
+      (list_of_size (Gen.int_range 1 40) (float_range (-100.) 100.))
+      (fun l ->
+        let a = Array.of_list l in
+        let s = Stats.summarize a in
+        Float.compare s.Stats.min (Stats.percentile a 0.0) = 0
+        && Float.compare s.Stats.max (Stats.percentile a 100.0) = 0);
     Test.make ~name:"shuffle preserves multiset" ~count:200
       (list_of_size (Gen.int_range 0 30) small_int)
       (fun l ->
@@ -255,6 +333,8 @@ let () =
         [
           Alcotest.test_case "small values" `Quick test_ilog_small_values;
           Alcotest.test_case "pow" `Quick test_ilog_pow;
+          Alcotest.test_case "pow overflow boundaries" `Quick
+            test_ilog_pow_overflow;
           Alcotest.test_case "isqrt" `Quick test_ilog_isqrt;
           Alcotest.test_case "cdiv" `Quick test_ilog_cdiv;
           Alcotest.test_case "invalid input" `Quick test_ilog_invalid;
@@ -269,6 +349,10 @@ let () =
           Alcotest.test_case "two-predictor exact" `Quick test_stats_two_predictor_exact;
           Alcotest.test_case "two-predictor singular" `Quick test_stats_two_predictor_singular;
           Alcotest.test_case "ratio spread" `Quick test_stats_ratio_spread;
+          Alcotest.test_case "NaN summary (Float.compare folds)" `Quick
+            test_stats_nan_summary;
+          Alcotest.test_case "ratio spread zero-x edges" `Quick
+            test_stats_ratio_spread_zero;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]

@@ -11,7 +11,12 @@
    - [rounds_per_sec] must not regress below baseline × (1 - PCT/100)
      (default 25%).  Speedups and experiments missing on either side are
      reported but never fail the gate, so the baseline can cover a
-     superset of the experiments a smoke run executes.
+     superset of the experiments a smoke run executes;
+   - per-phase aggregate fields ([phase_deliveries]/[phase_tx]/
+     [phase_collisions], compact JSON int arrays from the metrics
+     registry) are gated exactly when the baseline record has them too —
+     deterministic like [rounds] — and are informational when the
+     baseline predates them.
 
    Experiments present only in the current run are new — informational,
    never a failure, even when the runs share nothing (a run made of only
@@ -23,7 +28,15 @@
    The parser below handles exactly the flat object/array shape the bench
    writes — a dependency-free subset of JSON, not a general parser. *)
 
-type experiment = { id : string; rounds : int; rounds_per_sec : float }
+type experiment = {
+  id : string;
+  rounds : int;
+  rounds_per_sec : float;
+  phases : (string * string) list;
+      (* optional per-phase int-array fields, raw compact text *)
+}
+
+let phase_field_names = [ "phase_deliveries"; "phase_tx"; "phase_collisions" ]
 
 let fail_usage () =
   prerr_endline "usage: benchdiff BASELINE.json CURRENT.json [--threshold PCT]";
@@ -78,6 +91,42 @@ let find_field s key from =
         if !j = !i then None else Some (String.sub s !i (!j - !i), !j)
       end
 
+(* Find `"key": [ ... ]` after [from] but before [limit] (the next record's
+   "id" — optional fields must not be picked up from a later record);
+   returns the bracketed text verbatim. *)
+let find_array_field s key from limit =
+  let pat = "\"" ^ key ^ "\"" in
+  let pl = String.length pat in
+  let rec locate i =
+    if i + pl > limit then None
+    else if String.sub s i pl = pat then Some (i + pl)
+    else locate (i + 1)
+  in
+  match locate from with
+  | None -> None
+  | Some i ->
+      let i = ref i in
+      while !i < limit && (s.[!i] = ':' || s.[!i] = ' ' || s.[!i] = '\t') do
+        incr i
+      done;
+      if !i >= limit || s.[!i] <> '[' then None
+      else begin
+        let j = ref !i in
+        while !j < limit && s.[!j] <> ']' do
+          incr j
+        done;
+        if !j >= limit then None else Some (String.sub s !i (!j - !i + 1))
+      end
+
+(* Position of the next record's "id" key, bounding this record's span. *)
+let next_record_start s from =
+  let pat = "\"id\"" in
+  let n = String.length s and pl = String.length pat in
+  let rec locate i =
+    if i + pl > n then n else if String.sub s i pl = pat then i else locate (i + 1)
+  in
+  locate from
+
 let parse_experiments path =
   let s = read_file path in
   let rec collect from acc =
@@ -90,12 +139,22 @@ let parse_experiments path =
             match find_field s "rounds_per_sec" after_rounds with
             | None -> List.rev acc
             | Some (rps, after_rps) ->
+                let span_end = next_record_start s after_rps in
+                let phases =
+                  List.filter_map
+                    (fun k ->
+                      Option.map
+                        (fun v -> (k, v))
+                        (find_array_field s k after_rps span_end))
+                    phase_field_names
+                in
                 let exp =
                   try
                     {
                       id;
                       rounds = int_of_string rounds;
                       rounds_per_sec = float_of_string rps;
+                      phases;
                     }
                   with _ ->
                     Printf.eprintf "benchdiff: malformed record in %s\n" path;
@@ -140,6 +199,23 @@ let () =
                match baseline exactly)\n"
               cur.id base.rounds cur.rounds
           end;
+          List.iter
+            (fun (k, v) ->
+              match List.assoc_opt k base.phases with
+              | None ->
+                  Printf.printf
+                    "%-4s note per-phase field %S absent in baseline, \
+                     informational\n"
+                    cur.id k
+              | Some bv ->
+                  if not (String.equal bv v) then begin
+                    incr failures;
+                    Printf.printf
+                      "%-4s FAIL per-phase field %S drifted (deterministic \
+                       aggregate must match baseline exactly)\n"
+                      cur.id k
+                  end)
+            cur.phases;
           let floor = base.rounds_per_sec *. (1.0 -. (threshold /. 100.0)) in
           if cur.rounds_per_sec < floor then begin
             incr failures;

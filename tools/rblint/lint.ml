@@ -100,7 +100,7 @@ let is_rng_ml path =
 let r2_scope path =
   List.exists
     (fun d -> has_dir ~dir:d path)
-    [ "lib/util"; "lib/graph"; "lib/core"; "lib/radio" ]
+    [ "lib/util"; "lib/graph"; "lib/core"; "lib/radio"; "lib/obs" ]
 
 let r4_scope path = has_dir ~dir:"lib" path
 
@@ -250,6 +250,26 @@ let comparison_specialized env ty =
   match Types.get_desc (expand env ty) with
   | Types.Tconstr (p, _, _) -> List.exists (Path.same p) specialized_paths
   | _ -> false
+
+(* [Stdlib.min]/[max] get a narrower allowlist than the comparison
+   operators: immediate types only.  Float is specialized for [=]/[<] but
+   min/max on float is still wrong — the polymorphic [<=] inside them is
+   false for every NaN operand, so the result depends on operand order and
+   disagrees with a Float.compare-based fold (the Stats.summarize bug this
+   rule extension flushed out). *)
+let immediate_paths =
+  [ Predef.path_int; Predef.path_char; Predef.path_bool; Predef.path_unit ]
+
+let comparison_immediate env ty =
+  match Types.get_desc (expand env ty) with
+  | Types.Tconstr (p, _, _) -> List.exists (Path.same p) immediate_paths
+  | _ -> false
+
+let minmax_msg op ty =
+  "polymorphic " ^ op ^ " at type " ^ ty
+  ^ ": NaN-unsafe on float (order-dependent, disagrees with Float.compare) \
+     and unspecialized on boxed types — use an explicit Float.compare-based \
+     fold or a monomorphic min/max"
 
 let type_parts p =
   match Path.flatten p with
@@ -515,6 +535,23 @@ let analyze ~path str =
                      ("comparison operator (" ^ op
                     ^ ") partially applied: pass a monomorphic comparator"));
             List.iter (fun (_, eo) -> Option.iter (expr_hook it) eo) args
+        | [ "Stdlib"; (("min" | "max") as op) ] ->
+            (if in_r2 then
+               match args with
+               | [ (_, Some a); (_, Some b) ] ->
+                   let imm x =
+                     comparison_immediate (real_env x.exp_env) x.exp_type
+                   in
+                   if not (imm a && imm b) then
+                     let bad = if imm a then b else a in
+                     emit fn.exp_loc "R2"
+                       (minmax_msg op (type_to_string bad.exp_type))
+               | _ ->
+                   emit fn.exp_loc "R2"
+                     (op
+                    ^ " partially applied: pass a monomorphic min/max or \
+                       comparator"));
+            List.iter (fun (_, eo) -> Option.iter (expr_hook it) eo) args
         | [ "Stdlib"; "Domain"; "spawn" ] ->
             spawns := true;
             List.iter
@@ -532,6 +569,18 @@ let analyze ~path str =
               emit e.exp_loc "R2"
                 ("comparison operator (" ^ op
                ^ ") used as a value: pass a monomorphic comparator")
+        | [ "Stdlib"; (("min" | "max") as op) ] ->
+            (* Used as a value (e.g. [Array.fold_left min] — the exact shape
+               of the Stats.summarize bug): the instantiated arrow type tells
+               us the element type. *)
+            if in_r2 then begin
+              let env = real_env e.exp_env in
+              match Types.get_desc (expand env e.exp_type) with
+              | Types.Tarrow (_, targ, _, _)
+                when comparison_immediate env targ ->
+                  ()
+              | _ -> emit e.exp_loc "R2" (minmax_msg op (type_to_string e.exp_type))
+            end
         | [ "Stdlib"; "Domain"; "spawn" ] -> spawns := true
         | _ -> check_ident e.exp_loc parts)
     | Texp_letmodule (Some id, _, _, { mod_desc = Tmod_ident (p, _); _ }, _) ->

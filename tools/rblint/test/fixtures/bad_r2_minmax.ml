@@ -1,0 +1,21 @@
+(* Fixture: R2 min/max extension — [Stdlib.min]/[max] anywhere except at an
+   immediate type (int, char, bool, unit).  Float is the motivating case:
+   the polymorphic [<=] inside min/max is false for every NaN operand, so
+   [Array.fold_left min] over floats is order-dependent and disagrees with
+   a Float.compare-based fold (the Stats.summarize bug). *)
+
+(* Used as a value at float — the exact shape of the bug. *)
+let fold_min (xs : float array) = Array.fold_left min xs.(0) xs
+
+(* Fully applied at float. *)
+let fmax (a : float) (b : float) = max a b
+
+(* Boxed type: unspecialized polymorphic compare under the hood. *)
+let smaller_pair (a : int * int) (b : int * int) = min a b
+
+(* Immediate types are legal and must stay unflagged. *)
+let imax (a : int) (b : int) = max a b
+
+let cmin (a : char) (b : char) = min a b
+
+let clamp_fold (xs : int array) = Array.fold_left max 0 xs

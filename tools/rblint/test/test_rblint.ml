@@ -81,6 +81,19 @@ let test_r2_typed () =
     [ "point"; "int option"; "int list" ]
     msgs
 
+let test_r2_minmax () =
+  (* min/max get a narrower allowlist than the comparison operators:
+     immediate types only — float min/max is the NaN-order bug even though
+     float [=] is specialized. *)
+  let fs = lint_as ~path:"lib/util/bad_r2_minmax.ml" "bad_r2_minmax.ml" in
+  check_rules "R2 only" [ "R2" ] fs;
+  Alcotest.(check int)
+    "fold_left min, applied float max, tuple min flagged; int/char clean" 3
+    (count "R2" fs);
+  (* outside the scoped directories nothing fires *)
+  let fs = lint_as ~path:"bench/bad_r2_minmax.ml" "bad_r2_minmax.ml" in
+  Alcotest.(check int) "bench exempt" 0 (count "R2" fs)
+
 let test_r3 () =
   let fs = lint_as ~path:"examples/bad_r3.ml" "bad_r3.ml" in
   check_rules "R3 only" [ "R3" ] fs;
@@ -253,6 +266,7 @@ let () =
           Alcotest.test_case "R2 polymorphic compare" `Quick test_r2;
           Alcotest.test_case "R2 typed operands (v1 blind spot)" `Quick
             test_r2_typed;
+          Alcotest.test_case "R2 min/max immediate-only" `Quick test_r2_minmax;
           Alcotest.test_case "R3 Obj" `Quick test_r3;
           Alcotest.test_case "R4 printing" `Quick test_r4;
           Alcotest.test_case "R5 hot-path traversals" `Quick test_r5;
