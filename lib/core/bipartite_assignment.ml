@@ -546,8 +546,9 @@ type outcome = {
   epoch_history : (int * int) list;
 }
 
-let run_standalone ?(detection = Engine.No_collision_detection) ?metrics ~rng
-    ~params ~graph ~reds ~blues ~blue_ranks () =
+let run_standalone ?(detection = Engine.No_collision_detection)
+    ?(engine = Engine.Sparse) ?metrics ~rng ~params ~graph ~reds ~blues
+    ~blue_ranks () =
   let n = Graph.n graph in
   let parents = Array.make n (-1) in
   let ranks = Array.make n 0 in
@@ -584,10 +585,39 @@ let run_standalone ?(detection = Engine.No_collision_detection) ?metrics ~rng
           advance t;
           Rn_obs.Phase.enter m t.epoch
   in
+  (* Only reds and blues ever act (decide falls through both tables to
+     Sleep); the awake set is static.  No hint: Waiting never occurs under
+     the standalone [ready], and every live stage keeps nodes awake. *)
+  let active_ids =
+    let mark = Array.make n false in
+    Array.iter (fun v -> mark.(v) <- true) reds;
+    Array.iter (fun v -> mark.(v) <- true) blues;
+    let count = ref 0 in
+    Array.iter (fun b -> if b then incr count) mark;
+    let ids = Array.make (max !count 1) 0 in
+    let i = ref 0 in
+    for v = 0 to n - 1 do
+      if mark.(v) then begin
+        ids.(!i) <- v;
+        incr i
+      end
+    done;
+    (ids, !count)
+  in
+  let decide_active ~round:_ dst =
+    let ids, count = active_ids in
+    Array.blit ids 0 dst 0 count;
+    count
+  in
+  let stop ~round:_ = finished t in
   ignore
-    (Engine.run ?metrics ~graph ~detection ~protocol ~after_round
-       ~stop:(fun ~round:_ -> finished t)
-       ~max_rounds ());
+    (match engine with
+    | Engine.Dense ->
+        Engine.run ?metrics ~graph ~detection ~protocol ~after_round ~stop
+          ~max_rounds ()
+    | Engine.Sparse ->
+        Engine_sparse.run ?metrics ~decide_active ~graph ~detection ~protocol
+          ~after_round ~stop ~max_rounds ());
   {
     rounds = rounds_used t;
     parents;

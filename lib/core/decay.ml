@@ -17,7 +17,7 @@ type msg = Payload | Noise
 
 let broadcast ?(params = Params.default) ?ladder
     ?(detection = Engine.No_collision_detection) ?max_rounds ?faults ?domains
-    ?metrics ~rng ~graph ~source () =
+    ?(engine = Engine.Sparse) ?metrics ~rng ~graph ~source () =
   let n = Graph.n graph in
   if source < 0 || source >= n then invalid_arg "Decay.broadcast: bad source";
   let ladder = match ladder with Some l -> l | None -> Params.phase_len ~n in
@@ -74,13 +74,20 @@ let broadcast ?(params = Params.default) ?ladder
             Rn_obs.Phase.enter_of_round m ~len:ladder ~round:(round + 1))
   in
   let outcome =
-    match domains with
-    | Some d ->
+    match (domains, engine) with
+    | Some d, _ ->
         Engine_sharded.run ~stats ?metrics ?after_round ~domains:d ~graph
           ~detection ~protocol ~stop ~max_rounds ()
-    | None ->
+    | None, Engine.Dense ->
         Engine.run ~stats ?metrics ?after_round ~graph ~detection ~protocol
           ~stop ~max_rounds ()
+    | None, Engine.Sparse ->
+        (* No skip hint: an informed node draws its coin every round, so no
+           round is statically silent; the win is the elided silence
+           deliveries and listener resets.  Decay's deliver ignores
+           Silence, satisfying the sparse no-op contract. *)
+        Engine_sparse.run ~stats ?metrics ?after_round ~graph ~detection
+          ~protocol ~stop ~max_rounds ()
   in
   (match metrics with
   | None -> ()

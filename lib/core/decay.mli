@@ -40,6 +40,7 @@ val broadcast :
   ?max_rounds:int ->
   ?faults:Faults.spec ->
   ?domains:int ->
+  ?engine:Engine.mode ->
   ?metrics:Rn_obs.Metrics.t ->
   rng:Rng.t ->
   graph:Rn_graph.Graph.t ->
@@ -57,6 +58,12 @@ val broadcast :
     that shard count — bit-identical results to the serial default for any
     [domains ≥ 1] (the protocol's callbacks touch only per-node state; the
     completion count is atomic).  This is the E-scale workload.
+
+    [engine] (default [Sparse]) picks the serial round path when [domains]
+    is absent: {!Engine_sparse.run} elides the per-round silence
+    deliveries (Decay ignores them), [Dense] is the {!Engine.run}
+    reference.  Identical results either way; no skip hint is offered
+    because informed nodes draw a coin every round.
 
     [metrics], when given, records every round into the registry with the
     phase annotation [round / ladder] (Lemma 2.2's unit — set from

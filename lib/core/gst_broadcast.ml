@@ -27,8 +27,8 @@ let slow_exponent ~clogn ~level_or_vd ~round =
 type msg = Data of Rlnc.packet
 
 let run ?(noise_when_empty = true) ?(slow_key = By_virtual_distance)
-    ?step_reset ?faults ?max_rounds ?(params = Params.default) ?metrics ~rng
-    ~gst ~vd ~msgs ~sources () =
+    ?step_reset ?faults ?max_rounds ?(params = Params.default)
+    ?(engine = Engine.Sparse) ?metrics ~rng ~gst ~vd ~msgs ~sources () =
   let graph = gst.Gst.graph in
   let n = Graph.n graph in
   let k = Array.length msgs in
@@ -201,12 +201,60 @@ let run ?(noise_when_empty = true) ?(slow_key = By_virtual_distance)
         count)
       active_ids
   in
+  (* Skip hint: both transmission schedules are residue classes of static
+     node attributes — a fast slot occupies the even residue
+     [2·(level + 3·rank) mod 6·clogn], a slow slot the odd residues
+     [(1 + 2·slow_of v) mod 6] — so "some forest node is in slot" is a
+     presence bitmap over residues mod [6·clogn] (the lcm of the two
+     periods).  A round whose residue is unoccupied sees every forest node
+     return [Listen] without touching its RNG stream, so fast-forwarding
+     it is observationally identical to simulating it.  Occupied residues
+     must be simulated even if no transmission results (decide draws coins
+     there).  Jammers transmit in arbitrary rounds, so fault injection
+     disables the hint. *)
+  let next_busy_round =
+    match (faults, engine) with
+    | Some _, _ | _, Engine.Dense -> None
+    | None, Engine.Sparse ->
+        let period = 6 * clogn in
+        let busy = Array.make period false in
+        Array.iteri
+          (fun v l ->
+            if l >= 0 then begin
+              let r = gst.Gst.ranks.(v) in
+              busy.(emod (2 * (l + (3 * r))) period) <- true;
+              let sr = emod (1 + (2 * slow_of v)) 6 in
+              let i = ref sr in
+              while !i < period do
+                busy.(!i) <- true;
+                i := !i + 6
+              done
+            end)
+          gst.Gst.levels;
+        if not (Array.exists Fun.id busy) then None
+        else begin
+          let delta = Array.make period 0 in
+          let next = ref (2 * period) in
+          for i = (2 * period) - 1 downto 0 do
+            if busy.(i mod period) then next := i;
+            if i < period then delta.(i) <- !next - i
+          done;
+          Some (fun ~round -> round + delta.(round mod period))
+        end
+  in
   let stats = Engine.fresh_stats () in
+  let stop ~round:_ = !missing = 0 in
   let outcome =
-    Engine.run ?metrics ?after_round ?decide_active ~stats ~graph
-      ~detection:Engine.No_collision_detection ~protocol
-      ~stop:(fun ~round:_ -> !missing = 0)
-      ~max_rounds ()
+    match engine with
+    | Engine.Dense ->
+        Engine.run ?metrics ?after_round ?decide_active ~stats ~graph
+          ~detection:Engine.No_collision_detection ~protocol ~stop ~max_rounds
+          ()
+    | Engine.Sparse ->
+        Engine_sparse.run ?metrics ?after_round ?decide_active
+          ?next_busy_round ~stats ~graph
+          ~detection:Engine.No_collision_detection ~protocol ~stop ~max_rounds
+          ()
   in
   let payloads_ok =
     let ok = ref true in

@@ -49,6 +49,7 @@ val run :
   ?faults:Faults.spec ->
   ?max_rounds:int ->
   ?params:Params.t ->
+  ?engine:Engine.mode ->
   ?metrics:Rn_obs.Metrics.t ->
   rng:Rng.t ->
   gst:Gst.t ->
@@ -75,7 +76,16 @@ val run :
     batch at a step boundary empties its packet buffer and restarts.  The
     paper shows a batch still advances one Θ(log² n)-height strip per
     step w.h.p., so completion survives with buffers bounded by one step's
-    receptions; sources (who hold the originals) never reset. *)
+    receptions; sources (who hold the originals) never reset.
+
+    [engine] (default [Sparse]) selects the round path.  Under [Sparse]
+    the run also hands {!Engine_sparse.run} a [next_busy_round] hint built
+    from the two transmission schedules' residue classes (fast slots mod
+    [6·⌈log n⌉], slow slots mod 6), fast-forwarding rounds in which no
+    forest node is in either slot — such rounds are all-Listen with no RNG
+    draw, so results are identical to [Dense].  Fault injection disables
+    the hint (jammers transmit in arbitrary rounds) but keeps the sparse
+    delivery path. *)
 
 val fast_slot : clogn:int -> level:int -> rank:int -> round:int -> bool
 (** Exposed for tests: the deterministic fast-slot predicate. *)

@@ -25,7 +25,7 @@ type result = {
 (* ------------------------------------------------------------------ *)
 (* Phase 2: level-pair assignments *)
 
-let run_assignment ~mode ~params ~detection ~rng ~graph ~levels () =
+let run_assignment ~mode ~params ~detection ~engine ~rng ~graph ~levels () =
   let n = Graph.n graph in
   let scale_n = n in
   let depth = Bfs.max_level levels in
@@ -127,12 +127,85 @@ let run_assignment ~mode ~params ~detection ~rng ~graph ~levels () =
       params.Params.max_round_factor * ((depth + 2) * Ilog.pow ladder 5)
       + 10_000
     in
+    (* Frontier: a block whose machine is [Waiting] (gated by [ready_for])
+       or [Done] returns a side-effect-free [Sleep] for every node it
+       owns, so the awake set of a round is the level pairs of the
+       *live* blocks in the round's slot — in steady pipelined state
+       that is one or two level pairs, not the whole graph.  The block
+       wakes only inside [advance]/[settle] (after_round), never in
+       decide, so dormancy observed at round start holds for the whole
+       round. *)
+    let level_nodes = Array.init (depth + 1) at_level in
+    let dormant l =
+      let b = block l in
+      Bipartite_assignment.finished b || Bipartite_assignment.waiting b
+    in
+    let first_of_slot slot = if slot = 0 then 3 else slot in
+    let decide_active ~round (buf : int array) =
+      let k = ref 0 in
+      let put l =
+        let nodes = level_nodes.(l) in
+        let len = Array.length nodes in
+        Array.blit nodes 0 buf !k len;
+        k := !k + len
+      in
+      (match mode with
+      | Sequential ->
+          let c = !current in
+          if not (dormant c) then begin
+            put (c - 1);
+            put c
+          end
+      | Pipelined ->
+          let l = ref (first_of_slot (round mod 3)) in
+          while !l <= depth do
+            if not (dormant !l) then begin
+              put (!l - 1);
+              put !l
+            end;
+            l := !l + 3
+          done);
+      !k
+    in
+    (* Skip hint, re-queried every round so it only ever promises rounds
+       whose silence follows from *current* machine state: a slot with no
+       live block is silent this round; a slot whose blocks are all
+       finished stays silent forever (finishing is monotone), letting the
+       endgame fast-forward to the last live slot's rounds.  Dormant
+       blocks may wake in after_round, so those promises stop at one
+       round. *)
+    let slot_live s =
+      let rec go l = l <= depth && ((l mod 3 = s && not (dormant l)) || go (l + 1)) in
+      go (first_of_slot s)
+    in
+    let slot_dead s =
+      let rec go l =
+        l > depth || ((l mod 3 <> s || finished_pair l) && go (l + 1))
+      in
+      go (first_of_slot s)
+    in
+    let next_busy_round ~round =
+      match mode with
+      | Sequential -> if dormant !current then round + 1 else round
+      | Pipelined ->
+          if slot_live (round mod 3) then round
+          else if not (slot_dead (round mod 3)) then round + 1
+          else if slot_live ((round + 1) mod 3) || not (slot_dead ((round + 1) mod 3))
+          then round + 1
+          else if slot_live ((round + 2) mod 3) || not (slot_dead ((round + 2) mod 3))
+          then round + 2
+          else round + 3 (* every block finished; stop fires first *)
+    in
+    let protocol = { Engine.decide; deliver } in
+    let stop ~round:_ = all_done () in
     let outcome =
-      Engine.run ~graph ~detection
-        ~protocol:{ Engine.decide; deliver }
-        ~after_round
-        ~stop:(fun ~round:_ -> all_done ())
-        ~max_rounds ()
+      match engine with
+      | Engine.Dense ->
+          Engine.run ~graph ~detection ~protocol ~after_round ~stop
+            ~max_rounds ()
+      | Engine.Sparse ->
+          Engine_sparse.run ~decide_active ~next_busy_round ~graph ~detection
+            ~protocol ~after_round ~stop ~max_rounds ()
     in
     let rounds =
       match outcome with
@@ -163,7 +236,7 @@ let run_assignment ~mode ~params ~detection ~rng ~graph ~levels () =
 (* ------------------------------------------------------------------ *)
 (* Phase 3: wave-safety self-test *)
 
-let run_selftest ~detection ~graph ~levels ~parents ~ranks () =
+let run_selftest ~detection ~engine ~graph ~levels ~parents ~ranks () =
   let n = Graph.n graph in
   let max_rank = Array.fold_left max 0 ranks in
   let safe = Array.make n true in
@@ -194,11 +267,62 @@ let run_selftest ~detection ~graph ~levels ~parents ~ranks () =
     | Engine.Received _ | Engine.Silence | Engine.Collision ->
         safe.(node) <- false
   in
+  let protocol = { Engine.decide; deliver } in
+  let stop ~round:_ = false in
+  (* Only rank-r nodes act in the three rounds of rank r; group ids by
+     rank once.  A listener's parent shares its rank and transmits in the
+     same round (level class l−1), so every listener is inside a
+     transmitter's neighborhood — the Silence-means-unsafe deliver never
+     fires on an untouched listener, making the sparse path safe even
+     though this deliver is *not* silence-neutral.  Rounds whose
+     (rank, class) slice holds no node have no transmitters and therefore
+     no listeners either (a listener's parent would populate the slice),
+     so they can be fast-forwarded from a static table. *)
   let outcome =
-    Engine.run ~graph ~detection
-      ~protocol:{ Engine.decide; deliver }
-      ~stop:(fun ~round:_ -> false)
-      ~max_rounds:total ()
+    match engine with
+    | Engine.Dense -> Engine.run ~graph ~detection ~protocol ~stop ~max_rounds:total ()
+    | Engine.Sparse ->
+        let rank_count = Array.make (max_rank + 1) 0 in
+        Array.iteri
+          (fun v l -> if l >= 0 && ranks.(v) >= 1 then
+              rank_count.(ranks.(v)) <- rank_count.(ranks.(v)) + 1)
+          levels;
+        let rank_nodes =
+          Array.map (fun c -> Array.make (max c 1) 0) rank_count
+        in
+        let fill = Array.make (max_rank + 1) 0 in
+        Array.iteri
+          (fun v l ->
+            if l >= 0 && ranks.(v) >= 1 then begin
+              let r = ranks.(v) in
+              rank_nodes.(r).(fill.(r)) <- v;
+              fill.(r) <- fill.(r) + 1
+            end)
+          levels;
+        let slice_count = Array.make (max (3 * (max_rank + 1)) 1) 0 in
+        Array.iteri
+          (fun v l ->
+            if l >= 0 && ranks.(v) >= 1 then begin
+              let i = (3 * ranks.(v)) + (l mod 3) in
+              slice_count.(i) <- slice_count.(i) + 1
+            end)
+          levels;
+        let decide_active ~round (buf : int array) =
+          let r = (round / 3) + 1 in
+          let nodes = rank_nodes.(r) and count = rank_count.(r) in
+          Array.blit nodes 0 buf 0 count;
+          count
+        in
+        let next_busy_round ~round =
+          let rec go r =
+            if r >= total then total
+            else if slice_count.((3 * ((r / 3) + 1)) + (r mod 3)) > 0 then r
+            else go (r + 1)
+          in
+          go round
+        in
+        Engine_sparse.run ~decide_active ~next_busy_round ~graph ~detection
+          ~protocol ~stop ~max_rounds:total ()
   in
   let head_override = Array.init n (fun v -> listens.(v) && not safe.(v)) in
   (head_override, Engine.rounds_of_outcome outcome)
@@ -206,7 +330,7 @@ let run_selftest ~detection ~graph ~levels ~parents ~ranks () =
 (* ------------------------------------------------------------------ *)
 (* Phase 4: virtual-distance learning (Lemma 3.10) *)
 
-let run_vd ~params ~detection ~rng ~graph ~levels ~parents ~ranks
+let run_vd ~params ~detection ~engine ~rng ~graph ~levels ~parents ~ranks
     ~parent_rank ~head_override () =
   let n = Graph.n graph in
   let scale_n = n in
@@ -233,14 +357,25 @@ let run_vd ~params ~detection ~rng ~graph ~levels ~parents ~ranks
      epoch 2 only cascades fresh labels. *)
   let d = ref 0 in
   let iter_cap = (3 * ladder) + n in
-  let run_phase ~decide ~deliver ~stop ~max_rounds =
+  let run_phase ?decide_active ?next_busy_round ~decide ~deliver ~stop
+      ~max_rounds () =
+    let protocol = { Engine.decide; deliver } in
     let outcome =
-      Engine.run ~graph ~detection
-        ~protocol:{ Engine.decide; deliver }
-        ~stop ~max_rounds ()
+      match engine with
+      | Engine.Dense ->
+          Engine.run ~graph ~detection ~protocol ~stop ~max_rounds ()
+      | Engine.Sparse ->
+          Engine_sparse.run ?decide_active ?next_busy_round ~graph ~detection
+            ~protocol ~stop ~max_rounds ()
     in
     total_rounds := !total_rounds + Engine.rounds_of_outcome outcome
   in
+  (* Stage-1 sweeps wake only a moving level pair; stage 2 wakes the
+     forest nodes still relevant to the current distance.  Both reuse
+     these buffers. *)
+  let depth_cap = depth + 2 in
+  let level_nodes = Array.init (depth + 1) (fun l -> Bfs.nodes_at_level levels l) in
+  let cand = Array.make (max n 1) 0 in
   while unlabeled_remain () && !d <= iter_cap do
     let dv = !d in
     (* Stage 1: label whole stretches hanging off F_dv, rank by rank. *)
@@ -256,6 +391,19 @@ let run_vd ~params ~detection ~rng ~graph ~levels ~parents ~ranks
       if heads_exist || not params.Params.adaptive then begin
         (* Epoch 1 then epoch 2, each a D-round layer sweep. *)
         let epoch_len = depth + 1 in
+        (* Per-level transmitter potential for the skip hint: epoch-0
+           counts (qualifying heads per level) are static for the phase;
+           epoch-1 counts grow as the sweep labels nodes (bumped in
+           deliver).  A round with zero potential transmitters delivers
+           nothing, so it creates no new potential either — promising its
+           silence from counts read at round start is sound. *)
+        let head_count = Array.make depth_cap 0 in
+        Array.iteri
+          (fun v l ->
+            if l >= 0 && is_head v && vd.(v) = dv && ranks.(v) = r then
+              head_count.(l) <- head_count.(l) + 1)
+          levels;
+        let sweep_count = Array.make depth_cap 0 in
         let decide ~round ~node =
           let epoch = round / epoch_len and l = round mod epoch_len in
           if not (in_forest node) then Engine.Sleep
@@ -278,12 +426,37 @@ let run_vd ~params ~detection ~rng ~graph ~levels ~parents ~ranks
           | Engine.Received (Cmsg.Vd_label { from_node; vd = _ })
             when from_node = parents.(node) && vd.(node) < 0 ->
               vd.(node) <- dv + 1;
-              sweep_hit.(node) <- true
+              sweep_hit.(node) <- true;
+              sweep_count.(levels.(node)) <- sweep_count.(levels.(node)) + 1
           | Engine.Received _ | Engine.Silence | Engine.Collision -> ()
         in
-        run_phase ~decide ~deliver
+        let decide_active ~round (buf : int array) =
+          let l = round mod epoch_len in
+          let k = ref 0 in
+          let put lv =
+            if lv <= depth then begin
+              let nodes = level_nodes.(lv) in
+              let len = Array.length nodes in
+              Array.blit nodes 0 buf !k len;
+              k := !k + len
+            end
+          in
+          put l;
+          put (l + 1);
+          !k
+        in
+        let busy m =
+          if m < epoch_len then head_count.(m) > 0
+          else sweep_count.(m - epoch_len) > 0
+        in
+        let max_rounds = 2 * epoch_len in
+        let next_busy_round ~round =
+          let rec go m = if m >= max_rounds || busy m then m else go (m + 1) in
+          go round
+        in
+        run_phase ~decide_active ~next_busy_round ~decide ~deliver
           ~stop:(fun ~round:_ -> false)
-          ~max_rounds:(2 * epoch_len)
+          ~max_rounds ()
       end
     done;
     (* Stage 2: Decay relaxation across ordinary G-edges. *)
@@ -315,10 +488,26 @@ let run_vd ~params ~detection ~rng ~graph ~levels ~parents ~ranks
           vd.(node) <- dv + 1
       | Engine.Received _ | Engine.Silence | Engine.Collision -> ()
     in
-    run_phase ~decide ~deliver
+    (* Awake set for the whole relaxation: frontier nodes (vd = dv) and
+       the still-unlabeled (vd < 0).  A node labeled dv+1 mid-phase stays
+       in the buffer but its decide is a side-effect-free Sleep.  No skip
+       hint: frontier nodes draw a coin every round. *)
+    let n_cand = ref 0 in
+    for v = 0 to n - 1 do
+      if in_forest v && (vd.(v) = dv || vd.(v) < 0) then begin
+        cand.(!n_cand) <- v;
+        incr n_cand
+      end
+    done;
+    let stage2_cand = !n_cand in
+    let decide_active ~round:_ (buf : int array) =
+      Array.blit cand 0 buf 0 stage2_cand;
+      stage2_cand
+    in
+    run_phase ~decide_active ~decide ~deliver
       ~stop:(fun ~round ->
         params.Params.adaptive && round mod ladder = 0 && goal ())
-      ~max_rounds:budget;
+      ~max_rounds:budget ();
     incr d
   done;
   if unlabeled_remain () then
@@ -329,7 +518,8 @@ let run_vd ~params ~detection ~rng ~graph ~levels ~parents ~ranks
 
 let construct ?(mode = Pipelined) ?(layering = Decay_layering)
     ?(learn_vd = false) ?(params = Params.default)
-    ?(detection = Engine.No_collision_detection) ~rng ~graph ~roots () =
+    ?(detection = Engine.No_collision_detection) ?(engine = Engine.Sparse)
+    ~rng ~graph ~roots () =
   let n = Graph.n graph in
   let levels, layering_rounds =
     match layering with
@@ -338,22 +528,27 @@ let construct ?(mode = Pipelined) ?(layering = Decay_layering)
           invalid_arg "Gst_distributed.construct: levels length";
         (levels, 0)
     | Decay_layering ->
-        let r = Layering.decay_bfs ~params ~rng:(Rng.split rng) ~graph ~sources:roots () in
+        let r =
+          Layering.decay_bfs ~params ~engine ~rng:(Rng.split rng) ~graph
+            ~sources:roots ()
+        in
         (r.Layering.levels, r.Layering.rounds)
     | Collision_wave_layering ->
+        (* The wave is D deterministic all-transmit rounds; it stays on the
+           dense reference engine (no sparsity to exploit). *)
         let r = Layering.collision_wave ~graph ~sources:roots () in
         (r.Layering.levels, r.Layering.rounds)
   in
   let parents, ranks, parent_rank, assignment_rounds, class_fixups,
       fallback_reactivations =
-    run_assignment ~mode ~params ~detection ~rng ~graph ~levels ()
+    run_assignment ~mode ~params ~detection ~engine ~rng ~graph ~levels ()
   in
   let head_override, selftest_rounds =
-    run_selftest ~detection ~graph ~levels ~parents ~ranks ()
+    run_selftest ~detection ~engine ~graph ~levels ~parents ~ranks ()
   in
   let vd, vd_rounds =
     if learn_vd then
-      run_vd ~params ~detection ~rng ~graph ~levels ~parents ~ranks
+      run_vd ~params ~detection ~engine ~rng ~graph ~levels ~parents ~ranks
         ~parent_rank ~head_override ()
     else (Array.make n (-1), 0)
   in

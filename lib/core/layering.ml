@@ -4,7 +4,8 @@ open Rn_radio
 
 type result = { levels : int array; rounds : int; stats : Engine.stats }
 
-let decay_bfs ?(params = Params.default) ?max_rounds ~rng ~graph ~sources () =
+let decay_bfs ?(params = Params.default) ?max_rounds
+    ?(engine = Engine.Sparse) ~rng ~graph ~sources () =
   let n = Graph.n graph in
   let ladder = Params.phase_len ~n in
   let epoch_len = Params.whp_phases params ~n * ladder in
@@ -41,12 +42,19 @@ let decay_bfs ?(params = Params.default) ?max_rounds ~rng ~graph ~sources () =
     | Engine.Received _ | Engine.Silence | Engine.Collision -> ()
   in
   let stats = Engine.fresh_stats () in
+  let protocol = { Engine.decide; deliver } in
+  let stop ~round = !labeled = n && round mod epoch_len = 0 in
+  (* finish on epoch boundary; no skip hint — labeled nodes draw a coin
+     every round, so no round is statically silent. *)
   let outcome =
-    Engine.run ~stats ~graph ~detection:Engine.No_collision_detection
-      ~protocol:{ Engine.decide; deliver }
-      ~stop:(fun ~round ->
-        !labeled = n && round mod epoch_len = 0 (* finish on epoch boundary *))
-      ~max_rounds ()
+    match engine with
+    | Engine.Dense ->
+        Engine.run ~stats ~graph ~detection:Engine.No_collision_detection
+          ~protocol ~stop ~max_rounds ()
+    | Engine.Sparse ->
+        Engine_sparse.run ~stats ~graph
+          ~detection:Engine.No_collision_detection ~protocol ~stop ~max_rounds
+          ()
   in
   { levels; rounds = Engine.rounds_of_outcome outcome; stats }
 

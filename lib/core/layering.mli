@@ -25,6 +25,7 @@ type result = {
 val decay_bfs :
   ?params:Params.t ->
   ?max_rounds:int ->
+  ?engine:Engine.mode ->
   rng:Rng.t ->
   graph:Rn_graph.Graph.t ->
   sources:int array ->

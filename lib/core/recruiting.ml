@@ -223,14 +223,40 @@ type outcome = {
   classes_consistent : bool;
 }
 
-let run_standalone ?(detection = Engine.No_collision_detection) ?metrics ~rng
-    ~params ~graph ~reds ~blues () =
+let run_standalone ?(detection = Engine.No_collision_detection)
+    ?(engine = Engine.Sparse) ?metrics ~rng ~params ~graph ~reds ~blues () =
   let t = create ~rng ~params ~scale_n:(Graph.n graph) ~graph ~reds ~blues () in
   let protocol =
     {
       Engine.decide = (fun ~round:_ ~node -> decide t ~node);
       deliver = (fun ~round:_ ~node r -> deliver t ~node r);
     }
+  in
+  (* Nodes outside the bipartite population sleep in every round (decide
+     falls through both tables), so the awake set is static.  No skip
+     hint: every slot keeps some population awake (announce coins, claim
+     listeners, verdict transmitters). *)
+  let active_ids =
+    let n = Graph.n graph in
+    let mark = Array.make n false in
+    Array.iter (fun v -> mark.(v) <- true) reds;
+    Array.iter (fun v -> mark.(v) <- true) blues;
+    let count = ref 0 in
+    Array.iter (fun b -> if b then incr count) mark;
+    let ids = Array.make (max !count 1) 0 in
+    let i = ref 0 in
+    for v = 0 to n - 1 do
+      if mark.(v) then begin
+        ids.(!i) <- v;
+        incr i
+      end
+    done;
+    (ids, !count)
+  in
+  let decide_active ~round:_ dst =
+    let ids, count = active_ids in
+    Array.blit ids 0 dst 0 count;
+    count
   in
   (* Phase = recruiting iteration (one announce/claim/verdict cycle).
      [advance] moves [t.round], so the annotation reads the machine's own
@@ -244,10 +270,16 @@ let run_standalone ?(detection = Engine.No_collision_detection) ?metrics ~rng
           advance t;
           Rn_obs.Phase.enter m (iteration t)
   in
+  let stop ~round:_ = finished t in
+  let max_rounds = t.total_rounds + 1 in
   let outcome =
-    Engine.run ?metrics ~graph ~detection ~protocol ~after_round
-      ~stop:(fun ~round:_ -> finished t)
-      ~max_rounds:(t.total_rounds + 1) ()
+    match engine with
+    | Engine.Dense ->
+        Engine.run ?metrics ~graph ~detection ~protocol ~after_round ~stop
+          ~max_rounds ()
+    | Engine.Sparse ->
+        Engine_sparse.run ?metrics ~decide_active ~graph ~detection ~protocol
+          ~after_round ~stop ~max_rounds ()
   in
   let rounds = Engine.rounds_of_outcome outcome in
   let recruited =

@@ -95,6 +95,7 @@ type outcome = {
 
 val run_standalone :
   ?detection:Engine.detection ->
+  ?engine:Engine.mode ->
   ?metrics:Rn_obs.Metrics.t ->
   rng:Rng.t ->
   params:Params.t ->

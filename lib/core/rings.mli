@@ -14,6 +14,7 @@
 
 open Rn_util
 open Rn_coding
+open Rn_radio
 
 type t = {
   levels : int array;  (** the global BFS layering *)
@@ -44,6 +45,7 @@ type handoff_result = { rounds : int; delivered : bool }
 
 val handoff_single :
   ?params:Params.t ->
+  ?engine:Engine.mode ->
   rng:Rng.t ->
   graph:Rn_graph.Graph.t ->
   holders:int array ->
@@ -55,6 +57,7 @@ val handoff_single :
 
 val handoff_fec :
   ?params:Params.t ->
+  ?engine:Engine.mode ->
   rng:Rng.t ->
   graph:Rn_graph.Graph.t ->
   holders:int array ->

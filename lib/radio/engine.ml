@@ -41,6 +41,16 @@ let simulated_rounds = Atomic.make 0
 let total_simulated_rounds () = Atomic.get simulated_rounds
 let add_simulated_rounds k = Atomic.fetch_and_add simulated_rounds k |> ignore
 
+(* Rounds fast-forwarded by {!Engine_sparse}'s silent-round skip, kept apart
+   from [simulated_rounds] so rounds/sec never counts rounds the engine did
+   not actually execute.  [stats.rounds] still counts skipped rounds — the
+   protocol-visible clock is identical either way. *)
+let skipped_rounds = Atomic.make 0
+let total_skipped_rounds () = Atomic.get skipped_rounds
+let add_skipped_rounds k = Atomic.fetch_and_add skipped_rounds k |> ignore
+
+type mode = Dense | Sparse
+
 (* The round loop is allocation-free outside the tracing path: node sets are
    int-array stacks reused every round, stats are mutated directly, and a
    transmitter's packet is shared by reference — the [Transmit] block the

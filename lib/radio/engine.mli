@@ -77,6 +77,23 @@ val add_simulated_rounds : int -> unit
     ends ({!Engine_sharded}) that simulate rounds without going through
     [run]; protocols and benches never call this. *)
 
+val total_skipped_rounds : unit -> int
+(** Rounds fast-forwarded process-wide by {!Engine_sparse}'s silent-round
+    skip.  Disjoint from {!total_simulated_rounds}: a round is counted in
+    exactly one of the two tallies, so honest throughput is
+    [simulated / wall] and a bench can report the skipped volume
+    separately.  Protocol-visible state ([stats.rounds], metrics rows,
+    [after_round] calls) does not distinguish the two. *)
+
+val add_skipped_rounds : int -> unit
+(** Credit fast-forwarded rounds.  For engine front ends only. *)
+
+type mode = Dense | Sparse
+(** Which round path a protocol wrapper should drive: [Dense] is {!run}
+    (the reference full-scan engine), [Sparse] is {!Engine_sparse.run}.
+    Wrappers default to [Sparse]; benches pass [Dense] to time or verify
+    against the reference. *)
+
 val run :
   ?stats:stats ->
   ?metrics:Rn_obs.Metrics.t ->

@@ -143,10 +143,12 @@ let run ?stats ?metrics ?on_round ?after_round ?decide_active ~domains ~graph
      decides the whole spray step — measurably cheaper than a bitset pair,
      whose div/mod-by-63 word addressing dominated the per-edge cost on
      dense-transmitter rounds.  [tx_act] holds the first sprayer's packet
-     (only read when the counter is exactly 1).  The per-round reset is one
-     [Bytes.fill] over the owned range.  Active-set mode leaves these
-     untouched — its decide slices cross node ranges, so it gathers by
-     pulling instead. *)
+     (only read when the counter is exactly 1).  The per-round reset undoes
+     only the dirty bytes — the previous round's listeners — via the lane's
+     [ls_stack], falling back to one [Bytes.fill] over the owned range when
+     the listener count approaches the range size.  Active-set mode leaves
+     these untouched — its decide slices cross node ranges, so it gathers
+     by pulling instead. *)
   let st = Bytes.make (max n 1) '\255' in
   let tx_act = Array.make (max n 1) Engine.Sleep in
   let active =
@@ -207,9 +209,21 @@ let run ?stats ?metrics ?on_round ?after_round ?decide_active ~domains ~graph
       done;
       (* [tx_act] keeps stale entries: it is only read under a counter this
          round raised to 1, and the write raising it rewrites [tx_act]
-         first. *)
-      if lane.lo < lane.hi then
-        Bytes.fill st lane.lo (lane.hi - lane.lo) '\255'
+         first.  The dirty [st] bytes are exactly the previous round's
+         listeners: [decide_one] marks only them '\000', and [spray_slice]
+         only bumps bytes already below 2 — a deaf byte stays 255.  So the
+         undo walks [ls_stack] when it is sparse, and falls back to one
+         fill of the owned range once the listener count approaches it
+         (sequential memset beats scattered byte stores well before the
+         counts are equal). *)
+      if 4 * lane.n_ls >= lane.hi - lane.lo then begin
+        if lane.lo < lane.hi then
+          Bytes.fill st lane.lo (lane.hi - lane.lo) '\255'
+      end
+      else
+        for i = 0 to lane.n_ls - 1 do
+          Bytes.unsafe_set st lane.ls_stack.(i) '\255'
+        done
     end;
     lane.n_tx <- 0;
     lane.n_ls <- 0;

@@ -1,0 +1,73 @@
+(** Event-driven sparse round path.
+
+    Same model, protocol interface, and observable behavior as
+    {!Engine.run}, with two structural changes that make long, mostly-quiet
+    schedules (the Theorem 1.1 pipeline) cheap:
+
+    - {b Frontier delivery.}  Listeners are round-stamped instead of
+      stacked; only listeners inside a transmitter's neighborhood (the
+      {e touched} set) receive a [deliver] call.  An untouched listener
+      would have heard [Silence]; the engine relies on the {b silence
+      no-op contract}: delivering [Silence] must not change protocol
+      state.  Every protocol in this repository satisfies it (silence
+      arms are [()] or absent).  A protocol that reacts to silence — e.g.
+      counting quiet rounds inside [deliver] — must use {!Engine.run}, or
+      move the reaction to [after_round].  Note: under
+      [No_collision_detection] a collided listener hears [Silence] too;
+      {e those} deliveries still happen (the node is touched), so the
+      contract only concerns zero-transmitter silence.
+
+    - {b Silent-round skip.}  An optional [next_busy_round] hint lets the
+      protocol promise that no node transmits before a given round; the
+      engine fast-forwards the stretch without calling [decide].  Each
+      skipped round still checks [stop], increments [stats.rounds],
+      records a zero metrics row, and fires [after_round] — the
+      protocol-visible clock and the full metrics export are byte-identical
+      to the dense engine executing those silent rounds.  Skipped rounds
+      are credited to {!Engine.total_skipped_rounds}, not
+      {!Engine.total_simulated_rounds}.
+
+    Deliveries within a round arrive in a different order than
+    {!Engine.run} (descending touch order vs descending decide order).
+    Each listener still receives at most one reception per round, so
+    protocols with per-node state — all of them here — observe identical
+    behavior; the equivalence suite ([test/test_engine_sparse.ml]) pins
+    outcome, stats, per-node receive logs, traces, and metrics exports to
+    the dense reference. *)
+
+val run :
+  ?stats:Engine.stats ->
+  ?metrics:Rn_obs.Metrics.t ->
+  ?on_round:(round:int -> 'msg Engine.trace_event list -> unit) ->
+  ?after_round:(round:int -> unit) ->
+  ?decide_active:(round:int -> int array -> int) ->
+  ?next_busy_round:(round:int -> int) ->
+  graph:Rn_graph.Graph.t ->
+  detection:Engine.detection ->
+  protocol:'msg Engine.protocol ->
+  stop:(round:int -> bool) ->
+  max_rounds:int ->
+  unit ->
+  Engine.outcome
+(** Drop-in for {!Engine.run} plus [next_busy_round].
+
+    [next_busy_round ~round] returns the earliest round [>= round] in
+    which some node {e may} transmit; every round strictly before it is
+    fast-forwarded.  Returning [round] means "cannot promise silence now"
+    and costs nothing.  The hint is re-queried every round (protocol state
+    may change in [after_round]), so implementations should be O(1) —
+    precompute residue tables rather than scanning.  The hint must be
+    {e sound}: claiming silence for a round in which a node would have
+    transmitted silently changes the simulation (the engine cannot detect
+    a lie it was told precisely to avoid checking; see DESIGN.md §12 for
+    the contract).  A hint that goes backwards ([r < round]) raises.
+    Protocols whose transmissions are randomized every round (Decay,
+    jammers) must not offer a hint — wrappers disable it when fault
+    injection is active.
+
+    When [on_round] is set the call delegates to {!Engine.run} (traces
+    must include untouched listeners' [Silence] events); the hint is
+    ignored there.
+
+    @raise Invalid_argument if [next_busy_round] returns [r < round], or
+    on a bad [decide_active] id/count. *)

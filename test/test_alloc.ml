@@ -165,6 +165,88 @@ let test_active_set_round_loop () =
     true
     (words <= budget)
 
+(* Sparse engine: same marker trick, driving [Engine_sparse.run]. *)
+let sparse_round_words ?decide_active ?next_busy_round ?metrics ~graph
+    ~protocol ~warmup ~rounds () =
+  let marks = [| 0.0; 0.0 |] in
+  let after_round ~round =
+    if round = warmup then marks.(0) <- Gc.minor_words ()
+    else if round = warmup + rounds then marks.(1) <- Gc.minor_words ()
+  in
+  let (_ : Engine.outcome) =
+    Engine_sparse.run ?decide_active ?next_busy_round ?metrics ~after_round
+      ~graph ~detection:Engine.Collision_detection ~protocol
+      ~stop:(fun ~round:_ -> false)
+      ~max_rounds:(warmup + rounds + 2) ()
+  in
+  marks.(1) -. marks.(0)
+
+(* Sparse quiet rounds — everyone listens, nobody transmits, Silence
+   deliveries elided — must be exactly zero words per round even with the
+   metrics registry recording every round. *)
+let test_sparse_quiet_round_loop () =
+  let graph = star 512 in
+  let protocol =
+    {
+      Engine.decide = (fun ~round:_ ~node:_ -> Engine.Listen);
+      deliver = (fun ~round:_ ~node:_ _ -> ());
+    }
+  in
+  let metrics = Rn_obs.Metrics.create ~ring:1024 () in
+  let words =
+    sparse_round_words ~metrics ~graph ~protocol ~warmup:16 ~rounds:256 ()
+  in
+  Alcotest.(check (float 0.0))
+    "sparse quiet rounds allocate zero minor words" 0.0 words;
+  Alcotest.(check bool) "registry recorded the rounds" true
+    (Rn_obs.Metrics.rounds metrics >= 256)
+
+(* The skip fast path — every round fast-forwarded by the hint, metrics
+   still recording a zero row per skipped round — must also run at zero
+   words per round. *)
+let test_sparse_skip_fast_path () =
+  let graph = star 512 in
+  let protocol =
+    {
+      Engine.decide = (fun ~round:_ ~node:_ -> Engine.Listen);
+      deliver = (fun ~round:_ ~node:_ _ -> ());
+    }
+  in
+  let metrics = Rn_obs.Metrics.create ~ring:1024 () in
+  let next_busy_round ~round = round + 1_000_000 in
+  let words =
+    sparse_round_words ~metrics ~next_busy_round ~graph ~protocol ~warmup:16
+      ~rounds:256 ()
+  in
+  Alcotest.(check (float 0.0))
+    "skipped rounds allocate zero minor words" 0.0 words;
+  Alcotest.(check bool) "registry recorded the skipped rounds" true
+    (Rn_obs.Metrics.rounds metrics >= 256)
+
+(* Sparse busy rounds obey the same delivery-only budget as the dense
+   engine: one [Received] wrapper per clean delivery, a constant per
+   round, nothing proportional to n. *)
+let test_sparse_busy_budget () =
+  let leaves = 63 in
+  let graph = star (leaves + 1) in
+  let tx = Engine.Transmit 7 in
+  let protocol =
+    {
+      Engine.decide =
+        (fun ~round:_ ~node -> if node = 0 then tx else Engine.Listen);
+      deliver = (fun ~round:_ ~node:_ _ -> ());
+    }
+  in
+  let rounds = 128 in
+  let words = sparse_round_words ~graph ~protocol ~warmup:16 ~rounds () in
+  let budget = float_of_int (rounds * ((4 * leaves) + 8)) in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "sparse busy rounds stay within the delivery budget (%.0f <= %.0f)"
+       words budget)
+    true
+    (words <= budget)
+
 (* Sharded engine, per-shard-lane budget: each lane writes Gc.minor_words
    (its executing domain's counter — lane j is pinned to executor j when
    the pool is idle) into its own row of a preallocated matrix at its first
@@ -278,6 +360,15 @@ let () =
             test_round_loop_independent_of_n;
           Alcotest.test_case "decide_active loop" `Quick
             test_active_set_round_loop;
+        ] );
+      ( "sparse",
+        [
+          Alcotest.test_case "quiet loop with metrics" `Quick
+            test_sparse_quiet_round_loop;
+          Alcotest.test_case "skip fast path with metrics" `Quick
+            test_sparse_skip_fast_path;
+          Alcotest.test_case "busy loop: deliveries only" `Quick
+            test_sparse_busy_budget;
         ] );
       ( "sharded",
         [

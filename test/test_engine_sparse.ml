@@ -1,0 +1,526 @@
+(* Equivalence of the sparse event-driven engine with the serial reference:
+   same outcome, same stats, same per-node receive log (modulo the silence
+   no-op contract: the sparse path elides zero-transmitter Silence
+   deliveries, so logs are compared with Silence entries filtered from both
+   sides — collision counts in stats pin the collided-Silence deliveries
+   that both engines perform), same after_round sequence, and a
+   byte-identical metrics export (per-round ring rows included).  The
+   tracing path must be *strictly* identical — it delegates to Engine.run —
+   so traced runs compare raw logs and event lists too.  The silent-round
+   skip is exercised with a hint derived from the script itself, and its
+   contract edges (lying hint, backwards hint, stop mid-stretch, decide
+   never called while skipping) are pinned as unit tests. *)
+
+open Rn_util
+open Rn_graph
+module Topo = Rn_graph.Gen
+open Rn_radio
+
+let make_script ~rng ~n ~rounds =
+  Array.init rounds (fun r ->
+      Array.init n (fun v ->
+          match Rng.int rng 4 with
+          | 0 -> Engine.Sleep
+          | 1 | 2 -> Engine.Listen
+          | _ -> Engine.Transmit ((r * 10_000) + v)))
+
+(* Sparse scripts leave most rounds with zero transmitters, so the skip
+   hint has real stretches to fast-forward. *)
+let make_sparse_script ~rng ~n ~rounds =
+  Array.init rounds (fun r ->
+      if Rng.int rng 4 <> 0 then
+        (* silent round: listeners and sleepers only *)
+        Array.init n (fun _ ->
+            if Rng.int rng 2 = 0 then Engine.Sleep else Engine.Listen)
+      else
+        Array.init n (fun v ->
+            match Rng.int rng 4 with
+            | 0 -> Engine.Sleep
+            | 1 | 2 -> Engine.Listen
+            | _ -> Engine.Transmit ((r * 10_000) + v)))
+
+type 'msg observation = {
+  obs_outcome : Engine.outcome;
+  obs_logs : (int * 'msg Engine.reception) list array;  (* per node *)
+  obs_events : (int * 'msg Engine.trace_event list) list;
+  obs_after : int list;
+  obs_stats : Engine.stats;
+  obs_export : string;  (* full metrics export, ring rows included *)
+}
+
+let export_fingerprint m =
+  String.concat "\n"
+    (Rn_obs.Export.round_jsonl m
+    @ Rn_obs.Export.phases_jsonl m
+    @ [ Rn_obs.Export.summary_json m ])
+
+let observe ?decide_active ?next_busy_round ~engine ~tracing ~graph ~detection
+    ~script ~max_rounds () =
+  let n = Graph.n graph in
+  let logs = Array.make (max n 1) [] in
+  let events = ref [] and after = ref [] in
+  let stats = Engine.fresh_stats () in
+  let metrics = Rn_obs.Metrics.create ~ring:(max_rounds + 1) () in
+  let decide ~round ~node =
+    if round < Array.length script then script.(round).(node) else Engine.Listen
+  in
+  let deliver ~round ~node reception =
+    logs.(node) <- (round, reception) :: logs.(node)
+  in
+  let protocol = { Engine.decide; deliver } in
+  let on_round =
+    if tracing then Some (fun ~round evs -> events := (round, evs) :: !events)
+    else None
+  in
+  let after_round ~round = after := round :: !after in
+  let stop ~round:_ = false in
+  let outcome =
+    match engine with
+    | `Dense ->
+        Engine.run ~stats ~metrics ?on_round ~after_round ?decide_active
+          ~graph ~detection ~protocol ~stop ~max_rounds ()
+    | `Sparse ->
+        Engine_sparse.run ~stats ~metrics ?on_round ~after_round ?decide_active
+          ?next_busy_round ~graph ~detection ~protocol ~stop ~max_rounds ()
+  in
+  {
+    obs_outcome = outcome;
+    obs_logs = logs;
+    obs_events = !events;
+    obs_after = !after;
+    obs_stats = stats;
+    obs_export = export_fingerprint metrics;
+  }
+
+let drop_silence logs =
+  Array.map
+    (List.filter (fun (_, r) -> r <> Engine.Silence))
+    logs
+
+(* Non-tracing comparison: everything except raw logs, which are compared
+   modulo elided zero-transmitter Silence deliveries. *)
+let same_observation_sparse a b =
+  a.obs_outcome = b.obs_outcome
+  && drop_silence a.obs_logs = drop_silence b.obs_logs
+  && a.obs_after = b.obs_after && a.obs_stats = b.obs_stats
+  && String.equal a.obs_export b.obs_export
+
+(* Tracing comparison: strict, raw logs and event stream included. *)
+let same_observation_strict a b =
+  a.obs_outcome = b.obs_outcome && a.obs_logs = b.obs_logs
+  && a.obs_events = b.obs_events && a.obs_after = b.obs_after
+  && a.obs_stats = b.obs_stats && String.equal a.obs_export b.obs_export
+
+(* A sound skip hint computed from the script: next round >= r with at
+   least one Transmit action (max_rounds when the tail is all-silent). *)
+let script_hint script max_rounds =
+  let rounds = Array.length script in
+  let busy r =
+    r < rounds
+    && Array.exists
+         (function Engine.Transmit _ -> true | _ -> false)
+         script.(r)
+  in
+  let next = Array.make (max_rounds + 1) max_rounds in
+  for r = max_rounds - 1 downto 0 do
+    next.(r) <- (if busy r then r else next.(r + 1))
+  done;
+  fun ~round -> if round >= max_rounds then round else next.(round)
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (n, extra, rounds, seed, cd) ->
+      Printf.sprintf "(n=%d,extra=%d,rounds=%d,seed=%d,cd=%b)" n extra rounds
+        seed cd)
+    QCheck.Gen.(
+      tup5 (int_range 2 40) (int_range 0 30) (int_range 1 12)
+        (int_range 0 100_000) bool)
+
+let detection_of cd =
+  if cd then Engine.Collision_detection else Engine.No_collision_detection
+
+let setup ?(sparse = false) (n, extra, rounds, seed, cd) =
+  let rng = Rng.create ~seed in
+  let g = Topo.random_connected ~rng ~n ~extra in
+  let script =
+    if sparse then make_sparse_script ~rng ~n ~rounds
+    else make_script ~rng ~n ~rounds
+  in
+  (g, script, detection_of cd, rounds)
+
+let awake_set script n ~round (buf : int array) =
+  let k = ref 0 in
+  if round < Array.length script then
+    for v = 0 to n - 1 do
+      match script.(round).(v) with
+      | Engine.Sleep -> ()
+      | Engine.Listen | Engine.Transmit _ ->
+          buf.(!k) <- v;
+          incr k
+    done
+  else
+    for v = 0 to n - 1 do
+      buf.(v) <- v;
+      incr k
+    done;
+  !k
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"sparse ≡ dense (full scan)" ~count:300 arb_case
+      (fun case ->
+        let g, script, detection, rounds = setup case in
+        let a =
+          observe ~engine:`Dense ~tracing:false ~graph:g ~detection ~script
+            ~max_rounds:rounds ()
+        in
+        let b =
+          observe ~engine:`Sparse ~tracing:false ~graph:g ~detection ~script
+            ~max_rounds:rounds ()
+        in
+        same_observation_sparse a b);
+    Test.make ~name:"sparse ≡ dense (decide_active)" ~count:200 arb_case
+      (fun case ->
+        let g, script, detection, rounds = setup case in
+        let da = awake_set script (Graph.n g) in
+        let a =
+          observe ~decide_active:da ~engine:`Dense ~tracing:false ~graph:g
+            ~detection ~script ~max_rounds:rounds ()
+        in
+        let b =
+          observe ~decide_active:da ~engine:`Sparse ~tracing:false ~graph:g
+            ~detection ~script ~max_rounds:rounds ()
+        in
+        same_observation_sparse a b);
+    Test.make ~name:"sparse+skip ≡ dense (sparse schedules, ±decide_active)"
+      ~count:300
+      (pair arb_case bool)
+      (fun (case, use_da) ->
+        let g, script, detection, rounds = setup ~sparse:true case in
+        let hint = script_hint script rounds in
+        let da =
+          if use_da then Some (awake_set script (Graph.n g)) else None
+        in
+        let a =
+          observe ?decide_active:da ~engine:`Dense ~tracing:false ~graph:g
+            ~detection ~script ~max_rounds:rounds ()
+        in
+        let b =
+          observe ?decide_active:da ~next_busy_round:hint ~engine:`Sparse
+            ~tracing:false ~graph:g ~detection ~script ~max_rounds:rounds ()
+        in
+        same_observation_sparse a b);
+    Test.make ~name:"sparse tracing ≡ dense tracing (strict)" ~count:150
+      arb_case
+      (fun case ->
+        let g, script, detection, rounds = setup case in
+        let a =
+          observe ~engine:`Dense ~tracing:true ~graph:g ~detection ~script
+            ~max_rounds:rounds ()
+        in
+        let b =
+          observe ~engine:`Sparse ~tracing:true ~graph:g ~detection ~script
+            ~max_rounds:rounds ()
+        in
+        same_observation_strict a b);
+    (* A "useless" hint (never promises silence) must change nothing. *)
+    Test.make ~name:"sparse with hint=round ≡ sparse without" ~count:100
+      arb_case
+      (fun case ->
+        let g, script, detection, rounds = setup case in
+        let a =
+          observe ~engine:`Sparse ~tracing:false ~graph:g ~detection ~script
+            ~max_rounds:rounds ()
+        in
+        let b =
+          observe ~next_busy_round:(fun ~round -> round) ~engine:`Sparse
+            ~tracing:false ~graph:g ~detection ~script ~max_rounds:rounds ()
+        in
+        same_observation_sparse a b);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Skip-contract unit tests *)
+
+let listen_protocol () =
+  {
+    Engine.decide = (fun ~round:_ ~node:_ -> Engine.Listen);
+    deliver = (fun ~round:_ ~node:_ _ -> ());
+  }
+
+(* decide must never run during a skipped stretch. *)
+let test_skip_elides_decide () =
+  let n = 5 in
+  let g = Topo.path n in
+  let calls = Array.make 16 0 in
+  let p =
+    {
+      Engine.decide =
+        (fun ~round ~node ->
+          calls.(round) <- calls.(round) + 1;
+          if round = 0 || round = 9 then
+            if node = 2 then Engine.Transmit round else Engine.Listen
+          else Engine.Listen);
+      deliver = (fun ~round:_ ~node:_ _ -> ());
+    }
+  in
+  let hint ~round = if round = 0 then 0 else if round <= 9 then 9 else round in
+  let after = ref [] in
+  let outcome =
+    Engine_sparse.run ~next_busy_round:hint
+      ~after_round:(fun ~round -> after := round :: !after)
+      ~graph:g ~detection:Engine.Collision_detection ~protocol:p
+      ~stop:(fun ~round:_ -> false)
+      ~max_rounds:12 ()
+  in
+  Alcotest.(check bool) "out of budget" true (outcome = Engine.Out_of_budget 12);
+  for r = 0 to 11 do
+    let expected = if r >= 1 && r <= 8 then 0 else n in
+    Alcotest.(check int) (Printf.sprintf "decide calls round %d" r) expected
+      calls.(r)
+  done;
+  (* after_round fires on every round, skipped or not. *)
+  Alcotest.(check (list int)) "after_round every round"
+    (List.init 12 (fun i -> 11 - i))
+    !after
+
+(* stop is checked before each round, including inside a skipped stretch. *)
+let test_stop_mid_stretch () =
+  let g = Topo.path 4 in
+  let outcome =
+    Engine_sparse.run
+      ~next_busy_round:(fun ~round:_ -> 1_000_000)
+      ~graph:g ~detection:Engine.Collision_detection
+      ~protocol:(listen_protocol ())
+      ~stop:(fun ~round -> round = 5)
+      ~max_rounds:100 ()
+  in
+  Alcotest.(check bool) "completed at 5" true (outcome = Engine.Completed 5)
+
+(* A hint that goes backwards is a contract violation the engine detects. *)
+let test_backwards_hint_raises () =
+  let g = Topo.path 3 in
+  Alcotest.check_raises "backwards hint rejected"
+    (Invalid_argument "Engine_sparse.run: next_busy_round went backwards")
+    (fun () ->
+      ignore
+        (Engine_sparse.run
+           ~next_busy_round:(fun ~round -> round - 1)
+           ~graph:g ~detection:Engine.Collision_detection
+           ~protocol:(listen_protocol ())
+           ~stop:(fun ~round:_ -> false)
+           ~max_rounds:4 ()))
+
+(* A hint that lies — claims silence over rounds where the protocol would
+   transmit — is *obeyed*, not detected: the engine skips exactly so it
+   can avoid asking every node, so it cannot check the claim.  This pins
+   the documented contract (DESIGN §12): soundness is the protocol's
+   obligation. *)
+let test_lying_hint_is_obeyed () =
+  let n = 4 in
+  let g = Topo.path n in
+  let stats = Engine.fresh_stats () in
+  let p =
+    {
+      (* would transmit every round from every node *)
+      Engine.decide = (fun ~round ~node:_ -> Engine.Transmit round);
+      deliver = (fun ~round:_ ~node:_ _ -> ());
+    }
+  in
+  let outcome =
+    Engine_sparse.run ~stats
+      ~next_busy_round:(fun ~round:_ -> max_int)
+      ~graph:g ~detection:Engine.Collision_detection ~protocol:p
+      ~stop:(fun ~round:_ -> false)
+      ~max_rounds:50 ()
+  in
+  Alcotest.(check bool) "ran to budget" true (outcome = Engine.Out_of_budget 50);
+  Alcotest.(check int) "clock still ticked" 50 stats.Engine.rounds;
+  Alcotest.(check int) "no transmissions simulated" 0 stats.Engine.transmissions
+
+(* Skipped rounds land in the skipped tally, simulated rounds in the
+   simulated tally, and they partition stats.rounds. *)
+let test_honest_accounting () =
+  let n = 6 in
+  let g = Topo.path n in
+  let p =
+    {
+      Engine.decide =
+        (fun ~round ~node ->
+          if round mod 10 = 0 && node = 0 then Engine.Transmit round
+          else Engine.Listen);
+      deliver = (fun ~round:_ ~node:_ _ -> ());
+    }
+  in
+  let hint ~round =
+    if round mod 10 = 0 then round else round + (10 - (round mod 10))
+  in
+  let stats = Engine.fresh_stats () in
+  let sim0 = Engine.total_simulated_rounds () in
+  let skip0 = Engine.total_skipped_rounds () in
+  let outcome =
+    Engine_sparse.run ~stats ~next_busy_round:hint ~graph:g
+      ~detection:Engine.Collision_detection ~protocol:p
+      ~stop:(fun ~round:_ -> false)
+      ~max_rounds:100 ()
+  in
+  let sim = Engine.total_simulated_rounds () - sim0 in
+  let skip = Engine.total_skipped_rounds () - skip0 in
+  Alcotest.(check bool) "budget" true (outcome = Engine.Out_of_budget 100);
+  Alcotest.(check int) "clock counts both" 100 stats.Engine.rounds;
+  Alcotest.(check int) "simulated = busy rounds only" 10 sim;
+  Alcotest.(check int) "skipped = the other 90" 90 skip
+
+let test_single_node () =
+  let g = Topo.path 1 in
+  let script =
+    [| [| Engine.Transmit 3 |]; [| Engine.Listen |]; [| Engine.Sleep |] |]
+  in
+  let a =
+    observe ~engine:`Dense ~tracing:false ~graph:g
+      ~detection:Engine.Collision_detection ~script ~max_rounds:3 ()
+  in
+  let b =
+    observe ~engine:`Sparse ~tracing:false ~graph:g
+      ~detection:Engine.Collision_detection ~script ~max_rounds:3 ()
+  in
+  Alcotest.(check bool) "n=1 matches" true (same_observation_sparse a b)
+
+(* Wrapper-level equivalence: the protocol wrappers default to the sparse
+   engine, so each must give byte-identical results under [Engine.Dense]
+   and [Engine.Sparse] from the same seed — the per-node RNG streams must
+   advance exactly as under the full scan even though the sparse path
+   elides sleeping nodes' decides and fast-forwards silent stretches. *)
+
+let test_wrapper_decay () =
+  let rng = Rng.create ~seed:421 in
+  let g = Topo.random_connected ~rng ~n:60 ~extra:40 in
+  let run engine =
+    Rn_broadcast.Decay.broadcast ~engine ~rng:(Rng.create ~seed:7) ~graph:g
+      ~source:0 ()
+  in
+  let a = run Engine.Dense and b = run Engine.Sparse in
+  Alcotest.(check bool) "outcome" true (a.Rn_broadcast.Decay.outcome = b.Rn_broadcast.Decay.outcome);
+  Alcotest.(check (array int)) "received rounds"
+    a.Rn_broadcast.Decay.received_round b.Rn_broadcast.Decay.received_round;
+  Alcotest.(check bool) "stats" true
+    (a.Rn_broadcast.Decay.stats = b.Rn_broadcast.Decay.stats)
+
+let test_wrapper_cr () =
+  let rng = Rng.create ~seed:422 in
+  let g = Topo.random_connected ~rng ~n:60 ~extra:30 in
+  let run engine =
+    Rn_broadcast.Baselines.cr_broadcast ~engine ~rng:(Rng.create ~seed:9)
+      ~graph:g ~source:0 ~diameter:8 ()
+  in
+  let a = run Engine.Dense and b = run Engine.Sparse in
+  Alcotest.(check bool) "outcome" true (a.Rn_broadcast.Decay.outcome = b.Rn_broadcast.Decay.outcome);
+  Alcotest.(check (array int)) "received rounds"
+    a.Rn_broadcast.Decay.received_round b.Rn_broadcast.Decay.received_round;
+  Alcotest.(check bool) "stats" true
+    (a.Rn_broadcast.Decay.stats = b.Rn_broadcast.Decay.stats)
+
+let test_wrapper_recruiting () =
+  let rng = Rng.create ~seed:423 in
+  let n = 40 in
+  let g = Topo.random_connected ~rng ~n ~extra:60 in
+  let reds = Array.init (n / 2) (fun i -> i) in
+  let blues = Array.init (n - (n / 2)) (fun i -> (n / 2) + i) in
+  let run engine =
+    Rn_broadcast.Recruiting.run_standalone ~engine ~rng:(Rng.create ~seed:11)
+      ~params:Rn_broadcast.Params.default ~graph:g ~reds ~blues ()
+  in
+  let a = run Engine.Dense and b = run Engine.Sparse in
+  Alcotest.(check bool) "outcome record" true (a = b)
+
+let test_wrapper_bipartite () =
+  let rng = Rng.create ~seed:424 in
+  let n = 40 in
+  let g = Topo.random_connected ~rng ~n ~extra:60 in
+  let reds = Array.init (n / 2) (fun i -> i) in
+  let blues = Array.init (n - (n / 2)) (fun i -> (n / 2) + i) in
+  let blue_ranks = Array.make n 1 in
+  let run engine =
+    Rn_broadcast.Bipartite_assignment.run_standalone ~engine
+      ~rng:(Rng.create ~seed:13) ~params:Rn_broadcast.Params.default ~graph:g
+      ~reds ~blues ~blue_ranks ()
+  in
+  let a = run Engine.Dense and b = run Engine.Sparse in
+  Alcotest.(check bool) "outcome record" true (a = b)
+
+let test_wrapper_construct () =
+  let rng = Rng.create ~seed:425 in
+  let g = Topo.random_connected ~rng ~n:50 ~extra:50 in
+  List.iter
+    (fun mode ->
+      let run engine =
+        Rn_broadcast.Gst_distributed.construct ~mode ~learn_vd:true
+          ~engine ~rng:(Rng.create ~seed:17) ~graph:g ~roots:[| 0 |] ()
+      in
+      let a = run Engine.Dense and b = run Engine.Sparse in
+      Alcotest.(check bool) "whole result record" true (a = b))
+    [ Rn_broadcast.Gst_distributed.Sequential;
+      Rn_broadcast.Gst_distributed.Pipelined ]
+
+let test_wrapper_single_broadcast () =
+  let rng = Rng.create ~seed:426 in
+  let g = Topo.random_connected ~rng ~n:50 ~extra:40 in
+  let run engine =
+    Rn_broadcast.Single_broadcast.run ~engine ~rng:(Rng.create ~seed:19)
+      ~graph:g ~source:0 ()
+  in
+  let a = run Engine.Dense and b = run Engine.Sparse in
+  Alcotest.(check bool) "whole result record" true (a = b);
+  Alcotest.(check bool) "delivered" true a.Rn_broadcast.Single_broadcast.delivered
+
+let test_wrapper_multi_broadcast () =
+  let rng = Rng.create ~seed:427 in
+  let g = Topo.random_connected ~rng ~n:40 ~extra:40 in
+  let run engine =
+    Rn_broadcast.Multi_broadcast.unknown ~engine ~rng:(Rng.create ~seed:23)
+      ~graph:g ~source:0 ~k:4 ()
+  in
+  let a = run Engine.Dense and b = run Engine.Sparse in
+  Alcotest.(check bool) "whole result record" true (a = b);
+  let runk engine =
+    Rn_broadcast.Multi_broadcast.known ~engine ~rng:(Rng.create ~seed:29)
+      ~graph:g ~source:0 ~k:4 ()
+  in
+  let ka = runk Engine.Dense and kb = runk Engine.Sparse in
+  Alcotest.(check bool) "known result record" true (ka = kb)
+
+let () =
+  Alcotest.run "engine_sparse"
+    [
+      ( "skip contract",
+        [
+          Alcotest.test_case "decide elided while skipping" `Quick
+            test_skip_elides_decide;
+          Alcotest.test_case "stop mid-stretch" `Quick test_stop_mid_stretch;
+          Alcotest.test_case "backwards hint raises" `Quick
+            test_backwards_hint_raises;
+          Alcotest.test_case "lying hint obeyed (documented)" `Quick
+            test_lying_hint_is_obeyed;
+          Alcotest.test_case "skipped vs simulated accounting" `Quick
+            test_honest_accounting;
+          Alcotest.test_case "single node" `Quick test_single_node;
+        ] );
+      ( "wrappers",
+        [
+          Alcotest.test_case "Decay dense ≡ sparse" `Quick test_wrapper_decay;
+          Alcotest.test_case "CR baseline dense ≡ sparse" `Quick
+            test_wrapper_cr;
+          Alcotest.test_case "Recruiting dense ≡ sparse" `Quick
+            test_wrapper_recruiting;
+          Alcotest.test_case "Bipartite dense ≡ sparse" `Quick
+            test_wrapper_bipartite;
+          Alcotest.test_case "GST construct dense ≡ sparse" `Quick
+            test_wrapper_construct;
+          Alcotest.test_case "Thm 1.1 pipeline dense ≡ sparse" `Quick
+            test_wrapper_single_broadcast;
+          Alcotest.test_case "Thm 1.3 pipeline dense ≡ sparse" `Quick
+            test_wrapper_multi_broadcast;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -32,6 +32,9 @@ type experiment = {
   id : string;
   rounds : int;
   rounds_per_sec : float;
+  skipped : int option;
+      (* fast-forwarded silent rounds (sparse engine); deterministic like
+         [rounds], gated exactly when the baseline records it too *)
   phases : (string * string) list;
       (* optional per-phase int-array fields, raw compact text *)
 }
@@ -148,12 +151,22 @@ let parse_experiments path =
                         (find_array_field s k after_rps span_end))
                     phase_field_names
                 in
+                (* Bound the optional-field search to this record's span:
+                   searching the raw string would pick the value up from a
+                   later record when this one predates the field. *)
+                let span = String.sub s after_rps (span_end - after_rps) in
+                let skipped =
+                  match find_field span "skipped_rounds" 0 with
+                  | Some (v, _) -> int_of_string_opt v
+                  | None -> None
+                in
                 let exp =
                   try
                     {
                       id;
                       rounds = int_of_string rounds;
                       rounds_per_sec = float_of_string rps;
+                      skipped;
                       phases;
                     }
                   with _ ->
@@ -199,6 +212,24 @@ let () =
                match baseline exactly)\n"
               cur.id base.rounds cur.rounds
           end;
+          (match (base.skipped, cur.skipped) with
+          | Some b, Some c when b <> c ->
+              incr failures;
+              Printf.printf
+                "%-4s FAIL skipped rounds drifted: %d -> %d (deterministic \
+                 count must match baseline exactly)\n"
+                cur.id b c
+          | Some _, None ->
+              incr failures;
+              Printf.printf
+                "%-4s FAIL skipped_rounds field disappeared from the current \
+                 record\n"
+                cur.id
+          | None, Some _ ->
+              Printf.printf
+                "%-4s note skipped_rounds absent in baseline, informational\n"
+                cur.id
+          | Some _, Some _ | None, None -> ());
           List.iter
             (fun (k, v) ->
               match List.assoc_opt k base.phases with

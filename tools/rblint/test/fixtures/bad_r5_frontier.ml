@@ -1,0 +1,23 @@
+(* Fixture: R5 — frontier bookkeeping inside a sparse-engine-style hot
+   loop.  Keeping the transmitter/touched sets as lists, or draining them
+   with closure-allocating combinators, is exactly the per-round
+   allocation the int-stack frontier exists to avoid. *)
+
+let drain_frontier frontier touched =
+  List.iter (fun v -> touched.(v) <- true) frontier
+[@@zero_alloc_hot]
+
+let count_touched touched =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 touched
+[@@zero_alloc_hot]
+
+let skim_active active k =
+  List.filteri (fun i _ -> i < k) active
+[@@zero_alloc_hot]
+
+(* The int-stack drain is the sanctioned shape: index loop, no closures. *)
+let drain_stack stack n touched =
+  for i = 0 to n - 1 do
+    touched.(stack.(i)) <- true
+  done
+[@@zero_alloc_hot]

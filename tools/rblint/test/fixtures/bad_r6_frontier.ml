@@ -1,0 +1,20 @@
+(* Fixture: R6 — hoisting sparse-engine frontier scratch to the top level
+   of a module that spawns domains.  Per-run frontier state (transmitter
+   stack, touched bytes, a skip tally kept as a ref) must live inside the
+   run; the Atomic counter mirrors [Engine.skipped_rounds], the sanctioned
+   cross-domain tally, and must stay clean. *)
+
+let skipped : int Atomic.t = Atomic.make 0
+
+let transmitters = Array.make 1024 0
+
+let touched = Bytes.create 1024
+
+let n_tx = ref 0
+
+let run () =
+  let d = Domain.spawn (fun () -> Atomic.incr skipped) in
+  Domain.join d;
+  ignore transmitters.(0);
+  ignore (Bytes.get touched 0);
+  !n_tx

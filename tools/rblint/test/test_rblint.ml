@@ -120,6 +120,15 @@ let test_r5_alias () =
   Alcotest.(check int) "alias, open, local alias all resolved" 3
     (count "R5" fs)
 
+let test_r5_frontier () =
+  (* The sparse engine's frontier loop: list-kept frontiers and
+     closure-allocating drains fire; the sanctioned int-stack drain
+     (index loop, no closures) stays clean. *)
+  let fs = lint_as ~path:"lib/radio/bad_r5_frontier.ml" "bad_r5_frontier.ml" in
+  check_rules "R5 only" [ "R5" ] fs;
+  Alcotest.(check int) "three R5 sites, int-stack drain clean" 3
+    (count "R5" fs)
+
 let test_r6 () =
   let fs = lint_as ~path:"lib/radio/bad_r6.ml" "bad_r6.ml" in
   check_rules "R6 only" [ "R6" ] fs;
@@ -151,6 +160,16 @@ let test_r6_sharded () =
   let fs = lint_as ~path:"lib/radio/bad_r6_sharded.ml" "bad_r6_sharded.ml" in
   check_rules "R6 only" [ "R6" ] fs;
   Alcotest.(check int) "out_act and cuts flagged, Atomic tally exempt" 2
+    (count "R6" fs)
+
+let test_r6_frontier () =
+  (* The sparse-engine shape: per-run frontier scratch (transmitter stack,
+     touched bytes, a ref tally) hoisted to the top of a spawning module
+     fires once per binding; the Atomic skip counter is the sanctioned
+     cross-domain tally. *)
+  let fs = lint_as ~path:"lib/radio/bad_r6_frontier.ml" "bad_r6_frontier.ml" in
+  check_rules "R6 only" [ "R6" ] fs;
+  Alcotest.(check int) "stack, touched bytes and tally ref flagged" 3
     (count "R6" fs)
 
 let test_r7_sharded () =
@@ -274,7 +293,9 @@ let () =
             test_r5_alias;
           Alcotest.test_case "R6 top-level mutable state" `Quick test_r6;
           Alcotest.test_case "R7 spawn captures" `Quick test_r7;
+          Alcotest.test_case "R5 frontier shapes" `Quick test_r5_frontier;
           Alcotest.test_case "R6 sharded-engine shape" `Quick test_r6_sharded;
+          Alcotest.test_case "R6 frontier scratch" `Quick test_r6_frontier;
           Alcotest.test_case "R7 sharded allow round-trip" `Quick
             test_r7_sharded;
           Alcotest.test_case "R6 reachability gating" `Quick test_reachability;
