@@ -117,14 +117,17 @@ let write_bench_json ~total_wall =
       total_wall;
     List.iteri
       (fun i (id, wall, rounds, skipped, extra) ->
+        (* Jsons.quote, not %S: OCaml's decimal escapes are not JSON. *)
         let extras =
           String.concat ""
-            (List.map (fun (k, v) -> Printf.sprintf ", %S: %s" k v) extra)
+            (List.map
+               (fun (k, v) -> Printf.sprintf ", %s: %s" (Jsons.quote k) v)
+               extra)
         in
         Printf.fprintf oc
-          "    { \"id\": %S, \"wall_s\": %.4f, \"rounds\": %d, \
+          "    { \"id\": %s, \"wall_s\": %.4f, \"rounds\": %d, \
            \"rounds_per_sec\": %.0f, \"skipped_rounds\": %d%s }%s\n"
-          id wall rounds
+          (Jsons.quote id) wall rounds
           (if wall > 0.0 then float_of_int rounds /. wall else 0.0)
           skipped extras
           (if i = List.length records - 1 then "" else ",");

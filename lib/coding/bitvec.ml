@@ -28,15 +28,18 @@ let set t i b =
 (* Unchecked hot-path accessors for loops that have already bounds-checked
    their range.  [unsafe_set]/[unsafe_clear] are single-bit orientations
    of [set] without the branch on a bool argument. *)
+(* rblint:allow R9 contract accessor: callers bounds-check [i] before the call; the word index [i / bits_per_word] is then within [words] by construction *)
 let unsafe_get t i =
   Array.unsafe_get t.words (i / bits_per_word) lsr (i mod bits_per_word) land 1
   = 1
 
+(* rblint:allow R9 contract accessor: callers bounds-check [i]; same word-index argument as [unsafe_get] *)
 let unsafe_set t i =
   let w = i / bits_per_word in
   Array.unsafe_set t.words w
     (Array.unsafe_get t.words w lor (1 lsl (i mod bits_per_word)))
 
+(* rblint:allow R9 contract accessor: callers bounds-check [i]; same word-index argument as [unsafe_get] *)
 let unsafe_clear t i =
   let w = i / bits_per_word in
   Array.unsafe_set t.words w

@@ -154,16 +154,23 @@ let offsets t = t.off
 let targets t = t.tgt
 
 let iter_neighbors t v f =
-  (* Hot path: indices lie in [off.(v), off.(v+1)) ⊆ [0, length tgt). *)
+  (* Hot path: the CSR invariant puts indices in
+     [off.(v), off.(v+1)) ⊆ [0, length tgt); the hoisted guard costs one
+     compare per call, not per edge, and turns a corrupted [off] table
+     into an exception instead of an out-of-bounds read. *)
   let tgt = t.tgt in
-  for i = t.off.(v) to t.off.(v + 1) - 1 do
+  let hi = t.off.(v + 1) in
+  if hi > Array.length tgt then invalid_arg "Graph.iter_neighbors";
+  for i = t.off.(v) to hi - 1 do
     f (Array.unsafe_get tgt i)
   done
 
 let fold_neighbors t v f init =
   let tgt = t.tgt in
+  let hi = t.off.(v + 1) in
+  if hi > Array.length tgt then invalid_arg "Graph.fold_neighbors";
   let acc = ref init in
-  for i = t.off.(v) to t.off.(v + 1) - 1 do
+  for i = t.off.(v) to hi - 1 do
     acc := f !acc (Array.unsafe_get tgt i)
   done;
   !acc

@@ -64,17 +64,9 @@ let summary_json m =
 
 (* Compact JSON int-array of a per-phase aggregate, e.g. "[12,8,3]" — the
    shape bench/main.ml embeds as per-phase fields in BENCH_engine.json and
-   benchdiff compares exactly. *)
-let json_int_array xs =
-  let b = Buffer.create 64 in
-  Buffer.add_char b '[';
-  List.iteri
-    (fun i x ->
-      if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b (string_of_int x))
-    xs;
-  Buffer.add_char b ']';
-  Buffer.contents b
+   benchdiff compares exactly.  One shared emitter (Rn_util.Jsons) serves
+   every JSON writer in the tree. *)
+let json_int_array = Rn_util.Jsons.int_array
 
 let phase_deliveries_json m =
   json_int_array (List.init (Metrics.phases_used m) (Metrics.phase_deliveries m))

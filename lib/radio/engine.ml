@@ -72,6 +72,11 @@ let run ?stats ?metrics ?on_round ?after_round ?decide_active ~graph ~detection
     ~protocol ~stop ~max_rounds () =
   let n = Graph.n graph in
   let off = Graph.offsets graph and tgt = Graph.targets graph in
+  (* CSR guard, once per run: every neighbour index the round loop reads
+     lies in [off.(v), off.(v+1)) ⊆ [0, off.(n)), so checking the final
+     offset against [tgt] bounds the unchecked reads below. *)
+  if off.(n) > Array.length tgt then
+    invalid_arg "Engine.run: offsets exceed target array";
   let s = match stats with Some s -> s | None -> fresh_stats () in
   let tx_count = Array.make (max n 1) 0 in
   let tx_act = Array.make (max n 1) Sleep in

@@ -131,6 +131,12 @@ let run ?stats ?metrics ?on_round ?after_round ?decide_active ~domains ~graph
   if domains < 1 then invalid_arg "Engine_sharded.run: domains must be >= 1";
   let n = Graph.n graph in
   let off = Graph.csc_offsets graph and tgt = Graph.csc_targets graph in
+  (* CSC guard, once per run, dominating every unchecked access below:
+     gather indices lie in [off.(v), off.(v+1)) ⊆ [0, off.(n)), and the
+     byte-table stores index by node id < n ≤ |st| (lane node ranges
+     partition [0, n)). *)
+  if off.(n) > Array.length tgt then
+    invalid_arg "Engine_sharded.run: offsets exceed target array";
   let s = match stats with Some s -> s | None -> Engine.fresh_stats () in
   let shards = domains in
   let full_scan = Option.is_none decide_active in

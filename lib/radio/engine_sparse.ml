@@ -49,6 +49,10 @@ let run ?stats ?metrics ?on_round ?after_round ?decide_active ?next_busy_round
   | None ->
       let n = Graph.n graph in
       let off = Graph.offsets graph and tgt = Graph.targets graph in
+      (* CSR guard, once per run: neighbour indices read unchecked in the
+         spray loop lie in [off.(t), off.(t+1)) ⊆ [0, off.(n)). *)
+      if off.(n) > Array.length tgt then
+        invalid_arg "Engine_sparse.run: offsets exceed target array";
       let s = match stats with Some s -> s | None -> fresh_stats () in
       let tx_count = Array.make (max n 1) 0 in
       let tx_act = Array.make (max n 1) Sleep in

@@ -175,7 +175,6 @@ let map ?domains f items =
     let lane i () =
       let j = ref i in
       while !j < k do
-        (* rblint:allow R7 exclusive ownership: disjoint index shards, pool handshake publishes *)
         results.(!j) <- Some (f items.(!j));
         j := !j + d
       done

@@ -1,0 +1,23 @@
+(** Minimal JSON construction helpers shared by every emitter in the tree
+    (the observability exporters, the bench perf record, the rblint JSON
+    reports).  Pure string functions — callers own the channel.
+
+    Only construction is provided, no parsing: every JSON consumer in this
+    repo is external (CI tooling, benchdiff's span-bounded scanner). *)
+
+val escape : string -> string
+(** [escape s] is the body of a JSON string literal encoding [s]: quote,
+    backslash, and control characters (newline, tab, CR, backspace,
+    form-feed named; the rest as [\u00XX]) are escaped.  Bytes
+    [0x80..0xff] pass through verbatim, so the output is valid JSON
+    exactly when [s] is valid UTF-8 — unlike OCaml's [%S], whose decimal
+    escapes (backslash-221) are not JSON. *)
+
+val quote : string -> string
+(** [quote s] is [escape s] wrapped in double quotes: a complete JSON
+    string literal. *)
+
+val int_array : int list -> string
+(** [int_array xs] is the compact JSON array of [xs], e.g. [[12,8,3]] —
+    the shape bench/main.ml embeds as per-phase fields in
+    BENCH_engine.json and benchdiff compares exactly. *)

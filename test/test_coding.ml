@@ -82,6 +82,7 @@ let test_bitvec_clear_range () =
     (Invalid_argument "Bitvec.clear_range") (fun () ->
       Bitvec.clear_range (Bitvec.create 8) ~lo:5 ~hi:4)
 
+(* rblint:allow R9 literal indices 62..64 against a fresh 100-bit vector; the test exercises the unchecked accessors themselves *)
 let test_bitvec_unsafe_bits () =
   let v = Bitvec.create 100 in
   Bitvec.unsafe_set v 62;

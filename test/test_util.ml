@@ -250,11 +250,93 @@ let test_ilog_pow_overflow () =
   ov max_int 2
 
 (* ------------------------------------------------------------------ *)
+(* jsons *)
+
+let test_jsons_known_escapes () =
+  Alcotest.(check string) "plain" "abc" (Jsons.escape "abc");
+  Alcotest.(check string) "quote" {|a\"b|} (Jsons.escape {|a"b|});
+  Alcotest.(check string) "backslash" {|a\\b|} (Jsons.escape {|a\b|});
+  Alcotest.(check string) "newline" {|a\nb|} (Jsons.escape "a\nb");
+  Alcotest.(check string) "tab" {|a\tb|} (Jsons.escape "a\tb");
+  Alcotest.(check string) "cr" {|a\rb|} (Jsons.escape "a\rb");
+  Alcotest.(check string) "backspace" {|a\bb|} (Jsons.escape "a\bb");
+  Alcotest.(check string) "formfeed" {|a\fb|} (Jsons.escape "a\012b");
+  Alcotest.(check string) "nul" "\\u0000" (Jsons.escape "\000");
+  Alcotest.(check string) "esc" "\\u001b" (Jsons.escape "\027");
+  (* High bytes pass through verbatim (UTF-8 stays UTF-8), unlike %S. *)
+  Alcotest.(check string) "high byte" "\xc3\xa9" (Jsons.escape "\xc3\xa9");
+  Alcotest.(check string) "quote wraps" {|"a\nb"|} (Jsons.quote "a\nb")
+
+let test_jsons_int_array () =
+  Alcotest.(check string) "empty" "[]" (Jsons.int_array []);
+  Alcotest.(check string) "one" "[7]" (Jsons.int_array [ 7 ]);
+  Alcotest.(check string) "many" "[12,8,-3,0]" (Jsons.int_array [ 12; 8; -3; 0 ])
+
+(* Decoder for the escape grammar Jsons.escape emits — used to check the
+   round trip property.  Fails loudly on anything outside that grammar,
+   which doubles as a "well-formed JSON string body" check: an unescaped
+   control char, quote, or dangling backslash raises. *)
+let jsons_unescape s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> failwith "bad hex digit"
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '\\' ->
+        incr i;
+        if !i >= n then failwith "dangling backslash";
+        (match s.[!i] with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+            if !i + 4 >= n then failwith "short \\u escape";
+            let v =
+              (hex s.[!i + 1] * 0x1000)
+              + (hex s.[!i + 2] * 0x100)
+              + (hex s.[!i + 3] * 0x10)
+              + hex s.[!i + 4]
+            in
+            if v > 0xff then failwith "non-byte \\u escape";
+            Buffer.add_char b (Char.chr v);
+            i := !i + 4
+        | _ -> failwith "unknown escape")
+    | '"' -> failwith "unescaped quote"
+    | c when Char.code c < 0x20 -> failwith "unescaped control char"
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
 (* qcheck properties *)
 
 let qcheck_tests =
   let open QCheck in
   [
+    Test.make ~name:"jsons escape round-trips" ~count:500 string (fun s ->
+        jsons_unescape (Jsons.escape s) = s);
+    Test.make ~name:"jsons escape body is well-formed" ~count:500 string
+      (fun s ->
+        (* No raise = every control char / quote / backslash is escaped. *)
+        let _ = jsons_unescape (Jsons.escape s) in
+        true);
+    Test.make ~name:"jsons int_array matches printf shape" ~count:300
+      (list_of_size (Gen.int_range 0 30) int)
+      (fun xs ->
+        Jsons.int_array xs
+        = "[" ^ String.concat "," (List.map string_of_int xs) ^ "]");
     Test.make ~name:"rng int always in range" ~count:500
       (pair small_int (int_range 1 1000))
       (fun (seed, bound) ->
@@ -353,6 +435,11 @@ let () =
             test_stats_nan_summary;
           Alcotest.test_case "ratio spread zero-x edges" `Quick
             test_stats_ratio_spread_zero;
+        ] );
+      ( "jsons",
+        [
+          Alcotest.test_case "known escapes" `Quick test_jsons_known_escapes;
+          Alcotest.test_case "int_array" `Quick test_jsons_int_array;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]

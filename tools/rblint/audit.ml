@@ -1,0 +1,90 @@
+(* audit — the suppression-debt ledger behind `rblint --audit`.
+
+   Every [rblint:allow] marker is debt: it documents a finding someone
+   decided to live with.  The audit makes that debt visible — one row per
+   allow with its rule, reason, whether it still suppresses anything, and
+   a best-effort age (last commit that touched the marker's line).  A
+   *stale* allow suppresses nothing; it outlived its finding and must be
+   deleted, so the audit exit code treats it as an error. *)
+
+(* Best-effort single-line git query; None on any failure (no repo, file
+   not tracked, old git).  Ages are advisory — the ledger stays correct
+   without them. *)
+let run_git args =
+  let cmd = "git " ^ args ^ " 2>/dev/null" in
+  match Unix.open_process_in cmd with
+  | exception _ -> None
+  | ic -> (
+      let out = try input_line ic with End_of_file -> "" in
+      (try
+         while true do
+           ignore (input_line ic)
+         done
+       with End_of_file -> ());
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when out <> "" -> Some out
+      | _ -> None)
+
+(* Age in days of the marker's line, from `git log -L`.  The linter often
+   runs from the dune context root (_build/default), where the sources
+   are untracked copies — retry from two directories up, which is the
+   repo root in that layout. *)
+let age_days ~now (e : Lint.ledger_entry) =
+  let query extra =
+    run_git
+      (Printf.sprintf "%slog -1 --format=%%ct -s -L %d,%d:%s" extra e.Lint.l_line
+         e.Lint.l_line (Filename.quote e.Lint.l_file))
+  in
+  let raw =
+    match query "" with Some r -> Some r | None -> query "-C ../../ "
+  in
+  match raw with
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some t -> Some (max 0 (int_of_float ((now -. t) /. 86400.)))
+      | None -> None)
+  | None -> None
+
+let json_of_entry ~age (e : Lint.ledger_entry) =
+  Printf.sprintf
+    "{ \"file\": %s, \"line\": %d, \"rule\": %s, \"reason\": %s, \"used\": \
+     %b, \"age_days\": %s }"
+    (Rn_util.Jsons.quote e.Lint.l_file)
+    e.Lint.l_line
+    (Rn_util.Jsons.quote e.Lint.l_rule)
+    (Rn_util.Jsons.quote e.Lint.l_reason)
+    e.Lint.l_used
+    (match age with Some d -> string_of_int d | None -> "null")
+
+(* Render the ledger.  Returns (lines to print, stale count). *)
+let report ~json ?(now = Unix.time ()) ?(ages = true) entries =
+  let rows =
+    List.map
+      (fun e -> (e, if ages then age_days ~now e else None))
+      entries
+  in
+  let stale =
+    List.length (List.filter (fun (e, _) -> not e.Lint.l_used) rows)
+  in
+  let lines =
+    if json then
+      [
+        Printf.sprintf "{ \"allows\": [%s], \"total\": %d, \"stale\": %d }"
+          (String.concat ", "
+             (List.map (fun (e, a) -> json_of_entry ~age:a e) rows))
+          (List.length rows) stale;
+      ]
+    else
+      List.map
+        (fun ((e : Lint.ledger_entry), a) ->
+          Printf.sprintf "%s:%d allow %s %s(%s)%s" e.Lint.l_file e.Lint.l_line
+            e.Lint.l_rule
+            (if e.Lint.l_used then "" else "STALE ")
+            e.Lint.l_reason
+            (match a with
+            | Some d -> Printf.sprintf " [age %dd]" d
+            | None -> ""))
+        rows
+      @ [ Printf.sprintf "%d allows, %d stale" (List.length rows) stale ]
+  in
+  (lines, stale)

@@ -1,0 +1,401 @@
+(* callgraph — whole-library dataflow over facts extracted from typed ASTs.
+
+   lint.ml's per-unit traversal collects *facts* (top-level nodes, calls,
+   nondeterministic-source uses, Domain.spawn captures, Rng occurrences and
+   bindings); this module runs the cross-unit analyses over them:
+
+     R8  determinism taint — a function is tainted when it uses a
+         nondeterministic source (wall clock, domain identity, GC
+         statistics, Hashtbl iteration order) or calls a tainted function.
+         Taint stops at *sanctioned sinks* (declared in one table below):
+         a sink's uses are by design never fed into simulation results.
+         Findings are emitted for tainted functions defined under lib/ —
+         bench wall-clock fields live outside lib/ and stay free.
+
+     R10 RNG ownership — linearity of Rng streams over the call graph.  A
+         parameter slot is *consuming* when the callee (transitively)
+         hands it to a Domain.spawn closure.  Each locally created stream
+         (Rng.create/split/copy result) may be consumed at most once, and
+         never used again after it was consumed: two consumptions race two
+         domains on one stream; use-after-consumption races the parent
+         against the worker.
+
+   Approximations (documented in DESIGN.md §9): only top-level bindings
+   become call-graph nodes (inner helpers are folded into their enclosing
+   node); Rng arguments are tracked only when passed as a bare identifier;
+   ordering within a function body is ignored, so a provably-sequential
+   handoff that the analysis cannot see must carry a reasoned
+   [rblint:allow R10].
+
+   Identifier stamps are [Ident.unique_name] strings and are only
+   meaningful within one unit; cross-unit flow goes through keys. *)
+
+type key = string list
+(* Canonical name of a call-graph node: the compilation unit split on the
+   dune name-mangling separator, then any nested modules, then the value —
+   ["Rn_radio"; "Engine"; "run"].  Cross-module references in a cmt appear
+   as wrapper-dot paths (Rn_radio.Engine.run) and flatten to the same
+   list. *)
+
+let string_of_key = String.concat "."
+
+(* "Rn_radio__Engine" -> ["Rn_radio"; "Engine"] *)
+let key_of_modname m =
+  let n = String.length m in
+  let rec go start i acc =
+    if i + 2 > n then List.rev (String.sub m start (n - start) :: acc)
+    else if m.[i] = '_' && m.[i + 1] = '_' then
+      go (i + 2) (i + 2) (String.sub m start (i - start) :: acc)
+    else go start (i + 1) acc
+  in
+  if m = "" then [] else go 0 0 []
+
+(* Argument slot: positional index among unlabelled arguments, or the
+   label.  Call sites and parameter lists compute slots the same way, so
+   labelled-argument reordering cannot misalign them. *)
+type slot = Pos of int | Lab of string
+
+let string_of_slot = function
+  | Pos i -> "#" ^ string_of_int i
+  | Lab l -> "~" ^ l
+
+(* ------------------------------------------------------------------ *)
+(* Facts                                                               *)
+
+type node = {
+  n_key : key;
+  n_line : int;  (** definition start line — suppression anchor *)
+  n_params : (slot * string) list;  (** slot -> param ident stamp *)
+}
+
+type call = {
+  c_caller : key;
+  c_callee : key;  (** resolved: local node key or dotted global parts *)
+  c_line : int;
+  c_rng_args : (slot * string) list;
+      (** bare Rng.t identifiers passed at this site *)
+}
+
+type nondet_use = {
+  d_node : key;
+  d_src : string;  (** e.g. "Unix.gettimeofday" *)
+  d_line : int;
+}
+
+type spawn_cap = {
+  s_node : key;
+  s_line : int;
+  s_caps : string list;  (** stamps of Rng.t idents captured by the closure *)
+}
+
+type occ = { o_stamp : string; o_line : int }
+(** a plain (non-argument, non-capture) use of an Rng.t identifier *)
+
+type rng_bind = {
+  b_stamp : string;
+  b_name : string;
+  b_line : int;
+  b_anchors : int list;  (** enclosing-expression start lines *)
+}
+
+type unit_facts = {
+  uf_unit : string;  (** compilation unit name, e.g. "Rn_radio__Engine" *)
+  uf_file : string;  (** normalized source path *)
+  uf_nodes : node list;
+  uf_calls : call list;
+  uf_nondet : nondet_use list;
+  uf_spawns : spawn_cap list;
+  uf_occs : occ list;
+  uf_binds : rng_bind list;
+}
+
+let empty_facts =
+  {
+    uf_unit = "";
+    uf_file = "";
+    uf_nodes = [];
+    uf_calls = [];
+    uf_nondet = [];
+    uf_spawns = [];
+    uf_occs = [];
+    uf_binds = [];
+  }
+
+(* All call edges, for the fixture self-tests. *)
+let edges units =
+  List.concat_map
+    (fun uf ->
+      List.map (fun c -> (c.c_caller, c.c_callee, c.c_line)) uf.uf_calls)
+    units
+
+(* ------------------------------------------------------------------ *)
+(* Nondeterministic sources and sanctioned sinks                       *)
+
+let nondet_of_parts = function
+  | [ "Unix"; (("gettimeofday" | "time") as f) ] -> Some ("Unix." ^ f)
+  | [ "Stdlib"; "Sys"; "time" ] -> Some "Sys.time"
+  | [ "Stdlib"; "Domain"; "self" ] -> Some "Domain.self"
+  | [ "Stdlib"; "Domain"; "recommended_domain_count" ] ->
+      Some "Domain.recommended_domain_count"
+  | [ "Stdlib"; "Gc";
+      (( "stat" | "quick_stat" | "counters" | "minor_words" | "major_words"
+       | "allocated_bytes" ) as f) ] ->
+      Some ("Gc." ^ f)
+  | [ "Stdlib"; "Hashtbl"; (("iter" | "fold") as f) ] ->
+      Some ("Hashtbl." ^ f ^ " (iteration order)")
+  | _ -> None
+
+(* The one table of sanctioned sinks: functions allowed to touch a
+   nondeterministic source because their result never feeds simulation
+   output.  Taint neither enters nor leaves a sink. *)
+let default_r8_sinks =
+  [
+    ( [ "Rn_radio"; "Runner"; "default_domains" ],
+      "domain-count sizing: machine-dependent by design, affects only how \
+       work is scheduled, never the simulated rounds" );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Findings                                                            *)
+
+type cg_finding = {
+  g_file : string;
+  g_line : int;
+  g_rule : string;
+  g_msg : string;
+  g_anchors : int list;
+}
+
+let in_lib file =
+  let file = if String.length file > 2 && String.sub file 0 2 = "./" then
+      String.sub file 2 (String.length file - 2)
+    else file
+  in
+  let pre = "lib/" in
+  (String.length file >= 4 && String.sub file 0 4 = pre)
+  ||
+  let infix = "/lib/" in
+  let n = String.length file and d = String.length infix in
+  let rec scan i = i + d <= n && (String.sub file i d = infix || scan (i + 1)) in
+  scan 0
+
+let sort_findings fs =
+  List.sort
+    (fun a b ->
+      match String.compare a.g_file b.g_file with
+      | 0 -> (
+          match Int.compare a.g_line b.g_line with
+          | 0 -> String.compare a.g_msg b.g_msg
+          | c -> c)
+      | c -> c)
+    fs
+
+(* ------------------------------------------------------------------ *)
+(* R8 — determinism taint                                              *)
+
+let r8_findings ?(sinks = List.map fst default_r8_sinks) units =
+  let node_home = Hashtbl.create 256 in
+  (* key -> (file, def line) *)
+  List.iter
+    (fun uf ->
+      List.iter
+        (fun n -> Hashtbl.replace node_home n.n_key (uf.uf_file, n.n_line))
+        uf.uf_nodes)
+    units;
+  let is_sink k = List.mem k sinks in
+  (* reverse edges: callee -> (caller, call line) *)
+  let rev = Hashtbl.create 256 in
+  List.iter
+    (fun uf ->
+      List.iter
+        (fun c -> Hashtbl.add rev c.c_callee (c.c_caller, c.c_line))
+        uf.uf_calls)
+    units;
+  (* cause: first taint witness per node *)
+  let cause = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let taint k c =
+    if (not (is_sink k)) && not (Hashtbl.mem cause k) then begin
+      Hashtbl.replace cause k c;
+      Queue.add k queue
+    end
+  in
+  List.iter
+    (fun uf ->
+      List.iter (fun d -> taint d.d_node (`Direct (d.d_src, d.d_line))) uf.uf_nondet)
+    units;
+  while not (Queue.is_empty queue) do
+    let k = Queue.pop queue in
+    List.iter
+      (fun (caller, line) -> taint caller (`Via (k, line)))
+      (Hashtbl.find_all rev k)
+  done;
+  (* witness chain: node -> ... -> direct source *)
+  let chain k0 =
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf (string_of_key k0);
+    let rec go k =
+      match Hashtbl.find_opt cause k with
+      | Some (`Direct (src, line)) ->
+          let file =
+            match Hashtbl.find_opt node_home k with
+            | Some (f, _) -> f
+            | None -> "?"
+          in
+          Buffer.add_string buf
+            (Printf.sprintf " -> %s (%s:%d)" src file line)
+      | Some (`Via (callee, line)) ->
+          Buffer.add_string buf
+            (Printf.sprintf " -> %s (call at line %d)" (string_of_key callee)
+               line);
+          go callee
+      | None -> ()
+    in
+    go k0;
+    Buffer.contents buf
+  in
+  let fs =
+    Hashtbl.fold
+      (fun k _ acc ->
+        match Hashtbl.find_opt node_home k with
+        | Some (file, line) when in_lib file ->
+            {
+              g_file = file;
+              g_line = line;
+              g_rule = "R8";
+              g_msg =
+                "nondeterminism reaches simulation code: " ^ chain k
+                ^ " — results must replay from the seed alone; route \
+                   wall-clock through bench-only fields, or add the callee \
+                   to the sanctioned-sink table (tools/rblint/callgraph.ml) \
+                   if its result never feeds simulation output";
+              g_anchors = [ line ];
+            }
+            :: acc
+        | _ -> acc)
+      cause []
+  in
+  sort_findings fs
+
+(* ------------------------------------------------------------------ *)
+(* R10 — RNG ownership                                                 *)
+
+let r10_findings units =
+  (* param stamp -> (node key, slot), per unit (stamps are unit-local) *)
+  let param_of = Hashtbl.create 128 in
+  List.iter
+    (fun uf ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun (sl, st) ->
+              Hashtbl.replace param_of (uf.uf_unit, st) (n.n_key, sl))
+            n.n_params)
+        uf.uf_nodes)
+    units;
+  (* consuming slots fixpoint: a slot consumes when the callee spawns a
+     closure capturing that parameter, or forwards it to a consuming
+     slot. *)
+  let consuming : (key * slot, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun uf ->
+      List.iter
+        (fun s ->
+          List.iter
+            (fun st ->
+              match Hashtbl.find_opt param_of (uf.uf_unit, st) with
+              | Some ks -> Hashtbl.replace consuming ks ()
+              | None -> ())
+            s.s_caps)
+        uf.uf_spawns)
+    units;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun uf ->
+        List.iter
+          (fun c ->
+            List.iter
+              (fun (sl, st) ->
+                if Hashtbl.mem consuming (c.c_callee, sl) then
+                  match Hashtbl.find_opt param_of (uf.uf_unit, st) with
+                  | Some ks when not (Hashtbl.mem consuming ks) ->
+                      Hashtbl.replace consuming ks ();
+                      changed := true
+                  | _ -> ())
+              c.c_rng_args)
+          uf.uf_calls)
+      units
+  done;
+  (* verdict per locally created stream *)
+  let fs =
+    List.concat_map
+      (fun uf ->
+        if not (in_lib uf.uf_file) then []
+        else
+          List.filter_map
+            (fun b ->
+              let consumptions =
+                List.length
+                  (List.filter (fun s -> List.mem b.b_stamp s.s_caps)
+                     uf.uf_spawns)
+                + List.length
+                    (List.concat_map
+                       (fun c ->
+                         List.filter
+                           (fun (sl, st) ->
+                             st = b.b_stamp
+                             && Hashtbl.mem consuming (c.c_callee, sl))
+                           c.c_rng_args)
+                       uf.uf_calls)
+              in
+              let other_uses =
+                List.length
+                  (List.filter (fun o -> o.o_stamp = b.b_stamp) uf.uf_occs)
+                + List.length
+                    (List.concat_map
+                       (fun c ->
+                         List.filter
+                           (fun (sl, st) ->
+                             st = b.b_stamp
+                             && not (Hashtbl.mem consuming (c.c_callee, sl)))
+                           c.c_rng_args)
+                       uf.uf_calls)
+              in
+              if consumptions >= 2 then
+                Some
+                  {
+                    g_file = uf.uf_file;
+                    g_line = b.b_line;
+                    g_rule = "R10";
+                    g_msg =
+                      Printf.sprintf
+                        "rng stream `%s` is handed to %d domain owners \
+                         (Domain.spawn captures or ownership-transferring \
+                         calls): two domains would race one stream — give \
+                         each owner its own Rng.split child"
+                        b.b_name consumptions;
+                    g_anchors = b.b_anchors;
+                  }
+              else if consumptions = 1 && other_uses >= 1 then
+                Some
+                  {
+                    g_file = uf.uf_file;
+                    g_line = b.b_line;
+                    g_rule = "R10";
+                    g_msg =
+                      Printf.sprintf
+                        "rng stream `%s` is used again after being handed \
+                         to a domain owner: the parent would race the \
+                         worker — split before the handoff, or prove the \
+                         uses are sequential and add a reasoned \
+                         rblint:allow R10"
+                        b.b_name;
+                    g_anchors = b.b_anchors;
+                  }
+              else None)
+            uf.uf_binds)
+      units
+  in
+  sort_findings fs

@@ -30,10 +30,34 @@
          through a locally defined worker function) non-atomic mutable
          state.
 
+   v3 adds three interprocedural rules.  The traversal below doubles as
+   a fact collector (call-graph nodes, call edges with Rng-carrying
+   argument slots, nondeterministic-source uses, spawn captures, stream
+   bindings — see [Callgraph.unit_facts]); the cross-unit analyses live
+   in callgraph.ml and run at [finalize_full] time:
+
+     R8  no nondeterministic source (wall clock, [Domain] identity, [Gc]
+         statistics, [Hashtbl] iteration order) may flow, across calls,
+         into functions defined under lib/ — sanctioned sinks are listed
+         in one table in callgraph.ml.
+     R9  every unsafe indexed access ([Array]/[Bytes]/[String]/[Bitvec]/
+         [Float.Array] [unsafe_get]/[set]/…) must be dominated in its
+         enclosing function by a bounds guard (length-derived for bound,
+         if/while comparison, or raising precondition), or carry a
+         reasoned allow.  Checked per unit, everywhere.
+     R10 every [Rng.t] stream has exactly one owner: not captured by two
+         [Domain.spawn] closures, not reused by the parent after a
+         handoff (judged through *consuming* parameter slots over the
+         call graph), not stored in top-level module state.
+
    Findings print as "file:line:col RULE message".  A finding is
-   suppressed by an inline [rblint:allow RULE reason] comment marker on
-   the same line or the line directly above; a suppression with an empty
-   reason is itself an error (R0) and suppresses nothing. *)
+   suppressed by an inline [rblint:allow RULE reason] comment marker —
+   the marker must open its comment — placed on, or one line above, the
+   finding's line or any enclosing-expression start line (so one marker
+   above a multi-line definition covers the findings inside it).  A
+   suppression with an empty reason is itself an error (R0) and
+   suppresses nothing; a suppression that suppresses nothing is *stale*
+   and fails [rblint --audit] (audit.ml renders the ledger). *)
 
 type finding = {
   file : string;
@@ -41,30 +65,21 @@ type finding = {
   col : int;
   rule : string;
   msg : string;
+  anchors : int list;
+      (** start lines of the enclosing non-ghost expressions: an allow
+          marker on (or one line above) any of them suppresses the
+          finding, so one marker above a multi-line definition covers
+          every finding inside it *)
 }
 
 let pp_finding f = Printf.sprintf "%s:%d:%d %s %s" f.file f.line f.col f.rule f.msg
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 let json_of_finding f =
   Printf.sprintf
-    "{ \"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \
-     \"msg\": \"%s\" }"
-    (json_escape f.file) f.line f.col (json_escape f.rule) (json_escape f.msg)
+    "{ \"file\": %s, \"line\": %d, \"col\": %d, \"rule\": %s, \"msg\": %s }"
+    (Rn_util.Jsons.quote f.file) f.line f.col
+    (Rn_util.Jsons.quote f.rule)
+    (Rn_util.Jsons.quote f.msg)
 
 (* ------------------------------------------------------------------ *)
 (* Path scoping                                                        *)
@@ -109,10 +124,11 @@ let r4_scope path = has_dir ~dir:"lib" path
 
 type allow = { a_line : int; a_rule : string; a_reason : string }
 
-(* Scan raw source for [rblint:allow RULE reason] markers (written inside a
-   comment).  The typed tree drops comments, so this is a plain text scan;
-   a marker applies to findings on its own line and on the following
-   line. *)
+(* Scan raw source for [rblint:allow RULE reason] markers.  The typed tree
+   drops comments, so this is a plain text scan.  A marker must open its
+   comment — the text before it on the line has to end with the comment
+   opener — so prose that merely *mentions* the grammar (rule messages,
+   docs, this comment) is not itself a marker. *)
 let collect_allows source =
   let allows = ref [] in
   let lines = String.split_on_char '\n' source in
@@ -120,11 +136,17 @@ let collect_allows source =
     (fun i line ->
       let lno = i + 1 in
       let key = "rblint:allow" in
+      let opens_comment upto =
+        let rec last j = if j >= 0 && line.[j] = ' ' then last (j - 1) else j in
+        let j = last (upto - 1) in
+        j >= 1 && line.[j] = '*' && line.[j - 1] = '('
+      in
       match
         let kl = String.length key in
         let rec find j =
           if j + kl > String.length line then None
-          else if String.sub line j kl = key then Some (j + kl)
+          else if String.sub line j kl = key && opens_comment j then
+            Some (j + kl)
           else find (j + 1)
         in
         find 0
@@ -166,6 +188,7 @@ let validate_allows ~file allows =
               col = 0;
               rule = "R0";
               msg = "rblint:allow needs a rule and a non-empty reason";
+              anchors = [];
             }
         else None)
       allows
@@ -173,14 +196,23 @@ let validate_allows ~file allows =
   let valid = List.filter (fun a -> a.a_rule <> "" && a.a_reason <> "") allows in
   (invalid, valid)
 
-let filter_allowed valid findings =
+(* A marker suppresses a finding when it sits on — or one line above — the
+   finding's own line or any enclosing-expression start line (the
+   finding's anchors).  R0 (malformed marker) is never suppressible. *)
+let allow_matches a f =
+  f.rule <> "R0" && a.a_rule = f.rule
+  && List.exists
+       (fun l -> a.a_line = l || a.a_line = l - 1)
+       (f.line :: f.anchors)
+
+let filter_allowed ?on_use valid findings =
   List.filter
     (fun f ->
-      not
-        (List.exists
-           (fun a ->
-             a.a_rule = f.rule && (a.a_line = f.line || a.a_line = f.line - 1))
-           valid))
+      match List.find_opt (fun a -> allow_matches a f) valid with
+      | Some a ->
+          (match on_use with Some mark -> mark a | None -> ());
+          false
+      | None -> true)
     findings
 
 (* ------------------------------------------------------------------ *)
@@ -193,14 +225,18 @@ type unit_info = {
   u_modname : string;  (** compilation-unit name, e.g. "Rn_radio__Runner" *)
   u_imports : string list;  (** unit names this module depends on *)
   u_spawns : bool;  (** contains a [Domain.spawn] occurrence *)
-  u_findings : finding list;  (** R0–R5, R7 — suppressions already applied *)
+  u_findings : finding list;
+      (** raw unit-local findings (R0–R5, R7, R9, R10 storage) —
+          suppressions applied at [finalize_full] time *)
   u_r6 : finding list;  (** R6 candidates — filtered at [finalize] time *)
-  u_allows : allow list;  (** valid suppressions, for the R6 filter *)
+  u_allows : allow list;  (** valid suppressions *)
+  u_facts : Callgraph.unit_facts;  (** call-graph facts for R8/R10 *)
 }
 
 let loc_finding ~file (loc : Location.t) rule msg =
   let p = loc.Location.loc_start in
-  { file; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; rule; msg }
+  { file; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; rule; msg;
+    anchors = [] }
 
 let poly_ops = [ "="; "<"; ">"; "<="; ">="; "<>" ]
 
@@ -339,22 +375,148 @@ let formatted_print_fns =
     "print_flush"; "std_formatter"; "err_formatter"; "stdout"; "stderr";
   ]
 
-(* Analyze one typed structure.  Returns (findings, r6 candidates, spawns). *)
-let analyze ~path str =
+(* Analyze one typed structure.  Returns
+   (findings, r6 candidates, spawns, call-graph facts). *)
+let analyze ~path ~modname str =
   let file = normalize path in
   let findings = ref [] in
   let r6 = ref [] in
   let spawns = ref false in
-  let emit loc rule msg = findings := loc_finding ~file loc rule msg :: !findings in
-  let emit_r6 loc msg = r6 := loc_finding ~file loc "R6" msg :: !r6 in
+  (* Start lines of the enclosing non-ghost expressions, innermost first.
+     Findings snapshot this so a suppression above a multi-line definition
+     covers findings at inner lines. *)
+  let anchor_stack = ref [] in
+  let emit loc rule msg =
+    findings :=
+      { (loc_finding ~file loc rule msg) with anchors = !anchor_stack }
+      :: !findings
+  in
+  let emit_r6 ~anchors loc msg =
+    r6 := { (loc_finding ~file loc "R6" msg) with anchors } :: !r6
+  in
   let in_r2 = r2_scope file and in_r4 = r4_scope file in
+  let in_lib = Callgraph.in_lib file in
   let rng_exempt = is_rng_ml file in
   let hot = ref 0 in
+  let guard = ref 0 in (* R9: > 0 inside a bounds-guarded context *)
+  let in_spawn = ref 0 in (* inside a Domain.spawn argument *)
   let aliases : (Ident.t, Path.t) Hashtbl.t = Hashtbl.create 16 in
   (* Map of every let-bound ident to its definition, so a worker function
      passed to Domain.spawn can be expanded one level for R7. *)
   let val_defs : (Ident.t, expression) Hashtbl.t = Hashtbl.create 64 in
+  (* --- call-graph fact accumulators -------------------------------- *)
+  let unit_key = Callgraph.key_of_modname modname in
+  let cur_node = ref (unit_key @ [ "<init>" ]) in
+  let stamp id = Ident.unique_name id in
+  let val_keys : (string, Callgraph.key) Hashtbl.t = Hashtbl.create 64 in
+  let mod_keys : (string, Callgraph.key) Hashtbl.t = Hashtbl.create 16 in
+  let nodes = ref [] in
+  let raw_refs = ref [] in
+  (* (caller, path, line, rng args) — resolved to keys after the walk so
+     [let rec ... and ...] forward references land on registered stamps *)
+  let nondet = ref [] in
+  let spawn_caps = ref [] in
+  let occs = ref [] in
+  let binds = ref [] in
+  let loc_line (loc : Location.t) = loc.Location.loc_start.pos_lnum in
+  let record_ref ?(rng_args = []) p loc =
+    raw_refs :=
+      (!cur_node, resolve_alias aliases p, loc_line loc, rng_args) :: !raw_refs
+  in
+  (* --- Rng typing -------------------------------------------------- *)
+  let is_rng_t env ty =
+    match Types.get_desc (expand env ty) with
+    | Types.Tconstr (p, _, _) -> (
+        match List.rev (type_parts p) with
+        | "t" :: "Rng" :: _ -> true
+        | _ -> false)
+    | _ -> false
+  in
+  (* Does the (non-arrow) type carry an Rng stream anywhere inside?  Used
+     for the R10 top-level-storage check; arrows are not traversed — a
+     function taking or returning a stream is fine. *)
+  let rec mentions_rng env ty =
+    match Types.get_desc (expand env ty) with
+    | Types.Tconstr (p, args, _) -> (
+        match List.rev (type_parts p) with
+        | "t" :: "Rng" :: _ -> true
+        | _ -> List.exists (mentions_rng env) args)
+    | Types.Ttuple ts -> List.exists (mentions_rng env) ts
+    | Types.Tpoly (t, _) -> mentions_rng env t
+    | _ -> false
+  in
+  (* --- R9 bounds-guard heuristics ---------------------------------- *)
+  let name_has_len s =
+    let s = String.lowercase_ascii s in
+    let n = String.length s in
+    let rec scan i = i + 3 <= n && (String.sub s i 3 = "len" || scan (i + 1)) in
+    scan 0
+  in
+  (* Is this expression derived from a container length?  A [*.length]
+     call, an identifier or record field whose name mentions "len", or —
+     one definition-chase deep — a local bound to such an expression. *)
+  let rec length_derived depth e =
+    match e.exp_desc with
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+        match List.rev (parts_of aliases p) with
+        | ("length" | "dim") :: _ -> true
+        | _ ->
+            List.exists
+              (fun (_, eo) ->
+                match eo with
+                | Some a -> length_derived depth a
+                | None -> false)
+              args)
+    | Texp_ident (Path.Pident id, _, _) ->
+        name_has_len (Ident.name id)
+        || depth > 0
+           && (match Hashtbl.find_opt val_defs id with
+              | Some def -> length_derived (depth - 1) def
+              | None -> false)
+    | Texp_ident (p, _, _) -> name_has_len (Path.last p)
+    | Texp_field (e', _, lbl) ->
+        name_has_len lbl.Types.lbl_name || length_derived depth e'
+    | _ -> false
+  in
+  let raising_fns = [ "invalid_arg"; "failwith"; "raise"; "raise_notrace" ] in
+  let raises e =
+    match e.exp_desc with
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) -> (
+        match parts_of aliases p with
+        | [ "Stdlib"; f ] -> List.mem f raising_fns
+        | _ -> false)
+    | Texp_assert _ -> true
+    | _ -> false
+  in
+  (* A statement that, once control passes it, proves a length-derived
+     bound for the rest of the sequence: [if cond then invalid_arg ...] or
+     [assert cond] with a length-derived condition. *)
+  let seq_guard e =
+    match e.exp_desc with
+    | Texp_ifthenelse (cond, th, el) ->
+        length_derived 1 cond
+        && (raises th || match el with Some e' -> raises e' | None -> false)
+    | Texp_assert (e', _) -> length_derived 1 e'
+    | _ -> false
+  in
+  let unsafe_op parts =
+    match List.rev parts with
+    | fn :: m :: _
+      when List.mem fn
+             [ "unsafe_get"; "unsafe_set"; "unsafe_clear"; "unsafe_fill";
+               "unsafe_blit" ]
+           && List.mem m [ "Array"; "Bytes"; "String"; "Bitvec"; "Floatarray" ]
+      ->
+        Some (m ^ "." ^ fn)
+    | _ -> None
+  in
   let check_ident loc parts =
+    (match Callgraph.nondet_of_parts parts with
+    | Some src ->
+        nondet :=
+          { Callgraph.d_node = !cur_node; d_src = src; d_line = loc_line loc }
+          :: !nondet
+    | None -> ());
     (match parts with
     | "Stdlib" :: "Random" :: _ when not rng_exempt ->
         emit loc "R1"
@@ -405,9 +567,10 @@ let analyze ~path str =
      non-atomic mutable type is shared writable state crossing the domain
      boundary.  Worker functions bound in the same unit are expanded one
      level so [Domain.spawn (worker i)] is seen through. *)
-  let check_spawn_arg arg =
+  let check_spawn_arg spawn_loc arg =
     let bound : (Ident.t, unit) Hashtbl.t = Hashtbl.create 32 in
     let expanded : (Ident.t, unit) Hashtbl.t = Hashtbl.create 8 in
+    let caps = ref [] in
     let iter = Tast_iterator.default_iterator in
     let pat_hook : type k. Tast_iterator.iterator -> k general_pattern -> unit
         =
@@ -423,6 +586,14 @@ let analyze ~path str =
       | Texp_ident (p, _, _) -> (
           let env = real_env e.exp_env in
           let free_local id = not (Hashtbl.mem bound id) in
+          (* R10 fact: Rng streams crossing the domain boundary *)
+          (match p with
+          | Path.Pident id
+            when free_local id
+                 && is_rng_t env e.exp_type
+                 && not (List.mem (stamp id) !caps) ->
+              caps := stamp id :: !caps
+          | _ -> ());
           let flag what =
             emit e.exp_loc "R7"
               ("closure passed to Domain.spawn captures non-atomic mutable \
@@ -455,18 +626,25 @@ let analyze ~path str =
       iter.expr it e
     in
     let it = { iter with expr = expr_hook; pat = pat_hook } in
-    expr_hook it arg
+    expr_hook it arg;
+    spawn_caps :=
+      {
+        Callgraph.s_node = !cur_node;
+        s_line = loc_line spawn_loc;
+        s_caps = !caps;
+      }
+      :: !spawn_caps
   in
   (* R6 candidates: mutable state constructed while initializing a
      top-level binding.  Function bodies are skipped — cells created per
      call are not shared — and Atomic.make is the sanctioned escape. *)
-  let scan_top_rhs rhs =
+  let scan_top_rhs ~anchors rhs =
     let iter = Tast_iterator.default_iterator in
     let rec expr_hook it e =
       match e.exp_desc with
       | Texp_function _ -> ()
       | Texp_array _ ->
-          emit_r6 e.exp_loc
+          emit_r6 ~anchors e.exp_loc
             "top-level array literal is cross-domain mutable state: use \
              Atomic.t, immutable data, or a reasoned rblint:allow R6 marker";
           iter.expr it e
@@ -474,7 +652,7 @@ let analyze ~path str =
         when Array.exists
                (fun (l, _) -> l.Types.lbl_mut = Asttypes.Mutable)
                fields ->
-          emit_r6 e.exp_loc
+          emit_r6 ~anchors e.exp_loc
             "top-level record with mutable fields is cross-domain mutable \
              state: use Atomic.t, immutable data, or a reasoned \
              rblint:allow R6 marker";
@@ -482,7 +660,7 @@ let analyze ~path str =
       | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
           let parts = parts_of aliases p in
           let ctor what =
-            emit_r6 e.exp_loc
+            emit_r6 ~anchors e.exp_loc
               ("top-level mutable state (" ^ what
              ^ ") in a module reachable from a Domain.spawn worker: use \
                 Atomic.t or document domain safety with a reasoned \
@@ -511,10 +689,64 @@ let analyze ~path str =
   in
   (* --- main traversal ---------------------------------------------- *)
   let iter = Tast_iterator.default_iterator in
+  (* The wrapper maintains the anchor stack; expr_core does the work. *)
   let rec expr_hook it e =
+    let loc = e.exp_loc in
+    if loc.Location.loc_ghost then expr_core it e
+    else begin
+      let l = loc.Location.loc_start.pos_lnum in
+      let prev = !anchor_stack in
+      if not (List.mem l prev) then anchor_stack := l :: prev;
+      expr_core it e;
+      anchor_stack := prev
+    end
+  and expr_core it e =
     match e.exp_desc with
     | Texp_apply (({ exp_desc = Texp_ident (p, _, _); _ } as fn), args) -> (
         let parts = parts_of aliases p in
+        (* Call-graph fact: every application is an edge; bare Rng.t
+           identifier arguments are recorded by slot for R10 and excluded
+           from the plain-occurrence count. *)
+        let is_rng_arg a =
+          match a.exp_desc with
+          | Texp_ident (Path.Pident id, _, _)
+            when is_rng_t (real_env a.exp_env) a.exp_type ->
+              Some id
+          | _ -> None
+        in
+        let rng_args =
+          let pos = ref 0 in
+          List.filter_map
+            (fun (lbl, eo) ->
+              let sl =
+                match lbl with
+                | Asttypes.Nolabel ->
+                    let i = !pos in
+                    incr pos;
+                    Callgraph.Pos i
+                | Asttypes.Labelled l | Asttypes.Optional l -> Callgraph.Lab l
+              in
+              match eo with
+              | Some a when !in_spawn = 0 -> (
+                  match is_rng_arg a with
+                  | Some id -> Some (sl, stamp id)
+                  | None -> None)
+              | _ -> None)
+            args
+        in
+        record_ref ~rng_args p fn.exp_loc;
+        let visit_args () =
+          List.iter
+            (fun (_, eo) ->
+              match eo with
+              | Some a -> (
+                  match is_rng_arg a with
+                  | Some _ when !in_spawn = 0 ->
+                      () (* counted as a call argument, not a plain use *)
+                  | _ -> expr_hook it a)
+              | None -> ())
+            args
+        in
         match parts with
         | [ "Stdlib"; op ] when List.mem op poly_ops ->
             (if in_r2 then
@@ -534,7 +766,7 @@ let analyze ~path str =
                    emit fn.exp_loc "R2"
                      ("comparison operator (" ^ op
                     ^ ") partially applied: pass a monomorphic comparator"));
-            List.iter (fun (_, eo) -> Option.iter (expr_hook it) eo) args
+            visit_args ()
         | [ "Stdlib"; (("min" | "max") as op) ] ->
             (if in_r2 then
                match args with
@@ -551,17 +783,37 @@ let analyze ~path str =
                      (op
                     ^ " partially applied: pass a monomorphic min/max or \
                        comparator"));
-            List.iter (fun (_, eo) -> Option.iter (expr_hook it) eo) args
+            visit_args ()
         | [ "Stdlib"; "Domain"; "spawn" ] ->
             spawns := true;
             List.iter
-              (fun (_, eo) -> Option.iter (fun a -> check_spawn_arg a) eo)
+              (fun (_, eo) ->
+                Option.iter (fun a -> check_spawn_arg fn.exp_loc a) eo)
               args;
-            List.iter (fun (_, eo) -> Option.iter (expr_hook it) eo) args
+            incr in_spawn;
+            visit_args ();
+            decr in_spawn
         | _ ->
+            (match unsafe_op parts with
+            | Some op when !guard = 0 ->
+                emit fn.exp_loc "R9"
+                  ("unchecked " ^ op
+                 ^ ": not dominated by a bounds guard in this function — \
+                    guard with a length-derived for-bound, if/while \
+                    comparison, or raising precondition, or justify with a \
+                    reasoned rblint:allow R9")
+            | _ -> ());
             check_ident fn.exp_loc parts;
-            List.iter (fun (_, eo) -> Option.iter (expr_hook it) eo) args)
+            visit_args ())
     | Texp_ident (p, _, _) -> (
+        (match p with
+        | Path.Pident id
+          when !in_spawn = 0 && is_rng_t (real_env e.exp_env) e.exp_type ->
+            occs :=
+              { Callgraph.o_stamp = stamp id; o_line = loc_line e.exp_loc }
+              :: !occs
+        | _ -> ());
+        record_ref p e.exp_loc;
         let parts = parts_of aliases p in
         match parts with
         | [ "Stdlib"; op ] when List.mem op poly_ops ->
@@ -582,10 +834,47 @@ let analyze ~path str =
               | _ -> emit e.exp_loc "R2" (minmax_msg op (type_to_string e.exp_type))
             end
         | [ "Stdlib"; "Domain"; "spawn" ] -> spawns := true
-        | _ -> check_ident e.exp_loc parts)
+        | _ -> (
+            (match unsafe_op parts with
+            | Some op ->
+                emit e.exp_loc "R9"
+                  ("unchecked " ^ op
+                 ^ " used as a value: an escaping unsafe accessor can never \
+                    be bounds-checked at its use sites — wrap it in a \
+                    guarded helper")
+            | None -> ());
+            check_ident e.exp_loc parts))
     | Texp_letmodule (Some id, _, _, { mod_desc = Tmod_ident (p, _); _ }, _) ->
         Hashtbl.replace aliases id (resolve_alias aliases p);
         iter.expr it e
+    (* R9 guarded contexts: recurse manually so the guard counter covers
+       exactly the dominated sub-expressions. *)
+    | Texp_for (_, _, lo, hi, _, body) ->
+        expr_hook it lo;
+        expr_hook it hi;
+        let g = length_derived 1 hi || length_derived 1 lo in
+        if g then incr guard;
+        expr_hook it body;
+        if g then decr guard
+    | Texp_while (cond, body) ->
+        expr_hook it cond;
+        let g = length_derived 1 cond in
+        if g then incr guard;
+        expr_hook it body;
+        if g then decr guard
+    | Texp_ifthenelse (cond, th, el) ->
+        expr_hook it cond;
+        let g = length_derived 1 cond in
+        if g then incr guard;
+        expr_hook it th;
+        Option.iter (expr_hook it) el;
+        if g then decr guard
+    | Texp_sequence (e1, e2) ->
+        expr_hook it e1;
+        let g = seq_guard e1 in
+        if g then incr guard;
+        expr_hook it e2;
+        if g then decr guard
     | _ -> iter.expr it e
   in
   let module_expr_hook it m =
@@ -611,19 +900,43 @@ let analyze ~path str =
   in
   let value_binding_hook it vb =
     (match vb.vb_pat.pat_desc with
-    | Tpat_var (id, _) -> Hashtbl.replace val_defs id vb.vb_expr
+    | Tpat_var (id, _) ->
+        Hashtbl.replace val_defs id vb.vb_expr;
+        (* R10 fact: a locally created stream whose ownership we track *)
+        (match vb.vb_expr.exp_desc with
+        | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _)
+          when (match List.rev (parts_of aliases p) with
+               | ("create" | "split" | "copy") :: "Rng" :: _ -> true
+               | _ -> false)
+               && is_rng_t (real_env vb.vb_expr.exp_env) vb.vb_expr.exp_type
+          ->
+            let l = loc_line vb.vb_loc in
+            binds :=
+              {
+                Callgraph.b_stamp = stamp id;
+                b_name = Ident.name id;
+                b_line = l;
+                b_anchors = l :: !anchor_stack;
+              }
+              :: !binds
+        | _ -> ())
     | _ -> ());
     let is_hot =
       List.exists
         (fun a -> a.Parsetree.attr_name.txt = "zero_alloc_hot")
         vb.vb_attributes
     in
-    if is_hot then begin
-      incr hot;
-      iter.value_binding it vb;
-      decr hot
-    end
-    else iter.value_binding it vb
+    let prev = !anchor_stack in
+    (let l = loc_line vb.vb_loc in
+     if not (vb.vb_loc.Location.loc_ghost || List.mem l prev) then
+       anchor_stack := l :: prev);
+    (if is_hot then begin
+       incr hot;
+       iter.value_binding it vb;
+       decr hot
+     end
+     else iter.value_binding it vb);
+    anchor_stack := prev
   in
   let it =
     {
@@ -634,13 +947,104 @@ let analyze ~path str =
       value_binding = value_binding_hook;
     }
   in
-  it.structure it str;
+  (* Custom top-level drive: module-level value bindings become call-graph
+     nodes (key = unit key + nested module path + name); everything below
+     them is attributed to the enclosing node.  The iterator hooks still
+     serve expression-level traversal. *)
+  let slot_params rhs =
+    let pos = ref 0 in
+    let rec peel acc e =
+      match e.exp_desc with
+      | Texp_function { arg_label; param; cases = [ c ]; _ } ->
+          let sl =
+            match arg_label with
+            | Asttypes.Nolabel ->
+                let i = !pos in
+                incr pos;
+                Callgraph.Pos i
+            | Asttypes.Labelled l | Asttypes.Optional l -> Callgraph.Lab l
+          in
+          peel ((sl, stamp param) :: acc) c.c_rhs
+      | _ -> List.rev acc
+    in
+    peel [] rhs
+  in
+  let rec walk_items prefix items =
+    List.iter
+      (fun item ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) -> List.iter (top_vb prefix) vbs
+        | Tstr_module mb -> walk_mb prefix mb
+        | Tstr_recmodule mbs -> List.iter (walk_mb prefix) mbs
+        | Tstr_eval (e, _) ->
+            cur_node := prefix @ [ "<init>" ];
+            expr_hook it e
+        | Tstr_include i ->
+            cur_node := prefix @ [ "<include>" ];
+            walk_mod prefix i.incl_mod
+        | _ -> ())
+      items
+  and walk_mb prefix mb =
+    match (mb.mb_id, mb.mb_expr.mod_desc) with
+    | Some _, Tmod_ident _ ->
+        module_binding_hook it mb (* alias registration + R1/R3 *)
+    | Some id, _ ->
+        let p' = prefix @ [ Ident.name id ] in
+        Hashtbl.replace mod_keys (stamp id) p';
+        walk_mod p' mb.mb_expr
+    | None, _ -> walk_mod prefix mb.mb_expr
+  and walk_mod prefix m =
+    match m.mod_desc with
+    | Tmod_structure s -> walk_items prefix s.str_items
+    | Tmod_constraint (m', _, _, _) -> walk_mod prefix m'
+    | Tmod_functor (_, m') -> walk_mod prefix m'
+    | Tmod_ident _ -> module_expr_hook it m
+    | Tmod_apply (f, a, _) ->
+        walk_mod prefix f;
+        walk_mod prefix a
+    | _ -> ()
+  and top_vb prefix vb =
+    match vb.vb_pat.pat_desc with
+    | Tpat_var (id, _) ->
+        let key = prefix @ [ Ident.name id ] in
+        Hashtbl.replace val_keys (stamp id) key;
+        nodes :=
+          {
+            Callgraph.n_key = key;
+            n_line = loc_line vb.vb_loc;
+            n_params = slot_params vb.vb_expr;
+          }
+          :: !nodes;
+        cur_node := key;
+        (* R10: a top-level binding holding a stream (in any container) is
+           shared state no single caller owns. *)
+        (let env = real_env vb.vb_expr.exp_env in
+         if
+           in_lib
+           && (not (is_function_type env vb.vb_expr.exp_type))
+           && mentions_rng env vb.vb_expr.exp_type
+         then
+           emit vb.vb_loc "R10"
+             ("top-level binding `" ^ Ident.name id
+            ^ "` holds an Rng stream: streams must be created (or split) \
+               inside the entry point that owns them, not stored in module \
+               state"));
+        value_binding_hook it vb
+    | _ ->
+        cur_node := prefix @ [ "<pattern>" ];
+        value_binding_hook it vb
+  in
+  walk_items unit_key str.str_items;
   (* R6 pass: top-level bindings only, including nested top-level modules. *)
   let rec scan_structure s =
     List.iter
       (fun item ->
         match item.str_desc with
-        | Tstr_value (_, vbs) -> List.iter (fun vb -> scan_top_rhs vb.vb_expr) vbs
+        | Tstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                scan_top_rhs ~anchors:[ loc_line vb.vb_loc ] vb.vb_expr)
+              vbs
         | Tstr_module mb -> scan_module mb.mb_expr
         | Tstr_recmodule mbs -> List.iter (fun mb -> scan_module mb.mb_expr) mbs
         | _ -> ())
@@ -652,6 +1056,56 @@ let analyze ~path str =
     | _ -> ()
   in
   scan_structure str;
+  (* Resolve deferred references into call edges.  Local stamps map to
+     node keys; dotted paths rooted in a unit-local module map through the
+     module-stamp table; anything else flattens to its global parts. *)
+  let calls =
+    List.filter_map
+      (fun (caller, p, line, rng_args) ->
+        let resolved =
+          match p with
+          | Path.Pident id -> Hashtbl.find_opt val_keys (stamp id)
+          | _ -> (
+              let rec root = function
+                | Path.Pident id -> Some id
+                | Path.Pdot (q, _) -> root q
+                | _ -> None
+              in
+              match root p with
+              | Some rid when Hashtbl.mem mod_keys (stamp rid) -> (
+                  match Path.flatten p with
+                  | `Ok (_, rest) ->
+                      Some (Hashtbl.find mod_keys (stamp rid) @ rest)
+                  | `Contains_apply -> None)
+              | _ -> (
+                  match parts_of aliases p with
+                  | [] -> None
+                  | parts -> Some parts))
+        in
+        match resolved with
+        | Some k ->
+            Some
+              {
+                Callgraph.c_caller = caller;
+                c_callee = k;
+                c_line = line;
+                c_rng_args = rng_args;
+              }
+        | None -> None)
+      !raw_refs
+  in
+  let facts =
+    {
+      Callgraph.uf_unit = modname;
+      uf_file = file;
+      uf_nodes = List.rev !nodes;
+      uf_calls = calls;
+      uf_nondet = List.rev !nondet;
+      uf_spawns = List.rev !spawn_caps;
+      uf_occs = List.rev !occs;
+      uf_binds = List.rev !binds;
+    }
+  in
   let sort fs =
     List.sort
       (fun a b ->
@@ -660,23 +1114,24 @@ let analyze ~path str =
         | c -> c)
       fs
   in
-  (sort (List.rev !findings), sort (List.rev !r6), !spawns)
+  (sort (List.rev !findings), sort (List.rev !r6), !spawns, facts)
 
 (* ------------------------------------------------------------------ *)
 (* Frontends                                                           *)
 
 let make_unit ~path ~source ~modname ~imports str =
   let file = normalize path in
-  let findings, r6, sp = analyze ~path str in
+  let findings, r6, sp, facts = analyze ~path ~modname str in
   let r0, valid = validate_allows ~file (collect_allows source) in
   {
     u_path = file;
     u_modname = modname;
     u_imports = imports;
     u_spawns = sp;
-    u_findings = r0 @ filter_allowed valid findings;
+    u_findings = r0 @ findings;
     u_r6 = r6;
     u_allows = valid;
+    u_facts = facts;
   }
 
 let error_unit ~path ~rule msg =
@@ -685,9 +1140,11 @@ let error_unit ~path ~rule msg =
     u_modname = "";
     u_imports = [];
     u_spawns = false;
-    u_findings = [ { file = normalize path; line = 1; col = 0; rule; msg } ];
+    u_findings =
+      [ { file = normalize path; line = 1; col = 0; rule; msg; anchors = [] } ];
     u_r6 = [];
     u_allows = [];
+    u_facts = Callgraph.empty_facts;
   }
 
 (* cmt frontend: the CLI path.  Sets the load path recorded in the cmt so
@@ -798,26 +1255,101 @@ let domain_reachable units =
   List.iter visit seeds;
   fun u -> u.u_modname <> "" && Hashtbl.mem reachable u.u_modname
 
-let finalize units =
+(* One row of the suppression-debt ledger: every valid allow in the tree,
+   with whether it still suppresses anything.  A stale allow (l_used =
+   false) is debt that outlived its finding. *)
+type ledger_entry = {
+  l_file : string;
+  l_line : int;
+  l_rule : string;
+  l_reason : string;
+  l_used : bool;
+}
+
+(* Whole-tree finalization: R6 reachability filtering, the R8/R10
+   call-graph analyses, suppression application with usage tracking.
+   Returns the surviving findings and the allow ledger. *)
+let finalize_full ?r8_sinks units =
   let reachable = domain_reachable units in
+  let facts = List.map (fun u -> u.u_facts) units in
+  let cg =
+    (match r8_sinks with
+    | Some sinks -> Callgraph.r8_findings ~sinks facts
+    | None -> Callgraph.r8_findings facts)
+    @ Callgraph.r10_findings facts
+  in
+  let cg_by_file : (string, Callgraph.cg_finding) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter (fun (g : Callgraph.cg_finding) -> Hashtbl.add cg_by_file g.g_file g) cg;
+  let used : (string * int * string, unit) Hashtbl.t = Hashtbl.create 64 in
   let all =
     List.concat_map
       (fun u ->
-        let r6 = if reachable u then filter_allowed u.u_allows u.u_r6 else [] in
-        u.u_findings @ r6)
+        let mark a = Hashtbl.replace used (u.u_path, a.a_line, a.a_rule) () in
+        let graph =
+          List.map
+            (fun (g : Callgraph.cg_finding) ->
+              {
+                file = g.g_file;
+                line = g.g_line;
+                col = 0;
+                rule = g.g_rule;
+                msg = g.g_msg;
+                anchors = g.g_anchors;
+              })
+            (Hashtbl.find_all cg_by_file u.u_path)
+        in
+        let r6 = if reachable u then u.u_r6 else [] in
+        filter_allowed ~on_use:mark u.u_allows (u.u_findings @ r6 @ graph))
       units
   in
-  List.sort
-    (fun a b ->
-      match String.compare a.file b.file with
-      | 0 -> (
-          match Int.compare a.line b.line with
-          | 0 -> Int.compare a.col b.col
-          | c -> c)
-      | c -> c)
-    all
+  let ledger =
+    List.concat_map
+      (fun u ->
+        List.map
+          (fun a ->
+            {
+              l_file = u.u_path;
+              l_line = a.a_line;
+              l_rule = a.a_rule;
+              l_reason = a.a_reason;
+              l_used = Hashtbl.mem used (u.u_path, a.a_line, a.a_rule);
+            })
+          u.u_allows)
+      units
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match String.compare a.file b.file with
+        | 0 -> (
+            match Int.compare a.line b.line with
+            | 0 -> Int.compare a.col b.col
+            | c -> c)
+        | c -> c)
+      all
+  in
+  let ledger =
+    List.sort
+      (fun a b ->
+        match String.compare a.l_file b.l_file with
+        | 0 -> Int.compare a.l_line b.l_line
+        | c -> c)
+      ledger
+  in
+  (sorted, ledger)
+
+let finalize units = fst (finalize_full units)
 
 (* Convenience for tests: lint one standalone source string (typechecked
    in-process; the module is its own reachability universe, so R6 fires
-   only when the source itself spawns domains). *)
-let lint_source ~path ~source = finalize [ lint_unit_of_source ~path ~source ]
+   only when the source itself spawns domains).  [r8_sinks] overrides the
+   sanctioned-sink table so its seam is testable. *)
+let lint_source ~path ~source =
+  fst (finalize_full [ lint_unit_of_source ~path ~source ])
+
+(* Same, with the sanctioned-sink table overridden — lets the fixture
+   tests exercise the sink seam without touching the real table. *)
+let lint_source_sinks ~r8_sinks ~path ~source =
+  fst (finalize_full ~r8_sinks [ lint_unit_of_source ~path ~source ])

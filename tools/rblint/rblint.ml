@@ -1,6 +1,6 @@
 (* rblint CLI.
 
-   Usage: rblint [--json] PATH...
+   Usage: rblint [--audit] [--json] PATH...
 
    Each PATH is a file or directory searched recursively for `.cmt` files
    (dune emits them under `_build/default/.../byte/`); the typed trees
@@ -8,10 +8,16 @@
    (`_build/default`) so the load paths recorded in the cmts resolve and
    stored typing environments rehydrate.
 
-   Exit codes: 0 clean, 1 findings, 2 usage error. *)
+   `--audit` prints the suppression-debt ledger (one row per
+   [rblint:allow] marker) instead of the findings themselves, and fails
+   on *stale* allows — markers that no longer suppress anything — and on
+   R0 (malformed allows), so dead suppressions cannot accumulate.
+
+   Exit codes: 0 clean, 1 findings (or stale allows under --audit),
+   2 usage error. *)
 
 let usage () =
-  prerr_endline "usage: rblint [--json] PATH...";
+  prerr_endline "usage: rblint [--audit] [--json] PATH...";
   exit 2
 
 let rec collect_cmts path acc =
@@ -28,12 +34,17 @@ let rec collect_cmts path acc =
   | false -> if Filename.check_suffix path ".cmt" then path :: acc else acc
 
 let () =
-  let json, paths =
+  let audit, json, paths =
+    let rec flags audit json = function
+      | "--audit" :: rest -> flags true json rest
+      | "--json" :: rest -> flags audit true rest
+      | rest ->
+          if List.exists (fun a -> a = "--audit" || a = "--json") rest then
+            usage ();
+          (audit, json, rest)
+    in
     match Array.to_list Sys.argv with
-    | _ :: "--json" :: rest -> (true, rest)
-    | _ :: rest ->
-        if List.mem "--json" rest then usage ();
-        (false, rest)
+    | _ :: rest -> flags false false rest
     | [] -> usage ()
   in
   if paths = [] then usage ();
@@ -62,7 +73,17 @@ let () =
             end)
       (List.rev cmts)
   in
-  let findings = Lint.finalize units in
+  let findings, ledger = Lint.finalize_full units in
+  if audit then begin
+    (* Malformed allows (R0) are still findings under --audit: a ledger
+       that silently skipped them would hide exactly the debt it exists
+       to surface. *)
+    let r0 = List.filter (fun f -> f.Lint.rule = "R0") findings in
+    let lines, stale = Audit.report ~json ledger in
+    List.iter print_endline lines;
+    List.iter (fun f -> print_endline (Lint.pp_finding f)) r0;
+    exit (if stale > 0 || r0 <> [] then 1 else 0)
+  end;
   if json then begin
     print_string "{ \"files\": ";
     print_string (string_of_int (List.length units));

@@ -1,0 +1,47 @@
+(* R10 fixture: every way one Rng stream can grow two owners.  The local
+   [Rng] module is sealed behind an abstract signature, like the real
+   Rn_util.Rng, so the stream type carries no visible mutability (R7
+   stays quiet and R10 alone speaks). *)
+
+module Rng : sig
+  type t
+
+  val create : seed:int -> t
+  val split : t -> t
+  val int : t -> int -> int
+end = struct
+  type t = int ref
+
+  let create ~seed = ref seed
+  let split r = ref (!r * 7)
+
+  let int r b =
+    incr r;
+    !r mod b
+end
+
+(* two spawn closures capture one stream *)
+let two_spawn_race () =
+  let rng = Rng.create ~seed:1 in
+  let a = Domain.spawn (fun () -> Rng.int rng 10) in
+  let b = Domain.spawn (fun () -> Rng.int rng 10) in
+  Domain.join a + Domain.join b
+
+(* the parent keeps drawing after handing the stream to a worker *)
+let use_after_handoff () =
+  let rng = Rng.create ~seed:2 in
+  let a = Domain.spawn (fun () -> Rng.int rng 10) in
+  let x = Rng.int rng 10 in
+  Domain.join a + x
+
+(* consumption through a callee: [worker]'s slot is consuming *)
+let worker rng = Domain.spawn (fun () -> Rng.int rng 10)
+
+let via_callee () =
+  let rng = Rng.create ~seed:3 in
+  let a = worker rng in
+  let b = worker rng in
+  Domain.join a + Domain.join b
+
+(* a stream in module state has no single owner at all *)
+let global_rng = Rng.create ~seed:4

@@ -1,0 +1,13 @@
+(* R8 fixture: nondeterminism flowing into simulation-shaped code.  The
+   wall clock taints a three-deep call chain; Hashtbl iteration order and
+   GC statistics taint their direct users. *)
+
+let now () = Sys.time ()
+
+let jitter r = now () +. r
+
+let schedule_delay r = jitter r *. 2.
+
+let count_buckets tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0
+
+let gc_pressure () = (Gc.quick_stat ()).Gc.minor_words

@@ -1,0 +1,22 @@
+(* R9 fixture: the guarded forms are clean — a length-derived for bound,
+   a raising precondition, an if comparison — and the unguarded accesses
+   and the bare alias fire. *)
+
+let sum_guarded a =
+  let acc = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc + Array.unsafe_get a i
+  done;
+  !acc
+
+let get_checked a i =
+  if i < 0 || i >= Array.length a then invalid_arg "get_checked";
+  Array.unsafe_get a i
+
+let last_if_any a = if Array.length a > 0 then Array.unsafe_get a 0 else 0
+
+let head_unchecked a = Array.unsafe_get a 0
+
+let set_unchecked a i = Array.unsafe_set a i 7
+
+let bare_alias = Array.unsafe_get

@@ -1,0 +1,19 @@
+(* Call-graph extraction fixture: edges must survive nesting, module
+   aliasing, [open], and [let rec ... and ...] forward references. *)
+
+let base x = x + 1
+
+module A = struct
+  let inner y = base y
+end
+
+module B = A
+
+let via_alias z = B.inner z
+
+open A
+
+let via_open w = inner w
+
+let rec even n = n = 0 || odd (n - 1)
+and odd n = n > 0 && even (n - 1)

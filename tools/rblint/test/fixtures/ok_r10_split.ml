@@ -1,0 +1,27 @@
+(* R10 clean fixture: the parent splits one child stream per worker and
+   hands each child to exactly one spawn — the sanctioned pattern. *)
+
+module Rng : sig
+  type t
+
+  val create : seed:int -> t
+  val split : t -> t
+  val int : t -> int -> int
+end = struct
+  type t = int ref
+
+  let create ~seed = ref seed
+  let split r = ref (!r * 7)
+
+  let int r b =
+    incr r;
+    !r mod b
+end
+
+let split_owners () =
+  let rng = Rng.create ~seed:1 in
+  let r1 = Rng.split rng in
+  let r2 = Rng.split rng in
+  let a = Domain.spawn (fun () -> Rng.int r1 10) in
+  let b = Domain.spawn (fun () -> Rng.int r2 10) in
+  Domain.join a + Domain.join b

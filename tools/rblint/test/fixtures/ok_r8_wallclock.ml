@@ -1,0 +1,7 @@
+(* R8 sink fixture: [now] reads the wall clock, but when it is listed in
+   the sanctioned-sink table the taint is absorbed — neither [now] nor
+   its callers are findings. *)
+
+let now () = Sys.time ()
+
+let elapsed t0 = now () -. t0

@@ -1,0 +1,16 @@
+(* Span-scoped suppression fixture: the finding sits on an inner line of
+   a multi-line definition, the marker sits above the definition — the
+   enclosing-expression anchors must connect them. *)
+
+type point = { x : int; y : int }
+
+(* rblint:allow R2 record equality in a cold test helper; the monomorphic compare lands with the grid refactor *)
+let same_cell a b =
+  List.for_all
+    (fun (p, q) ->
+      p = q)
+    [ (a, b) ]
+
+let origin = { x = 0; y = 0 }
+
+let check () = same_cell origin origin

@@ -1,0 +1,6 @@
+(* Audit fixture: a well-formed allow that suppresses nothing.  The
+   comparison it once excused was rewritten; the marker outlived it and
+   must show up stale in the ledger. *)
+
+(* rblint:allow R2 legacy tuple comparison, rewritten monomorphically long ago *)
+let add a b = a + b

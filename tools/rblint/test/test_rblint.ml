@@ -5,7 +5,11 @@
    so the scoped rules (R2, R4) apply.  The v2 cases prove the typed
    analysis sees what the untyped v1 pass provably could not: bare-variable
    polymorphic comparisons, aliased hot-path callees, and mutable state
-   crossing Domain.spawn. *)
+   crossing Domain.spawn.  The v3 cases exercise the interprocedural
+   engine: call-graph extraction through aliases/opens/mutual recursion,
+   R8 determinism taint with sanctioned sinks, R9 unsafe-index dominance,
+   R10 RNG-stream linearity, span-scoped suppressions, and the
+   suppression-debt ledger behind --audit. *)
 
 let read_fixture name =
   let path = Filename.concat "fixtures" name in
@@ -25,6 +29,11 @@ let count rule fs =
 
 let check_rules what expected fs =
   Alcotest.(check (list string)) what expected (rules fs)
+
+let contains sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
 
 let replace ~sub ~by s =
   let sl = String.length sub in
@@ -195,7 +204,14 @@ let test_reachability () =
      that imports the spawner (it hands closures to workers) is shared;
      an unrelated unit with identical mutable state is not. *)
   let candidate file =
-    { Lint.file; line = 3; col = 0; rule = "R6"; msg = "top-level ref" }
+    {
+      Lint.file;
+      line = 3;
+      col = 0;
+      rule = "R6";
+      msg = "top-level ref";
+      anchors = [];
+    }
   in
   let unit ~path ~modname ~imports ~spawns ~r6 =
     {
@@ -206,6 +222,7 @@ let test_reachability () =
       u_findings = [];
       u_r6 = (if r6 then [ candidate path ] else []);
       u_allows = [];
+      u_facts = Callgraph.empty_facts;
     }
   in
   let runner =
@@ -230,6 +247,129 @@ let test_reachability () =
     "feeder and its deps flagged, unrelated unit clean"
     [ "bench/main.ml"; "lib/util/table.ml" ]
     (List.map (fun f -> f.Lint.file) fs)
+
+(* ------------------------------------------------------------------ *)
+(* v3: call graph, R8/R9/R10, span suppressions, audit ledger          *)
+
+let test_cg_edges () =
+  let u =
+    Lint.lint_unit_of_source ~path:"lib/radio/cg_edges.ml"
+      ~source:(read_fixture "cg_edges.ml")
+  in
+  let es = Callgraph.edges [ u.Lint.u_facts ] in
+  let has caller callee =
+    List.exists (fun (c, e, _) -> c = caller && e = callee) es
+  in
+  let k xs = "Cg_edges" :: xs in
+  Alcotest.(check bool) "nested: A.inner -> base" true
+    (has (k [ "A"; "inner" ]) (k [ "base" ]));
+  Alcotest.(check bool) "aliased: via_alias -> A.inner (module B = A)" true
+    (has (k [ "via_alias" ]) (k [ "A"; "inner" ]));
+  Alcotest.(check bool) "opened: via_open -> A.inner (open A)" true
+    (has (k [ "via_open" ]) (k [ "A"; "inner" ]));
+  Alcotest.(check bool) "mutual: even -> odd (forward reference)" true
+    (has (k [ "even" ]) (k [ "odd" ]));
+  Alcotest.(check bool) "mutual: odd -> even" true
+    (has (k [ "odd" ]) (k [ "even" ]))
+
+let test_r8 () =
+  let fs = lint_as ~path:"lib/radio/bad_r8.ml" "bad_r8.ml" in
+  check_rules "R8 only" [ "R8" ] fs;
+  (* now -> jitter -> schedule_delay, plus the two direct users *)
+  Alcotest.(check int) "three-deep chain + Hashtbl + Gc" 5 (count "R8" fs);
+  Alcotest.(check bool) "witness chain names the source" true
+    (List.exists (fun f -> contains "Sys.time" f.Lint.msg) fs);
+  Alcotest.(check bool) "witness chain walks the calls" true
+    (List.exists
+       (fun f ->
+         contains "Bad_r8.schedule_delay -> Bad_r8.jitter" f.Lint.msg)
+       fs);
+  (* outside lib/ wall-clock is free: that is where bench timing lives *)
+  let fs = lint_as ~path:"bench/bad_r8.ml" "bad_r8.ml" in
+  Alcotest.(check int) "bench exempt" 0 (count "R8" fs)
+
+let test_r8_sink () =
+  let source = read_fixture "ok_r8_wallclock.ml" in
+  let fs = Lint.lint_source ~path:"lib/radio/ok_r8_wallclock.ml" ~source in
+  Alcotest.(check int) "unsanctioned: now and its caller tainted" 2
+    (count "R8" fs);
+  let fs =
+    Lint.lint_source_sinks
+      ~r8_sinks:[ [ "Ok_r8_wallclock"; "now" ] ]
+      ~path:"lib/radio/ok_r8_wallclock.ml" ~source
+  in
+  Alcotest.(check int) "sanctioned sink absorbs the taint" 0 (List.length fs)
+
+let test_r9 () =
+  let fs = lint_as ~path:"lib/coding/bad_r9.ml" "bad_r9.ml" in
+  check_rules "R9 only" [ "R9" ] fs;
+  (* length-derived for bound, raising precondition and if comparison are
+     clean; the two unchecked accesses and the bare alias fire *)
+  Alcotest.(check int) "guarded forms clean, three sites fire" 3
+    (count "R9" fs)
+
+let test_r10 () =
+  let fs = lint_as ~path:"lib/radio/bad_r10.ml" "bad_r10.ml" in
+  check_rules "R10 only" [ "R10" ] fs;
+  (* two spawn captures, use-after-handoff, double consumption through a
+     callee, and the module-state stream *)
+  Alcotest.(check int) "all four ownership violations" 4 (count "R10" fs);
+  Alcotest.(check bool) "use-after-handoff names the race" true
+    (List.exists (fun f -> contains "used again after" f.Lint.msg) fs);
+  let fs = lint_as ~path:"lib/radio/ok_r10_split.ml" "ok_r10_split.ml" in
+  Alcotest.(check int) "split-per-owner is clean" 0 (List.length fs)
+
+let test_suppress_multiline () =
+  let fs =
+    lint_as ~path:"lib/core/ok_suppress_multiline.ml" "ok_suppress_multiline.ml"
+  in
+  Alcotest.(check int) "marker above the definition reaches the inner line" 0
+    (List.length fs);
+  let stripped =
+    replace ~sub:"rblint:allow R2" ~by:"ownership note:"
+      (read_fixture "ok_suppress_multiline.ml")
+  in
+  let fs =
+    Lint.lint_source ~path:"lib/core/ok_suppress_multiline2.ml"
+      ~source:stripped
+  in
+  check_rules "marker stripped: the inner R2 resurfaces" [ "R2" ] fs
+
+let test_audit_ledger () =
+  let u path name =
+    Lint.lint_unit_of_source ~path ~source:(read_fixture name)
+  in
+  let units =
+    [
+      u "lib/core/ok_suppress_multiline.ml" "ok_suppress_multiline.ml";
+      u "lib/core/stale_allow.ml" "stale_allow.ml";
+    ]
+  in
+  let findings, ledger = Lint.finalize_full units in
+  Alcotest.(check int) "no findings" 0 (List.length findings);
+  Alcotest.(check int) "two allows in the ledger" 2 (List.length ledger);
+  Alcotest.(check int) "one used" 1
+    (List.length (List.filter (fun e -> e.Lint.l_used) ledger));
+  (match List.filter (fun e -> not e.Lint.l_used) ledger with
+  | [ e ] ->
+      Alcotest.(check string) "stale file" "lib/core/stale_allow.ml"
+        e.Lint.l_file;
+      Alcotest.(check string) "stale rule" "R2" e.Lint.l_rule
+  | _ -> Alcotest.fail "expected exactly one stale allow");
+  let lines, nstale = Audit.report ~json:false ~ages:false ledger in
+  Alcotest.(check int) "report counts one stale" 1 nstale;
+  Alcotest.(check bool) "text summary row" true
+    (List.exists (contains "2 allows, 1 stale") lines);
+  Alcotest.(check bool) "stale row is marked" true
+    (List.exists (contains "STALE") lines);
+  match Audit.report ~json:true ~ages:false ledger with
+  | [ j ], _ ->
+      Alcotest.(check bool) "json total" true (contains "\"total\": 2" j);
+      Alcotest.(check bool) "json stale count" true
+        (contains "\"stale\": 1" j);
+      Alcotest.(check bool) "json null age when disabled" true
+        (contains "\"age_days\": null" j)
+  | _ -> Alcotest.fail "expected a single json line"
 
 let test_clean () =
   let fs = lint_as ~path:"lib/core/ok_clean.ml" "ok_clean.ml" in
@@ -268,7 +408,14 @@ let test_type_error () =
 
 let test_json () =
   let f =
-    { Lint.file = "lib/a.ml"; line = 3; col = 7; rule = "R2"; msg = "a \"b\"" }
+    {
+      Lint.file = "lib/a.ml";
+      line = 3;
+      col = 7;
+      rule = "R2";
+      msg = "a \"b\"";
+      anchors = [];
+    }
   in
   Alcotest.(check string)
     "json escaping"
@@ -300,10 +447,21 @@ let () =
             test_r7_sharded;
           Alcotest.test_case "R6 reachability gating" `Quick test_reachability;
         ] );
+      ( "interprocedural",
+        [
+          Alcotest.test_case "call-graph edges" `Quick test_cg_edges;
+          Alcotest.test_case "R8 determinism taint" `Quick test_r8;
+          Alcotest.test_case "R8 sanctioned sinks" `Quick test_r8_sink;
+          Alcotest.test_case "R9 unsafe-index dominance" `Quick test_r9;
+          Alcotest.test_case "R10 rng ownership" `Quick test_r10;
+        ] );
       ( "machinery",
         [
           Alcotest.test_case "clean fixture" `Quick test_clean;
           Alcotest.test_case "suppressions" `Quick test_suppression;
+          Alcotest.test_case "span-scoped suppression" `Quick
+            test_suppress_multiline;
+          Alcotest.test_case "audit ledger" `Quick test_audit_ledger;
           Alcotest.test_case "finding positions" `Quick test_positions;
           Alcotest.test_case "parse errors" `Quick test_parse_error;
           Alcotest.test_case "type errors" `Quick test_type_error;
