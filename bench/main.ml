@@ -1477,13 +1477,50 @@ let esthm () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* REG — registry sweep: every registered pipeline through one harness  *)
+
+let reg () =
+  let module R = Rn_radio.Registry in
+  section "REG  protocol registry sweep (every registered pipeline)";
+  Protocols.ensure_registered ();
+  let g = layered ~seed:7 ~depth:8 ~width:8 in
+  let t =
+    Table.create
+      ~title:"REG  registered protocols, layered n=65 D=8, run seed 42"
+      ~columns:[ "proto"; "rounds"; "delivered"; "wall s" ]
+  in
+  List.iter
+    (fun e ->
+      let s0 = Rn_radio.Engine.total_simulated_rounds () in
+      let k0 = Rn_radio.Engine.total_skipped_rounds () in
+      let w0 = Unix.gettimeofday () in
+      let r = e.R.run ~k:4 ~seed:42 ~graph:g ~source:0 () in
+      let wall = Unix.gettimeofday () -. w0 in
+      let sim = Rn_radio.Engine.total_simulated_rounds () - s0 in
+      let skip = Rn_radio.Engine.total_skipped_rounds () - k0 in
+      assert r.R.delivered;
+      record_bench ~skipped:skip
+        (Printf.sprintf "REG[%s]" e.R.name)
+        wall sim;
+      Table.add_row t
+        [
+          e.R.name; string_of_int r.R.rounds; string_of_bool r.R.delivered;
+          Printf.sprintf "%.2f" wall;
+        ])
+    (R.all ());
+  print_table t;
+  note
+    "one deterministic run per Registry entry (the same source rbcast and \
+     test_contracts dispatch from); multi protocols use k = 4."
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("F1", f1);
     ("ESsmoke", es_smoke); ("ES", es); ("ESthmsmoke", esthm_smoke);
-    ("ESthm", esthm); ("micro", micro);
+    ("ESthm", esthm); ("REG", reg); ("micro", micro);
   ]
 
 (* Heavyweight experiments that only run when named explicitly: ES is

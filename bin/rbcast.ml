@@ -77,12 +77,47 @@ let seed_arg =
          ~doc:"Seed for the protocol's randomness.")
 
 (* ------------------------------------------------------------------ *)
+(* Protocol selection — enumerated from the registry, not hand-wired.
+   Registering here (module init, before any Term is built) makes the
+   [--proto] completions and the --help listing reflect exactly what
+   [Protocols.ensure_registered] publishes. *)
+
+module Registry = Rn_radio.Registry
+
+let () = Protocols.ensure_registered ()
+
+let proto_arg ~multi ~default =
+  let entries =
+    List.filter (fun e -> e.Registry.multi = multi) (Registry.all ())
+  in
+  (* Enumerate names, not entries: Cmdliner prints enum defaults with
+     structural equality, which is undefined on the closures inside
+     [Registry.entry]. *)
+  let name_enum =
+    Arg.enum (List.map (fun e -> (e.Registry.name, e.Registry.name)) entries)
+  in
+  let doc =
+    String.concat " "
+      ("Protocol to run:"
+      :: List.map
+           (fun e -> Printf.sprintf "$(b,%s) (%s)." e.Registry.name e.Registry.summary)
+           entries)
+  in
+  Arg.(value & opt name_enum default & info [ "proto"; "algo" ] ~docv:"PROTO" ~doc)
+
+let entry_of name =
+  match Registry.find name with
+  | Some e -> e
+  | None -> invalid_arg ("rbcast: unregistered protocol " ^ name)
+
+let print_result name (r : Registry.result) =
+  Printf.printf "%s: %d rounds delivered=%b" name r.Registry.rounds
+    r.Registry.delivered;
+  List.iter (fun (key, v) -> Printf.printf " %s=%s" key v) r.Registry.details;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* broadcast *)
-
-type algo = Decay_a | Cr_a | Gst_a | Thm11_a
-
-let algo_conv =
-  Arg.enum [ ("decay", Decay_a); ("cr", Cr_a); ("gst", Gst_a); ("thm11", Thm11_a) ]
 
 (* JSONL trace: one object per retained round, then the run summary. *)
 let write_trace path m =
@@ -99,125 +134,61 @@ let write_trace path m =
     (Rn_obs.Metrics.ring_length m) path
 
 let broadcast_cmd =
-  let run graph algo seed trace =
-    let rng = Rng.create ~seed in
+  let run graph proto seed trace =
+    let e = entry_of proto in
     let source = 0 in
-    let d = Bfs.eccentricity graph source in
-    Printf.printf "n=%d m=%d eccentricity=%d\n" (Graph.n graph) (Graph.m graph) d;
-    (* One registry per traced run, sized to retain a full run; the
-       histogram bins first-receive rounds by the Decay phase length. *)
+    Printf.printf "n=%d m=%d\n" (Graph.n graph) (Graph.m graph);
+    (* One metrics registry per traced run, sized to retain a full run;
+       the histogram bins first-receive rounds by the Decay phase length. *)
     let metrics =
-      match (trace, algo) with
-      | None, _ | _, Thm11_a -> None
-      | Some _, _ ->
+      match trace with
+      | None -> None
+      | Some _ when not e.Registry.traceable ->
+          Printf.eprintf "rbcast: --trace is not supported for --proto %s\n%!"
+            e.Registry.name;
+          None
+      | Some _ ->
           Some
             (Rn_obs.Metrics.create ~phases:1024 ~ring:65536 ~hist_bins:1024
                ~hist_width:(max 1 (Ilog.clog (Graph.n graph)))
                ())
     in
-    (match algo with
-    | Decay_a ->
-        let r = Baselines.decay_broadcast ?metrics ~rng ~graph ~source () in
-        Printf.printf "decay: %d rounds (tx=%d collisions=%d)\n"
-          (Rn_radio.Engine.rounds_of_outcome r.Decay.outcome)
-          r.Decay.stats.Rn_radio.Engine.transmissions
-          r.Decay.stats.Rn_radio.Engine.collisions
-    | Cr_a ->
-        let r =
-          Baselines.cr_broadcast ?metrics ~rng ~graph ~source ~diameter:d ()
-        in
-        Printf.printf "cr: %d rounds\n"
-          (Rn_radio.Engine.rounds_of_outcome r.Decay.outcome)
-    | Gst_a ->
-        let gst = Gst.build_centralized ~graph ~roots:[| source |] () in
-        let vd = Gst.virtual_distances gst in
-        let msgs = [| Rn_coding.Bitvec.random rng 32 |] in
-        let r =
-          Gst_broadcast.run ?metrics ~rng ~gst ~vd ~msgs ~sources:[| source |]
-            ()
-        in
-        Printf.printf "gst schedule (known topology): %d rounds\n"
-          r.Gst_broadcast.rounds
-    | Thm11_a ->
-        if trace <> None then
-          prerr_endline "rbcast: --trace is not supported for --algo thm11";
-        let r = Single_broadcast.run ~rng ~graph ~source () in
-        Printf.printf
-          "theorem 1.1: %d rounds (layering %d, construction %d, spread %d, \
-           %d rings) delivered=%b\n"
-          r.Single_broadcast.rounds_total r.Single_broadcast.rounds_layering
-          r.Single_broadcast.rounds_construction
-          r.Single_broadcast.rounds_broadcast r.Single_broadcast.ring_count
-          r.Single_broadcast.delivered);
+    let r = e.Registry.run ?metrics ~seed ~graph ~source () in
+    print_result e.Registry.name r;
     (match (trace, metrics) with
     | Some path, Some m -> write_trace path m
     | _ -> ());
     0
   in
-  let algo =
-    Arg.(value & opt algo_conv Thm11_a & info [ "algo" ] ~docv:"ALGO"
-           ~doc:"decay, cr, gst or thm11.")
-  in
+  let proto = proto_arg ~multi:false ~default:"thm11" in
   let trace =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
            ~doc:"Write a per-round JSONL trace (round, phase, tx, deliveries, \
                  collisions; final line is the run summary) to $(docv). \
-                 Supported for decay, cr and gst.")
+                 Supported for protocols whose registry entry is traceable \
+                 (decay, cr, gst).")
   in
   Cmd.v
     (Cmd.info "broadcast" ~doc:"Single-message broadcast from node 0.")
-    Term.(const run $ topo_args $ algo $ seed_arg $ trace)
+    Term.(const run $ topo_args $ proto $ seed_arg $ trace)
 
 (* ------------------------------------------------------------------ *)
 (* multi *)
 
-type malgo = Known_a | Unknown_a | Routing_a | Sequential_a
-
-let malgo_conv =
-  Arg.enum
-    [
-      ("known", Known_a); ("unknown", Unknown_a); ("routing", Routing_a);
-      ("sequential", Sequential_a);
-    ]
-
 let multi_cmd =
-  let run graph algo k seed =
-    let rng = Rng.create ~seed in
-    let source = 0 in
-    (match algo with
-    | Known_a ->
-        let r = Multi_broadcast.known ~rng ~graph ~source ~k () in
-        Printf.printf "theorem 1.2: %d rounds delivered=%b payloads=%b\n"
-          r.Multi_broadcast.rounds r.Multi_broadcast.delivered
-          r.Multi_broadcast.payloads_ok
-    | Unknown_a ->
-        let r = Multi_broadcast.unknown ~rng ~graph ~source ~k () in
-        Printf.printf
-          "theorem 1.3: %d rounds (%d rings, %d batches, %d epochs) \
-           delivered=%b payloads=%b\n"
-          r.Multi_broadcast.rounds_total r.Multi_broadcast.ring_count
-          r.Multi_broadcast.batch_count r.Multi_broadcast.epochs
-          r.Multi_broadcast.delivered r.Multi_broadcast.payloads_ok
-    | Routing_a ->
-        let r = Baselines.routing_multi ~rng ~graph ~source ~k () in
-        Printf.printf "routing: %d rounds delivered=%b\n" r.Baselines.rounds
-          r.Baselines.delivered
-    | Sequential_a ->
-        let r = Baselines.sequential_multi ~rng ~graph ~source ~k () in
-        Printf.printf "sequential: %d rounds delivered=%b\n" r.Baselines.rounds
-          r.Baselines.delivered);
+  let run graph proto k seed =
+    let e = entry_of proto in
+    let r = e.Registry.run ~k ~seed ~graph ~source:0 () in
+    print_result e.Registry.name r;
     0
   in
-  let algo =
-    Arg.(value & opt malgo_conv Known_a & info [ "algo" ]
-           ~doc:"known, unknown, routing or sequential.")
-  in
+  let proto = proto_arg ~multi:true ~default:"known" in
   let k =
     Arg.(value & opt int 8 & info [ "k"; "messages" ] ~docv:"K" ~doc:"Number of messages.")
   in
   Cmd.v
     (Cmd.info "multi" ~doc:"k-message broadcast from node 0.")
-    Term.(const run $ topo_args $ algo $ k $ seed_arg)
+    Term.(const run $ topo_args $ proto $ k $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gst *)

@@ -23,7 +23,7 @@ let cr_broadcast ?(params = Params.default) ?metrics
   let node_rng = Rng.split_n rng n in
   let received_round = Array.make n (-1) in
   received_round.(source) <- 0;
-  let missing = ref (n - 1) in
+  let missing = Atomic.make (n - 1) in
   let decide ~round ~node =
     if received_round.(node) >= 0 then begin
       if Rng.bernoulli node_rng.(node) (prob round) then
@@ -37,7 +37,7 @@ let cr_broadcast ?(params = Params.default) ?metrics
     | Engine.Received Cmsg.Probe ->
         if received_round.(node) < 0 then begin
           received_round.(node) <- round;
-          decr missing
+          Atomic.decr missing
         end
     | Engine.Received _ | Engine.Silence | Engine.Collision -> ()
   in
@@ -59,13 +59,13 @@ let cr_broadcast ?(params = Params.default) ?metrics
         Engine.run ?metrics ?after_round ~stats ~graph
           ~detection:Engine.No_collision_detection
           ~protocol:{ Engine.decide; deliver }
-          ~stop:(fun ~round:_ -> !missing = 0)
+          ~stop:(fun ~round:_ -> Atomic.get missing = 0)
           ~max_rounds ()
     | Engine.Sparse ->
         Engine_sparse.run ?metrics ?after_round ~stats ~graph
           ~detection:Engine.No_collision_detection
           ~protocol:{ Engine.decide; deliver }
-          ~stop:(fun ~round:_ -> !missing = 0)
+          ~stop:(fun ~round:_ -> Atomic.get missing = 0)
           ~max_rounds ()
   in
   (match metrics with
@@ -104,7 +104,7 @@ let routing_multi ?(params = Params.default) ?max_rounds ~rng ~graph ~source
   count.(source) <- k;
   let complete_round = Array.make n (-1) in
   complete_round.(source) <- 0;
-  let missing = ref (n - 1) in
+  let missing = Atomic.make (n - 1) in
   let decide ~round ~node =
     if count.(node) = 0 then Engine.Listen
     else begin
@@ -131,7 +131,7 @@ let routing_multi ?(params = Params.default) ?max_rounds ~rng ~graph ~source
           count.(node) <- count.(node) + 1;
           if count.(node) = k then begin
             complete_round.(node) <- round;
-            decr missing
+            Atomic.decr missing
           end
         end
     | Engine.Silence | Engine.Collision -> ()
@@ -140,7 +140,7 @@ let routing_multi ?(params = Params.default) ?max_rounds ~rng ~graph ~source
   let outcome =
     Engine.run ~stats ~graph ~detection:Engine.No_collision_detection
       ~protocol:{ Engine.decide; deliver }
-      ~stop:(fun ~round:_ -> !missing = 0)
+      ~stop:(fun ~round:_ -> Atomic.get missing = 0)
       ~max_rounds ()
   in
   {

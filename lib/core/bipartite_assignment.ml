@@ -561,6 +561,7 @@ let run_standalone ?(detection = Engine.No_collision_detection)
       ()
   in
   settle t;
+  (* rblint:allow R14 internal Lemma-7 driver: exercised by the assignment phase of registered GST pipelines and directly by its unit tests, not a user-facing protocol. *)
   let protocol =
     {
       Engine.decide = (fun ~round:_ ~node -> decide t ~node);

@@ -118,7 +118,7 @@ let mmv_broadcast ?(params = Params.default) ?(noising = true) ?max_rounds ~rng
   let node_rng = Rng.split_n rng n in
   let received_round = Array.make n (-1) in
   received_round.(source) <- 0;
-  let missing = ref (n - 1) in
+  let missing = Atomic.make (n - 1) in
   let decide ~round ~node =
     let l = levels.(node) in
     if l < 0 then Engine.Sleep
@@ -143,7 +143,7 @@ let mmv_broadcast ?(params = Params.default) ?(noising = true) ?max_rounds ~rng
     | Engine.Received Payload ->
         if received_round.(node) < 0 then begin
           received_round.(node) <- round;
-          decr missing
+          Atomic.decr missing
         end
     | Engine.Received Noise | Engine.Silence | Engine.Collision -> ()
   in
@@ -151,7 +151,7 @@ let mmv_broadcast ?(params = Params.default) ?(noising = true) ?max_rounds ~rng
   let outcome =
     Engine.run ~stats ~graph ~detection:Engine.No_collision_detection
       ~protocol:{ Engine.decide; deliver }
-      ~stop:(fun ~round:_ -> !missing = 0)
+      ~stop:(fun ~round:_ -> Atomic.get missing = 0)
       ~max_rounds ()
   in
   { outcome; received_round; stats }

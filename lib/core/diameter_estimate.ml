@@ -16,7 +16,7 @@ let run_guess ~graph ~source ~t =
   level.(source) <- 0;
   let boundary_hit = Array.make n false in
   let echo = Array.make n false in
-  let source_heard_echo = ref false in
+  let source_heard_echo = Atomic.make false in
   let decide ~round ~node =
     if round < t then
       (* Forward wave: level l beeps exactly in round l. *)
@@ -39,25 +39,21 @@ let run_guess ~graph ~source ~t =
     end
   in
   let deliver ~round ~node reception =
-    let heard =
-      match reception with
-      | Engine.Received _ | Engine.Collision -> true
-      | Engine.Silence -> false
-    in
-    if heard then begin
-      if round < t then begin
-        if level.(node) < 0 then level.(node) <- round + 1
-      end
-      else if round = t then boundary_hit.(node) <- true
-      else begin
-        (* Hearing anything in the slot just below ours relays the bit. *)
-        let l = level.(node) in
-        if l >= 0 && round = (2 * t) - l then begin
-          echo.(node) <- true;
-          if node = source then source_heard_echo := true
+    match reception with
+    | Engine.Silence -> ()
+    | Engine.Received _ | Engine.Collision ->
+        if round < t then begin
+          if level.(node) < 0 then level.(node) <- round + 1
         end
-      end
-    end
+        else if round = t then boundary_hit.(node) <- true
+        else begin
+          (* Hearing anything in the slot just below ours relays the bit. *)
+          let l = level.(node) in
+          if l >= 0 && round = (2 * t) - l then begin
+            echo.(node) <- true;
+            if node = source then Atomic.set source_heard_echo true
+          end
+        end
   in
   ignore
     (Engine.run ~graph ~detection:Engine.Collision_detection
@@ -66,7 +62,7 @@ let run_guess ~graph ~source ~t =
        ~max_rounds:((2 * t) + 2)
        ());
   let too_small =
-    !source_heard_echo
+    Atomic.get source_heard_echo
     || (* the source itself may border the uncovered region *)
     boundary_hit.(source)
   in

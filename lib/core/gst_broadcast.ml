@@ -59,12 +59,12 @@ let run ?(noise_when_empty = true) ?(slow_key = By_virtual_distance)
   let buf = Array.init n (fun _ -> Rlnc.create ~k ~msg_len) in
   Array.iter (fun s -> Rlnc.seed_with_sources buf.(s) ~msgs) sources;
   let decode_round = Array.make n (-1) in
-  let missing = ref 0 in
+  let missing = Atomic.make 0 in
   Array.iteri
     (fun v l ->
       if l >= 0 then
         if Rlnc.can_decode buf.(v) then decode_round.(v) <- 0
-        else incr missing)
+        else Atomic.incr missing)
     gst.Gst.levels;
   (* Relay buffer for the fast wave: packet received in an even round,
      stamped with that round. *)
@@ -115,7 +115,7 @@ let run ?(noise_when_empty = true) ?(slow_key = By_virtual_distance)
           ignore (Rlnc.receive buf.(node) p);
           if decode_round.(node) < 0 && Rlnc.can_decode buf.(node) then begin
             decode_round.(node) <- round;
-            decr missing
+            Atomic.decr missing
           end
         end
     | Engine.Silence | Engine.Collision -> ()
@@ -243,7 +243,7 @@ let run ?(noise_when_empty = true) ?(slow_key = By_virtual_distance)
         end
   in
   let stats = Engine.fresh_stats () in
-  let stop ~round:_ = !missing = 0 in
+  let stop ~round:_ = Atomic.get missing = 0 in
   let outcome =
     match engine with
     | Engine.Dense ->

@@ -267,6 +267,7 @@ let run_selftest ~detection ~engine ~graph ~levels ~parents ~ranks () =
     | Engine.Received _ | Engine.Silence | Engine.Collision ->
         safe.(node) <- false
   in
+  (* rblint:allow R11 Silence-means-unsafe is this protocol's semantics; the rank/class schedule guarantees every listener has a transmitting parent in-neighborhood, so no genuinely silent round ever reaches a listener (see the sparse-path comment below). *)
   let protocol = { Engine.decide; deliver } in
   let stop ~round:_ = false in
   (* Only rank-r nodes act in the three rounds of rank r; group ids by

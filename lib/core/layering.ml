@@ -17,7 +17,7 @@ let decay_bfs ?(params = Params.default) ?max_rounds
   let node_rng = Rng.split_n rng n in
   let levels = Array.make n (-1) in
   Array.iter (fun s -> levels.(s) <- 0) sources;
-  let labeled = ref (Array.length sources) in
+  let labeled = Atomic.make (Array.length sources) in
   (* Nodes labeled during epoch [e] have level [e + 1]; they join the
      relays from the next epoch on. *)
   let epoch_of round = round / epoch_len in
@@ -37,13 +37,13 @@ let decay_bfs ?(params = Params.default) ?max_rounds
     | Engine.Received Cmsg.Probe ->
         if levels.(node) < 0 then begin
           levels.(node) <- epoch_of round + 1;
-          incr labeled
+          Atomic.incr labeled
         end
     | Engine.Received _ | Engine.Silence | Engine.Collision -> ()
   in
   let stats = Engine.fresh_stats () in
   let protocol = { Engine.decide; deliver } in
-  let stop ~round = !labeled = n && round mod epoch_len = 0 in
+  let stop ~round = Atomic.get labeled = n && round mod epoch_len = 0 in
   (* finish on epoch boundary; no skip hint — labeled nodes draw a coin
      every round, so no round is statically silent. *)
   let outcome =
@@ -63,7 +63,7 @@ let collision_wave ?max_rounds ~graph ~sources () =
   let max_rounds = match max_rounds with Some m -> m | None -> n + 1 in
   let levels = Array.make n (-1) in
   Array.iter (fun s -> levels.(s) <- 0) sources;
-  let labeled = ref (Array.length sources) in
+  let labeled = Atomic.make (Array.length sources) in
   let decide ~round ~node =
     let lvl = levels.(node) in
     if lvl >= 0 && lvl <= round then Engine.Transmit Cmsg.Beacon
@@ -75,7 +75,7 @@ let collision_wave ?max_rounds ~graph ~sources () =
     | Engine.Received _ | Engine.Collision ->
         if levels.(node) < 0 then begin
           levels.(node) <- round + 1;
-          incr labeled
+          Atomic.incr labeled
         end
     | Engine.Silence -> ()
   in
@@ -83,7 +83,7 @@ let collision_wave ?max_rounds ~graph ~sources () =
   let outcome =
     Engine.run ~stats ~graph ~detection:Engine.Collision_detection
       ~protocol:{ Engine.decide; deliver }
-      ~stop:(fun ~round:_ -> !labeled = n)
+      ~stop:(fun ~round:_ -> Atomic.get labeled = n)
       ~max_rounds ()
   in
   { levels; rounds = Engine.rounds_of_outcome outcome; stats }

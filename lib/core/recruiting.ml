@@ -160,6 +160,7 @@ let deliver t ~node reception =
                       (* The red might not have heard this blue; its class is
                          already Many by construction of Sigma. *)
                       let rs = Hashtbl.find t.red_st red in
+                      (* rblint:allow R12 Lemma-6 bookkeeping writes the recruiting red's record from the blue's callback; the recruiting subroutine is a serial building block and is never driven by Engine_sharded. *)
                       if rs.recruits < 2 then rs.recruits <- 2
                     end
                 | _ -> ())))
@@ -226,6 +227,7 @@ type outcome = {
 let run_standalone ?(detection = Engine.No_collision_detection)
     ?(engine = Engine.Sparse) ?metrics ~rng ~params ~graph ~reds ~blues () =
   let t = create ~rng ~params ~scale_n:(Graph.n graph) ~graph ~reds ~blues () in
+  (* rblint:allow R14 internal Lemma-6 driver: a serial building block of the assignment phase, reachable from registered pipelines only through Bipartite_assignment; not a user-facing protocol. *)
   let protocol =
     {
       Engine.decide = (fun ~round:_ ~node -> decide t ~node);

@@ -51,8 +51,8 @@ let decay_handoff ~params ~engine ~rng ~graph ~holders ~receivers ~payload
   Array.iter (fun v -> is_holder.(v) <- true) holders;
   let is_receiver = Array.make n false in
   Array.iter (fun v -> is_receiver.(v) <- true) receivers;
-  let missing = ref 0 in
-  Array.iter (fun v -> if not (satisfied v) then incr missing) receivers;
+  let missing = Atomic.make 0 in
+  Array.iter (fun v -> if not (satisfied v) then Atomic.incr missing) receivers;
   let decide ~round ~node =
     if is_holder.(node) then begin
       let p = 1.0 /. float_of_int (1 lsl min ((round mod ladder) + 1) 62) in
@@ -66,14 +66,14 @@ let decay_handoff ~params ~engine ~rng ~graph ~holders ~receivers ~payload
     match reception with
     | Engine.Received msg ->
         if is_receiver.(node) && not (satisfied node) then
-          if receive node msg then decr missing
+          if receive node msg then Atomic.decr missing
     | Engine.Silence | Engine.Collision -> ()
   in
   let budget =
     params.Params.max_round_factor * Params.whp_phases params ~n * ladder * 4
   in
   let protocol = { Engine.decide; deliver } in
-  let stop ~round:_ = !missing = 0 in
+  let stop ~round:_ = Atomic.get missing = 0 in
   (* Everyone else sleeps, so the awake set is the (static, disjoint)
      boundary populations; deduped defensively in case a caller passes
      overlapping sets.  No skip hint: holders draw a coin every round. *)

@@ -51,6 +51,14 @@ let add_skipped_rounds k = Atomic.fetch_and_add skipped_rounds k |> ignore
 
 type mode = Dense | Sparse
 
+(* Debug probe for the contracts suite: when set, every listener receives
+   one spurious [Silence] delivery before its real reception.  A pipeline
+   whose [deliver] honours the R11 silence-purity contract produces
+   byte-identical results either way; test/test_contracts.ml asserts
+   exactly that.  Read once per [run], so flipping it mid-run is
+   deliberately without effect. *)
+let inject_silence = Atomic.make false
+
 (* The round loop is allocation-free outside the tracing path: node sets are
    int-array stacks reused every round, stats are mutated directly, and a
    transmitter's packet is shared by reference — the [Transmit] block the
@@ -68,8 +76,8 @@ type mode = Dense | Sparse
    iterated the lists head-first): transmitters spray and listeners are
    delivered in *descending* decide order, so the stacks are walked
    top-down. *)
-let run ?stats ?metrics ?on_round ?after_round ?decide_active ~graph ~detection
-    ~protocol ~stop ~max_rounds () =
+let run ?stats ?metrics ?on_round ?after_round ?decide_active
+    ?(validate = false) ~graph ~detection ~protocol ~stop ~max_rounds () =
   let n = Graph.n graph in
   let off = Graph.offsets graph and tgt = Graph.targets graph in
   (* CSR guard, once per run: every neighbour index the round loop reads
@@ -89,6 +97,10 @@ let run ?stats ?metrics ?on_round ?after_round ?decide_active ~graph ~detection
     match decide_active with None -> [||] | Some _ -> Array.make (max n 1) 0
   in
   let n_tx = ref 0 and n_ls = ref 0 and n_tc = ref 0 in
+  (* Round-stamped visit marks for the [validate] distinctness check;
+     allocated only when the check is on. *)
+  let seen = if validate then Array.make (max n 1) (-1) else [||] in
+  let inject = Atomic.get inject_silence in
   let tracing = Option.is_some on_round in
   let events = ref [] in
   let decide_one round v =
@@ -124,6 +136,15 @@ let run ?stats ?metrics ?on_round ?after_round ?decide_active ~graph ~detection
             let v = active.(i) in
             if v < 0 || v >= n then
               invalid_arg "Engine.run: decide_active wrote a bad node id";
+            if validate then begin
+              if seen.(v) = round then
+                invalid_arg
+                  (Printf.sprintf
+                     "Engine.run: decide_active repeated node id %d in round \
+                      %d (the transmit-buffer contract requires distinct ids)"
+                     v round);
+              seen.(v) <- round
+            end;
             decide_one round v
           done);
       let round_tx = !n_tx in
@@ -147,6 +168,7 @@ let run ?stats ?metrics ?on_round ?after_round ?decide_active ~graph ~detection
       done;
       for i = !n_ls - 1 downto 0 do
         let v = listeners.(i) in
+        if inject then protocol.deliver ~round ~node:v Silence;
         let reception =
           match tx_count.(v) with
           | 0 -> Silence

@@ -94,12 +94,22 @@ type mode = Dense | Sparse
     Wrappers default to [Sparse]; benches pass [Dense] to time or verify
     against the reference. *)
 
+val inject_silence : bool Atomic.t
+(** Debug probe for the contracts suite: when set, {!run} (and
+    {!Engine_sparse.run}) delivers one spurious [Silence] to every listener
+    before its real reception of the round.  A protocol honouring the R11
+    silence-purity contract (DESIGN.md §13) produces byte-identical results
+    either way — [test/test_contracts.ml] asserts exactly that for every
+    registered pipeline.  Read once per run; defaults to [false], in which
+    case the engine behaves identically to previous releases. *)
+
 val run :
   ?stats:stats ->
   ?metrics:Rn_obs.Metrics.t ->
   ?on_round:(round:int -> 'msg trace_event list -> unit) ->
   ?after_round:(round:int -> unit) ->
   ?decide_active:(round:int -> int array -> int) ->
+  ?validate:bool ->
   graph:Rn_graph.Graph.t ->
   detection:detection ->
   protocol:'msg protocol ->
@@ -120,6 +130,13 @@ val run :
     [after_round] is a cheap per-round hook (no event capture) called after
     all deliveries of a round; protocol state machines use it to advance
     phase counters.
+
+    [validate] (default [false]) additionally enforces the documented
+    transmit-buffer contract of [decide_active] — the ids of a round must be
+    distinct — raising [Invalid_argument] naming the offending id and round.
+    The distinctness scan costs one array read/write per active id and one
+    length-[n] allocation per run, so it is reserved for tests (the QCheck
+    equivalence suites enable it); the in-range check below is always on.
 
     [decide_active], when given, replaces the every-node decide scan: each
     round the engine hands it a reusable buffer of length [n]; the protocol

@@ -126,8 +126,9 @@ module Barrier = struct
     Mutex.unlock b.lock
 end
 
-let run ?stats ?metrics ?on_round ?after_round ?decide_active ~domains ~graph
-    ~detection ~protocol ~stop ~max_rounds () =
+let run ?stats ?metrics ?on_round ?after_round ?decide_active
+    ?(validate = false) ~domains ~graph ~detection ~protocol ~stop ~max_rounds
+    () =
   if domains < 1 then invalid_arg "Engine_sharded.run: domains must be >= 1";
   let n = Graph.n graph in
   let off = Graph.csc_offsets graph and tgt = Graph.csc_targets graph in
@@ -138,6 +139,9 @@ let run ?stats ?metrics ?on_round ?after_round ?decide_active ~domains ~graph
   if off.(n) > Array.length tgt then
     invalid_arg "Engine_sharded.run: offsets exceed target array";
   let s = match stats with Some s -> s | None -> Engine.fresh_stats () in
+  (* Round-stamped visit marks for the [validate] distinctness check, read
+     and written only by the coordinator; allocated only when on. *)
+  let seen = if validate then Array.make (max n 1) (-1) else [||] in
   let shards = domains in
   let full_scan = Option.is_none decide_active in
   let cuts = Graph.shard_cuts ~align:Bitvec.bits_per_word graph ~parts:shards in
@@ -510,7 +514,18 @@ let run ?stats ?metrics ?on_round ?after_round ?decide_active ~domains ~graph
             if v < 0 || v >= n then
               fail_shutdown
                 (Invalid_argument
-                   "Engine_sharded.run: decide_active wrote a bad node id")
+                   "Engine_sharded.run: decide_active wrote a bad node id");
+            if validate then begin
+              if seen.(v) = round then
+                fail_shutdown
+                  (Invalid_argument
+                     (Printf.sprintf
+                        "Engine_sharded.run: decide_active repeated node id \
+                         %d in round %d (the transmit-buffer contract \
+                         requires distinct ids)"
+                        v round));
+              seen.(v) <- round
+            end
           done;
           for j = 0 to shards - 1 do
             lanes.(j).a_lo <- k * j / shards;

@@ -50,6 +50,7 @@ val run :
   ?on_round:(round:int -> 'msg Engine.trace_event list -> unit) ->
   ?after_round:(round:int -> unit) ->
   ?decide_active:(round:int -> int array -> int) ->
+  ?validate:bool ->
   domains:int ->
   graph:Rn_graph.Graph.t ->
   detection:Engine.detection ->
@@ -58,7 +59,9 @@ val run :
   max_rounds:int ->
   unit ->
   Engine.outcome
-(** Same surface as {!Engine.run} plus [domains ≥ 1], the shard count.
+(** Same surface as {!Engine.run} ([validate] included; the
+    {!Engine.inject_silence} probe is dense/sparse-only) plus
+    [domains ≥ 1], the shard count.
     [metrics] follows the determinism contract: the coordinator records
     each round from the shard-order sums of the owner-local lane counters
     at the post-barrier merge, so the registry (and any export of it) is

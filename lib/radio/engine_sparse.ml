@@ -41,11 +41,11 @@ open Engine
    per-node state), so per-node observable behavior is identical. *)
 
 let run ?stats ?metrics ?on_round ?after_round ?decide_active ?next_busy_round
-    ~graph ~detection ~protocol ~stop ~max_rounds () =
+    ?(validate = false) ~graph ~detection ~protocol ~stop ~max_rounds () =
   match on_round with
   | Some _ ->
-      Engine.run ?stats ?metrics ?on_round ?after_round ?decide_active ~graph
-        ~detection ~protocol ~stop ~max_rounds ()
+      Engine.run ?stats ?metrics ?on_round ?after_round ?decide_active
+        ~validate ~graph ~detection ~protocol ~stop ~max_rounds ()
   | None ->
       let n = Graph.n graph in
       let off = Graph.offsets graph and tgt = Graph.targets graph in
@@ -66,6 +66,10 @@ let run ?stats ?metrics ?on_round ?after_round ?decide_active ?next_busy_round
         | Some _ -> Array.make (max n 1) 0
       in
       let n_tx = ref 0 and n_tc = ref 0 in
+      (* Round-stamped visit marks for the [validate] distinctness check;
+         allocated only when the check is on. *)
+      let seen = if validate then Array.make (max n 1) (-1) else [||] in
+      let inject = Atomic.get inject_silence in
       let skipped = ref 0 in
       let decide_one round v =
         match protocol.decide ~round ~node:v with
@@ -122,6 +126,16 @@ let run ?stats ?metrics ?on_round ?after_round ?decide_active ?next_busy_round
                   if v < 0 || v >= n then
                     invalid_arg
                       "Engine_sparse.run: decide_active wrote a bad node id";
+                  if validate then begin
+                    if seen.(v) = round then
+                      invalid_arg
+                        (Printf.sprintf
+                           "Engine_sparse.run: decide_active repeated node \
+                            id %d in round %d (the transmit-buffer contract \
+                            requires distinct ids)"
+                           v round);
+                    seen.(v) <- round
+                  end;
                   decide_one round v
                 done);
             let round_tx = !n_tx in
@@ -144,6 +158,7 @@ let run ?stats ?metrics ?on_round ?after_round ?decide_active ?next_busy_round
             done;
             for i = !n_tc - 1 downto 0 do
               let v = touched.(i) in
+              if inject then protocol.deliver ~round ~node:v Silence;
               let reception =
                 match tx_count.(v) with
                 | 1 -> (

@@ -42,6 +42,7 @@ val run :
   ?after_round:(round:int -> unit) ->
   ?decide_active:(round:int -> int array -> int) ->
   ?next_busy_round:(round:int -> int) ->
+  ?validate:bool ->
   graph:Rn_graph.Graph.t ->
   detection:Engine.detection ->
   protocol:'msg Engine.protocol ->
@@ -49,7 +50,8 @@ val run :
   max_rounds:int ->
   unit ->
   Engine.outcome
-(** Drop-in for {!Engine.run} plus [next_busy_round].
+(** Drop-in for {!Engine.run} (including [validate] and the
+    {!Engine.inject_silence} probe) plus [next_busy_round].
 
     [next_busy_round ~round] returns the earliest round [>= round] in
     which some node {e may} transmit; every round strictly before it is

@@ -146,8 +146,8 @@ let observe_ref ~graph ~detection ~script ~max_rounds =
 
 let observe_new ?decide_active ~graph ~detection ~script ~max_rounds () =
   observing ~graph ~script (fun ~stats ~on_round ~after_round ~protocol ->
-      Engine.run ~stats ~on_round ~after_round ?decide_active ~graph ~detection
-        ~protocol
+      Engine.run ~stats ~on_round ~after_round ?decide_active ~validate:true
+        ~graph ~detection ~protocol
         ~stop:(fun ~round:_ -> false)
         ~max_rounds ())
 

@@ -63,8 +63,8 @@ let observing ~n ~script k =
 let observe_serial ?decide_active ~graph ~detection ~script ~max_rounds () =
   observing ~n:(Graph.n graph) ~script
     (fun ~stats ~on_round ~after_round ~protocol ->
-      Engine.run ~stats ~on_round ~after_round ?decide_active ~graph ~detection
-        ~protocol
+      Engine.run ~stats ~on_round ~after_round ?decide_active ~validate:true
+        ~graph ~detection ~protocol
         ~stop:(fun ~round:_ -> false)
         ~max_rounds ())
 
@@ -72,8 +72,8 @@ let observe_sharded ?decide_active ~domains ~graph ~detection ~script
     ~max_rounds () =
   observing ~n:(Graph.n graph) ~script
     (fun ~stats ~on_round ~after_round ~protocol ->
-      Engine_sharded.run ~stats ~on_round ~after_round ?decide_active ~domains
-        ~graph ~detection ~protocol
+      Engine_sharded.run ~stats ~on_round ~after_round ?decide_active
+        ~validate:true ~domains ~graph ~detection ~protocol
         ~stop:(fun ~round:_ -> false)
         ~max_rounds ())
 

@@ -78,10 +78,11 @@ let observe ?decide_active ?next_busy_round ~engine ~tracing ~graph ~detection
     match engine with
     | `Dense ->
         Engine.run ~stats ~metrics ?on_round ~after_round ?decide_active
-          ~graph ~detection ~protocol ~stop ~max_rounds ()
+          ~validate:true ~graph ~detection ~protocol ~stop ~max_rounds ()
     | `Sparse ->
         Engine_sparse.run ~stats ~metrics ?on_round ~after_round ?decide_active
-          ?next_busy_round ~graph ~detection ~protocol ~stop ~max_rounds ()
+          ?next_busy_round ~validate:true ~graph ~detection ~protocol ~stop
+          ~max_rounds ()
   in
   {
     obs_outcome = outcome;

@@ -20,6 +20,27 @@
          domains on one stream; use-after-consumption races the parent
          against the worker.
 
+     v4 adds the protocol-contract rules, driven by the write/effect
+     facts (mutable-store primitives with silence-region and
+     node-locality flags, protocol-record constructions, next_busy_round
+     hint roots):
+
+     R11 silence purity — a protocol's [deliver] must not, transitively
+         through silence-reachable calls, write mutable state or draw
+         Rng on a [Silence] delivery (Engine_sparse skips silent rounds).
+     R12 write locality — every write reachable from a protocol's
+         [decide]/[deliver] must target node-derived state, node-local
+         scratch, or an [Atomic.t] (Engine_sharded races callbacks of
+         different nodes otherwise); Rng draws must come from a
+         node-derived stream.
+     R13 hint determinism — [~next_busy_round] closures must be pure
+         functions of the round and data they can only read: any write,
+         Rng draw or R8-tainted source reachable from the hint fires.
+     R14 registry coverage — every lib/ pipeline that constructs a
+         protocol and drives an engine must be reachable from an
+         [Rn_radio.Registry.register] call, so the registry enumerates
+         the full protocol surface.
+
    Approximations (documented in DESIGN.md §9): only top-level bindings
    become call-graph nodes (inner helpers are folded into their enclosing
    node); Rng arguments are tracked only when passed as a bare identifier;
@@ -74,6 +95,13 @@ type call = {
   c_line : int;
   c_rng_args : (slot * string) list;
       (** bare Rng.t identifiers passed at this site *)
+  c_sil : bool;
+      (** the call site is silence-reachable: not dominated by a
+          reception-match arm that excludes [Silence] (R11) *)
+  c_fwd : bool;
+      (** some argument mentions a node-derived identifier — the callee is
+          trusted to operate on that node's state (R12) *)
+  c_scope : bool;  (** the call site sits inside a [~node]-parameter scope *)
 }
 
 type nondet_use = {
@@ -98,6 +126,34 @@ type rng_bind = {
   b_anchors : int list;  (** enclosing-expression start lines *)
 }
 
+type write = {
+  w_node : key;
+  w_line : int;
+  w_desc : string;  (** e.g. "Array.set", ":=", "mutable-field set" *)
+  w_sil : bool;  (** silence-reachable within its function (see [call].c_sil) *)
+  w_atomic : bool;  (** an [Atomic.*] store — sanctioned for R12, not R11/R13 *)
+  w_node_ok : bool;
+      (** the write target mentions a node-derived identifier or node-local
+          scratch — only meaningful when [w_in_scope] *)
+  w_in_scope : bool;  (** lexically inside a [~node]-parameter scope *)
+  w_anchors : int list;
+}
+(** one mutable-store primitive executed by a call-graph node *)
+
+type proto_decl = {
+  p_node : key;  (** node constructing the [Engine.protocol] record *)
+  p_line : int;
+  p_anchors : int list;
+  p_decide : key option;  (** resolved callback nodes; [None] = unanalyzable *)
+  p_deliver : key option;
+}
+
+type hint_decl = {
+  h_key : key;  (** node holding the [~next_busy_round] closure body *)
+  h_line : int;
+  h_anchors : int list;
+}
+
 type unit_facts = {
   uf_unit : string;  (** compilation unit name, e.g. "Rn_radio__Engine" *)
   uf_file : string;  (** normalized source path *)
@@ -107,6 +163,9 @@ type unit_facts = {
   uf_spawns : spawn_cap list;
   uf_occs : occ list;
   uf_binds : rng_bind list;
+  uf_writes : write list;
+  uf_protos : proto_decl list;
+  uf_hints : hint_decl list;
 }
 
 let empty_facts =
@@ -119,6 +178,9 @@ let empty_facts =
     uf_spawns = [];
     uf_occs = [];
     uf_binds = [];
+    uf_writes = [];
+    uf_protos = [];
+    uf_hints = [];
   }
 
 (* All call edges, for the fixture self-tests. *)
@@ -191,69 +253,137 @@ let sort_findings fs =
     fs
 
 (* ------------------------------------------------------------------ *)
-(* R8 — determinism taint                                              *)
+(* Shared cross-unit machinery                                         *)
 
-let r8_findings ?(sinks = List.map fst default_r8_sinks) units =
+(* key -> (file, def line) over all units *)
+let node_home_table units =
   let node_home = Hashtbl.create 256 in
-  (* key -> (file, def line) *)
   List.iter
     (fun uf ->
       List.iter
         (fun n -> Hashtbl.replace node_home n.n_key (uf.uf_file, n.n_line))
         uf.uf_nodes)
     units;
-  let is_sink k = List.mem k sinks in
-  (* reverse edges: callee -> (caller, call line) *)
+  node_home
+
+(* Key classifiers: suffix-matched so they work on real wrapper-dot paths
+   (Rn_util.Rng.bool) and on fixture-local modules (Bad_r12.Rng.bool)
+   alike. *)
+let rng_op_of_key k =
+  match List.rev k with op :: "Rng" :: _ -> Some op | _ -> None
+
+(* [create] mints a fresh stream and [copy] reads without mutating; every
+   other Rng operation advances (or splits) the underlying stream state. *)
+let rng_consuming = function "create" | "copy" -> false | _ -> true
+
+let is_engine_run k =
+  match List.rev k with
+  | "run" :: ("Engine" | "Engine_sparse" | "Engine_sharded") :: _ -> true
+  | _ -> false
+
+let is_registry_register k =
+  match List.rev k with "register" :: "Registry" :: _ -> true | _ -> false
+
+(* Generic cause-table propagation: seed every node [seed_iter] offers,
+   then spread along the reverse of the given edges (caller becomes bad
+   when an eligible call reaches a bad callee).  The resulting table maps
+   each bad node to its first witness ([`Direct] or [`Via]), from which
+   [chain_of] renders an R8-style witness chain. *)
+let propagate ~seed_iter ~edge_ok ~skip units =
   let rev = Hashtbl.create 256 in
   List.iter
     (fun uf ->
       List.iter
-        (fun c -> Hashtbl.add rev c.c_callee (c.c_caller, c.c_line))
+        (fun c ->
+          if edge_ok c then Hashtbl.add rev c.c_callee (c.c_caller, c.c_line))
         uf.uf_calls)
     units;
-  (* cause: first taint witness per node *)
   let cause = Hashtbl.create 64 in
   let queue = Queue.create () in
-  let taint k c =
-    if (not (is_sink k)) && not (Hashtbl.mem cause k) then begin
+  let mark k c =
+    if (not (skip k)) && not (Hashtbl.mem cause k) then begin
       Hashtbl.replace cause k c;
       Queue.add k queue
     end
   in
-  List.iter
-    (fun uf ->
-      List.iter (fun d -> taint d.d_node (`Direct (d.d_src, d.d_line))) uf.uf_nondet)
-    units;
+  seed_iter mark;
   while not (Queue.is_empty queue) do
     let k = Queue.pop queue in
     List.iter
-      (fun (caller, line) -> taint caller (`Via (k, line)))
+      (fun (caller, line) -> mark caller (`Via (k, line)))
       (Hashtbl.find_all rev k)
   done;
-  (* witness chain: node -> ... -> direct source *)
-  let chain k0 =
-    let buf = Buffer.create 64 in
-    Buffer.add_string buf (string_of_key k0);
-    let rec go k =
-      match Hashtbl.find_opt cause k with
-      | Some (`Direct (src, line)) ->
-          let file =
-            match Hashtbl.find_opt node_home k with
-            | Some (f, _) -> f
-            | None -> "?"
-          in
-          Buffer.add_string buf
-            (Printf.sprintf " -> %s (%s:%d)" src file line)
-      | Some (`Via (callee, line)) ->
-          Buffer.add_string buf
-            (Printf.sprintf " -> %s (call at line %d)" (string_of_key callee)
-               line);
-          go callee
-      | None -> ()
-    in
-    go k0;
-    Buffer.contents buf
+  cause
+
+(* witness chain: node -> ... -> direct cause *)
+let chain_of ~node_home cause k0 =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (string_of_key k0);
+  let rec go k =
+    match Hashtbl.find_opt cause k with
+    | Some (`Direct (src, line)) ->
+        let file =
+          match Hashtbl.find_opt node_home k with
+          | Some (f, _) -> f
+          | None -> "?"
+        in
+        Buffer.add_string buf (Printf.sprintf " -> %s (%s:%d)" src file line)
+    | Some (`Via (callee, line)) ->
+        Buffer.add_string buf
+          (Printf.sprintf " -> %s (call at line %d)" (string_of_key callee)
+             line);
+        go callee
+    | None -> ()
   in
+  go k0;
+  Buffer.contents buf
+
+(* Forward closure from a seed set along call edges satisfying [edge_ok]. *)
+let forward_closure ~seeds ~edge_ok units =
+  let out = Hashtbl.create 256 in
+  List.iter
+    (fun uf ->
+      List.iter
+        (fun c -> if edge_ok c then Hashtbl.add out c.c_caller c.c_callee)
+        uf.uf_calls)
+    units;
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let visit k =
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.replace seen k ();
+      Queue.add k queue
+    end
+  in
+  List.iter visit seeds;
+  while not (Queue.is_empty queue) do
+    let k = Queue.pop queue in
+    List.iter visit (Hashtbl.find_all out k)
+  done;
+  seen
+
+(* ------------------------------------------------------------------ *)
+(* R8 — determinism taint                                              *)
+
+(* The R8 cause table, exposed so R13 can treat taint as a hint-impurity
+   source. *)
+let r8_taint ?(sinks = List.map fst default_r8_sinks) units =
+  propagate
+    ~seed_iter:(fun mark ->
+      List.iter
+        (fun uf ->
+          List.iter
+            (fun d -> mark d.d_node (`Direct (d.d_src, d.d_line)))
+            uf.uf_nondet)
+        units)
+    ~edge_ok:(fun _ -> true)
+    ~skip:(fun k -> List.mem k sinks)
+    units
+
+let r8_findings ?(sinks = List.map fst default_r8_sinks) units =
+  let node_home = node_home_table units in
+  let cause = r8_taint ~sinks units in
+  let chain = chain_of ~node_home cause in
   let fs =
     Hashtbl.fold
       (fun k _ acc ->
@@ -396,6 +526,324 @@ let r10_findings units =
                   }
               else None)
             uf.uf_binds)
+      units
+  in
+  sort_findings fs
+
+(* ------------------------------------------------------------------ *)
+(* R11 — silence purity of protocol [deliver] callbacks                *)
+
+(* A node is silence-impure when a [Silence] delivery could reach a
+   mutable write or an Rng draw: it performs one in silence-reachable
+   position itself, or it silence-reachably calls a silence-impure
+   callee.  A callee that opens with its own reception match contributes
+   only its silence-reachable effects, so forwarding the reception to a
+   guarded helper ([Recruiting.deliver recr ~node reception]) stays
+   clean, while a leaf helper with no reception match contributes its
+   whole body. *)
+let silence_impure units =
+  propagate
+    ~seed_iter:(fun mark ->
+      List.iter
+        (fun uf ->
+          List.iter
+            (fun w ->
+              if w.w_sil then mark w.w_node (`Direct (w.w_desc, w.w_line)))
+            uf.uf_writes;
+          List.iter
+            (fun c ->
+              if c.c_sil then
+                match rng_op_of_key c.c_callee with
+                | Some op when rng_consuming op ->
+                    mark c.c_caller (`Direct ("Rng." ^ op ^ " draw", c.c_line))
+                | _ -> ())
+            uf.uf_calls)
+        units)
+    ~edge_ok:(fun c -> c.c_sil)
+    ~skip:(fun _ -> false)
+    units
+
+let r11_findings units =
+  let node_home = node_home_table units in
+  let cause = silence_impure units in
+  let chain = chain_of ~node_home cause in
+  let fs =
+    List.concat_map
+      (fun uf ->
+        if not (in_lib uf.uf_file) then []
+        else
+          List.filter_map
+            (fun p ->
+              match p.p_deliver with
+              | Some k when Hashtbl.mem cause k ->
+                  Some
+                    {
+                      g_file = uf.uf_file;
+                      g_line = p.p_line;
+                      g_rule = "R11";
+                      g_msg =
+                        "protocol deliver is not silence-pure: " ^ chain k
+                        ^ " — a Silence delivery may mutate state or draw \
+                           randomness, so Engine_sparse's skipped silent \
+                           rounds would diverge from the dense engine; keep \
+                           every silence-reachable path effect-free (guard \
+                           effects under Received/Collision arms) or add a \
+                           reasoned rblint:allow R11";
+                      g_anchors = p.p_anchors;
+                    }
+              | _ -> None)
+            uf.uf_protos)
+      units
+  in
+  sort_findings fs
+
+(* ------------------------------------------------------------------ *)
+(* R12 — per-node write locality of protocol callbacks                 *)
+
+let r12_findings units =
+  let callbacks =
+    List.concat_map
+      (fun uf ->
+        List.concat_map
+          (fun p ->
+            (match p.p_decide with Some k -> [ k ] | None -> [])
+            @ (match p.p_deliver with Some k -> [ k ] | None -> []))
+          uf.uf_protos)
+      units
+  in
+  (* Everything a callback can execute. *)
+  let reach =
+    forward_closure ~seeds:callbacks ~edge_ok:(fun _ -> true) units
+  in
+  (* Everything a callback can execute without ever passing node-derived
+     data along the way: helpers reached like this operate on state the
+     analysis cannot tie to the delivering node.  A call that forwards a
+     node-derived argument is a trust boundary — the callee is presumed
+     to work on that node's state (documented approximation, DESIGN §13). *)
+  let reach_blind =
+    forward_closure ~seeds:callbacks ~edge_ok:(fun c -> not c.c_fwd) units
+  in
+  let advice =
+    " — Engine_sharded runs callbacks for different nodes on different \
+     domains, so cross-node or shared-accumulator writes race; index \
+     through the callback's ~node argument, use node-local scratch, make \
+     shared aggregates Atomic.t, or add a reasoned rblint:allow R12"
+  in
+  let fs =
+    List.concat_map
+      (fun uf ->
+        if not (in_lib uf.uf_file) then []
+        else
+          List.filter_map
+            (fun w ->
+              if w.w_atomic then None
+              else if
+                w.w_in_scope && (not w.w_node_ok) && Hashtbl.mem reach w.w_node
+              then
+                Some
+                  {
+                    g_file = uf.uf_file;
+                    g_line = w.w_line;
+                    g_rule = "R12";
+                    g_msg =
+                      "cross-node write in a protocol callback: the target \
+                       of " ^ w.w_desc
+                      ^ " is not derived from the callback's ~node argument \
+                         or node-local scratch" ^ advice;
+                    g_anchors = w.w_anchors;
+                  }
+              else if
+                (not w.w_in_scope) && Hashtbl.mem reach_blind w.w_node
+              then
+                Some
+                  {
+                    g_file = uf.uf_file;
+                    g_line = w.w_line;
+                    g_rule = "R12";
+                    g_msg =
+                      "shared-state write (" ^ w.w_desc ^ ") in `"
+                      ^ string_of_key w.w_node
+                      ^ "`, reachable from a protocol callback without a \
+                         node-derived argument" ^ advice;
+                    g_anchors = w.w_anchors;
+                  }
+              else None)
+            uf.uf_writes
+          @ List.filter_map
+              (fun c ->
+                match rng_op_of_key c.c_callee with
+                | Some op
+                  when rng_consuming op && (not c.c_fwd)
+                       && ((c.c_scope && Hashtbl.mem reach c.c_caller)
+                          || ((not c.c_scope)
+                             && Hashtbl.mem reach_blind c.c_caller)) ->
+                    Some
+                      {
+                        g_file = uf.uf_file;
+                        g_line = c.c_line;
+                        g_rule = "R12";
+                        g_msg =
+                          "shared Rng draw (Rng." ^ op
+                          ^ ") in a protocol callback: the stream is not \
+                             node-derived, so concurrent callbacks would \
+                             race it and the draw order would depend on the \
+                             shard schedule — draw from a per-node stream \
+                             (e.g. Rng.split_n at setup)" ^ advice;
+                        g_anchors = [ c.c_line ];
+                      }
+                | _ -> None)
+              uf.uf_calls)
+      units
+  in
+  sort_findings fs
+
+(* ------------------------------------------------------------------ *)
+(* R13 — determinism/purity of [~next_busy_round] hints                *)
+
+let r13_findings ?r8_sinks units =
+  let node_home = node_home_table units in
+  let taint =
+    match r8_sinks with
+    | Some sinks -> r8_taint ~sinks units
+    | None -> r8_taint units
+  in
+  (* A hint is impure when any write (Atomic included — hints may be
+     re-queried or skipped, so even atomic counters desynchronize), any
+     consuming Rng draw, or any R8-tainted source is reachable from its
+     body.  Mutable *reads* are deliberately allowed: the engine
+     re-queries the hint each silent round, so reading evolving state is
+     sound. *)
+  let cause =
+    propagate
+      ~seed_iter:(fun mark ->
+        List.iter
+          (fun uf ->
+            List.iter
+              (fun w -> mark w.w_node (`Direct (w.w_desc, w.w_line)))
+              uf.uf_writes;
+            List.iter
+              (fun c ->
+                (match rng_op_of_key c.c_callee with
+                | Some op when rng_consuming op ->
+                    mark c.c_caller (`Direct ("Rng." ^ op ^ " draw", c.c_line))
+                | _ -> ());
+                if Hashtbl.mem taint c.c_callee then
+                  mark c.c_caller
+                    (`Direct
+                       ( "R8-tainted " ^ string_of_key c.c_callee,
+                         c.c_line )))
+              uf.uf_calls)
+          units)
+      ~edge_ok:(fun _ -> true)
+      ~skip:(fun _ -> false)
+      units
+  in
+  (* Direct nondet in the hint body itself (not through a call). *)
+  List.iter
+    (fun uf ->
+      List.iter
+        (fun d ->
+          if not (Hashtbl.mem cause d.d_node) then
+            Hashtbl.replace cause d.d_node (`Direct (d.d_src, d.d_line)))
+        uf.uf_nondet)
+    units;
+  let chain = chain_of ~node_home cause in
+  let fs =
+    List.concat_map
+      (fun uf ->
+        if not (in_lib uf.uf_file) then []
+        else
+          List.filter_map
+            (fun h ->
+              if Hashtbl.mem cause h.h_key then
+                Some
+                  {
+                    g_file = uf.uf_file;
+                    g_line = h.h_line;
+                    g_rule = "R13";
+                    g_msg =
+                      "next_busy_round hint is not a pure function of the \
+                       round: " ^ chain h.h_key
+                      ^ " — Engine_sparse consults the hint instead of \
+                         simulating silent rounds, so any write, Rng draw \
+                         or nondeterministic source in it diverges the \
+                         sparse schedule from the dense one; compute the \
+                         hint from the round and captured immutable data \
+                         (reading evolving state is fine), or add a \
+                         reasoned rblint:allow R13";
+                    g_anchors = h.h_anchors;
+                  }
+              else None)
+            uf.uf_hints)
+      units
+  in
+  sort_findings fs
+
+(* ------------------------------------------------------------------ *)
+(* R14 — registry coverage of protocol pipelines                       *)
+
+let r14_findings units =
+  (* Nodes that register an entry, plus everything those registrations
+     reference: an entry's run wrapper links the registered name to the
+     pipeline it drives, so the whole pipeline counts as covered. *)
+  let register_seeds =
+    List.concat_map
+      (fun uf ->
+        List.filter_map
+          (fun c ->
+            if is_registry_register c.c_callee then Some c.c_caller else None)
+          uf.uf_calls)
+      units
+  in
+  let covered =
+    forward_closure ~seeds:register_seeds ~edge_ok:(fun _ -> true) units
+  in
+  (* Nodes that transitively drive an engine: backward reachability from
+     Engine/Engine_sparse/Engine_sharded run call sites. *)
+  let drives =
+    propagate
+      ~seed_iter:(fun mark ->
+        List.iter
+          (fun uf ->
+            List.iter
+              (fun c ->
+                if is_engine_run c.c_callee then
+                  mark c.c_caller
+                    (`Direct (string_of_key c.c_callee, c.c_line)))
+              uf.uf_calls)
+          units)
+      ~edge_ok:(fun _ -> true)
+      ~skip:(fun _ -> false)
+      units
+  in
+  let fs =
+    List.concat_map
+      (fun uf ->
+        if not (in_lib uf.uf_file) then []
+        else
+          List.filter_map
+            (fun p ->
+              if
+                Hashtbl.mem drives p.p_node
+                && not (Hashtbl.mem covered p.p_node)
+              then
+                Some
+                  {
+                    g_file = uf.uf_file;
+                    g_line = p.p_line;
+                    g_rule = "R14";
+                    g_msg =
+                      "protocol pipeline `" ^ string_of_key p.p_node
+                      ^ "` constructs a protocol and drives an engine but \
+                         is not reachable from any Rn_radio.Registry \
+                         registration: add an entry (lib/core/protocols.ml) \
+                         so rbcast/bench/tests and the contract rules \
+                         R11-R13 see it, or mark an internal driver with a \
+                         reasoned rblint:allow R14";
+                    g_anchors = p.p_anchors;
+                  }
+              else None)
+            uf.uf_protos)
       units
   in
   sort_findings fs

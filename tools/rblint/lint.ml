@@ -50,6 +50,14 @@
          handoff (judged through *consuming* parameter slots over the
          call graph), not stored in top-level module state.
 
+   v4 adds the engine protocol-contract rules (R11 silence purity of
+   [deliver], R12 per-node write locality of [decide]/[deliver], R13
+   purity of [~next_busy_round] hints, R14 registry coverage).  The
+   traversal additionally collects mutable-store primitives (with
+   silence-region and node-locality flags), [Engine.protocol] record
+   constructions (whose callback closures become synthetic call-graph
+   nodes), and hint closures; callgraph.ml holds the verdicts.
+
    Findings print as "file:line:col RULE message".  A finding is
    suppressed by an inline [rblint:allow RULE reason] comment marker —
    the marker must open its comment — placed on, or one line above, the
@@ -254,10 +262,16 @@ let rec resolve_alias aliases p =
 (* Flatten a resolved path to its component names, root first: the path of
    [Random.int] becomes ["Stdlib"; "Random"; "int"].  Requiring the
    "Stdlib" root makes the checks robust against local shadowing (a
-   module-local [compare] is a [Pident] without the root). *)
+   module-local [compare] is a [Pident] without the root).  Components are
+   split on dune's name-mangling separator — [Ctype.expand_head] (and some
+   cross-library references) canonicalize [Rn_radio.Engine] to the single
+   component [Rn_radio__Engine], which would otherwise defeat every
+   module-name suffix match. *)
+let demangle parts = List.concat_map Callgraph.key_of_modname parts
+
 let parts_of aliases p =
   match Path.flatten (resolve_alias aliases p) with
-  | `Ok (id, rest) -> Ident.name id :: rest
+  | `Ok (id, rest) -> demangle (Ident.name id :: rest)
   | `Contains_apply -> []
 
 (* --- type classification ------------------------------------------- *)
@@ -310,15 +324,19 @@ let minmax_msg op ty =
 let type_parts p =
   match Path.flatten p with
   | `Ok (id, rest) -> (
-      match Ident.name id :: rest with
+      match demangle (Ident.name id :: rest) with
       | "Stdlib" :: rest when rest <> [] -> rest
       | parts -> parts)
   | `Contains_apply -> []
 
 (* Shared-mutability classification of a value's type, used by R6/R7.
    [`Atomic] is the sanctioned cross-domain cell; [`Mutable what] is
-   anything a second domain could race on. *)
-let rec mutability env ty =
+   anything a second domain could race on.  [local] maps an
+   [Ident.unique_name] to a mutability description for type declarations
+   local to the unit under analysis: when a cmt's summarized environment
+   cannot serve the declaration ([real_env] fell back), the typedtree's
+   own [Tstr_type] items are still authoritative. *)
+let rec mutability ?(local = fun _ -> None) env ty =
   let ty = expand env ty in
   match Types.get_desc ty with
   | Types.Tconstr (p, _, _) -> (
@@ -337,6 +355,14 @@ let rec mutability env ty =
         | [ "Stack"; "t" ] -> `Mutable "stack"
         | [ "Random"; "State"; "t" ] -> `Mutable "PRNG state"
         | _ -> (
+            let from_decls () =
+              match p with
+              | Path.Pident id -> (
+                  match local (Ident.unique_name id) with
+                  | Some what -> `Mutable what
+                  | None -> `Immutable)
+              | _ -> `Immutable
+            in
             match Env.find_type p env with
             | decl -> (
                 match decl.Types.type_kind with
@@ -346,8 +372,8 @@ let rec mutability env ty =
                          lbls ->
                     `Mutable "record with mutable fields"
                 | _ -> `Immutable)
-            | exception _ -> `Immutable))
-  | Types.Tpoly (ty, _) -> mutability env ty
+            | exception _ -> from_decls ()))
+  | Types.Tpoly (ty, _) -> mutability ~local env ty
   | _ -> `Immutable
 
 let is_function_type env ty =
@@ -404,6 +430,9 @@ let analyze ~path ~modname str =
   (* Map of every let-bound ident to its definition, so a worker function
      passed to Domain.spawn can be expanded one level for R7. *)
   let val_defs : (Ident.t, expression) Hashtbl.t = Hashtbl.create 64 in
+  (* Unit-local type declarations with mutable contents, keyed by
+     [Ident.unique_name]; serves [mutability] when the cmt env cannot. *)
+  let local_mut_types : (string, string) Hashtbl.t = Hashtbl.create 16 in
   (* --- call-graph fact accumulators -------------------------------- *)
   let unit_key = Callgraph.key_of_modname modname in
   let cur_node = ref (unit_key @ [ "<init>" ]) in
@@ -418,10 +447,32 @@ let analyze ~path ~modname str =
   let spawn_caps = ref [] in
   let occs = ref [] in
   let binds = ref [] in
+  let writes = ref [] in
+  let raw_protos = ref [] in
+  (* (node, line, anchors, decide target, deliver target) with targets
+     still unresolved ([`Key] for synthetic callback nodes, [`Path] for
+     identifier fields) *)
+  let raw_hints = ref [] in  (* (`Key k | `Path p, line, anchors) *)
+  (* R11 silence regions: > 0 inside the rhs of a reception-match arm that
+     cannot match [Silence] — effects there never run on a Silence
+     delivery. *)
+  let nonsil = ref 0 in
+  (* R12 node scopes: one table per enclosing [~node]-parameter function,
+     innermost first, holding the idents the analysis considers
+     node-derived (the parameter, bindings computed from it, node-local
+     scratch allocations). *)
+  let scopes : (Ident.t, unit) Hashtbl.t list ref = ref [] in
   let loc_line (loc : Location.t) = loc.Location.loc_start.pos_lnum in
-  let record_ref ?(rng_args = []) p loc =
+  let record_ref ?(rng_args = []) ?(fwd = false) p loc =
     raw_refs :=
-      (!cur_node, resolve_alias aliases p, loc_line loc, rng_args) :: !raw_refs
+      ( !cur_node,
+        resolve_alias aliases p,
+        loc_line loc,
+        rng_args,
+        !nonsil = 0,
+        fwd,
+        !scopes <> [] )
+      :: !raw_refs
   in
   (* --- Rng typing -------------------------------------------------- *)
   let is_rng_t env ty =
@@ -444,6 +495,129 @@ let analyze ~path ~modname str =
     | Types.Ttuple ts -> List.exists (mentions_rng env) ts
     | Types.Tpoly (t, _) -> mentions_rng env t
     | _ -> false
+  in
+  (* --- R11/R12/R13 protocol-contract fact helpers ------------------- *)
+  let ty_suffix env ty suffix =
+    match Types.get_desc (expand env ty) with
+    | Types.Tconstr (p, _, _) -> (
+        match List.rev (type_parts p) with
+        | last :: up :: _ -> last = suffix && up = "Engine"
+        | _ -> false)
+    | _ -> false
+  in
+  let is_reception_type env ty = ty_suffix env ty "reception" in
+  let is_protocol_type env ty = ty_suffix env ty "protocol" in
+  (* Can this reception-match pattern bind a [Silence] delivery? *)
+  let rec pat_can_silence : type k. k general_pattern -> bool =
+   fun p ->
+    match p.pat_desc with
+    | Tpat_construct (_, cd, _, _) -> cd.Types.cstr_name = "Silence"
+    | Tpat_or (a, b, _) -> pat_can_silence a || pat_can_silence b
+    | Tpat_alias (q, _, _) -> pat_can_silence q
+    | Tpat_value v -> pat_can_silence (v :> value general_pattern)
+    | Tpat_exception _ -> false
+    | _ -> true (* var/any/...: conservatively may be Silence *)
+  in
+  (* Stamps of local idents used as decide/deliver fields of a protocol
+     record ([{ Engine.decide; deliver }] punning a local let).  Filled by
+     a cheap pre-scan; the main walk gives such bindings their own
+     synthetic call-graph node so their effects are separable from the
+     constructing function's. *)
+  let callback_stamps : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let local_cb : (string, Callgraph.key) Hashtbl.t = Hashtbl.create 16 in
+  let in_scope id = List.exists (fun tbl -> Hashtbl.mem tbl id) !scopes in
+  (* Does the expression mention any node-derived ident?  Used for write
+     targets, call arguments (forwarding trust) and derived-binding
+     propagation. *)
+  let mentions_scoped e =
+    let found = ref false in
+    let iter0 = Tast_iterator.default_iterator in
+    let look it e' =
+      (match e'.exp_desc with
+      | Texp_ident (Path.Pident id, _, _) when in_scope id -> found := true
+      | _ -> ());
+      if not !found then iter0.expr it e'
+    in
+    let it = { iter0 with expr = look } in
+    look it e;
+    !found
+  in
+  (* Is this RHS a fresh allocation?  Such a binding inside a node scope is
+     node-local scratch: writes through it cannot alias another node's
+     state. *)
+  let is_allocating e =
+    match e.exp_desc with
+    | Texp_array _ | Texp_record _ -> true
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) -> (
+        match parts_of aliases p with
+        | [ "Stdlib"; "ref" ] -> true
+        | [ "Stdlib"; "Array";
+            ( "make" | "init" | "create_float" | "make_matrix" | "copy"
+            | "of_list" | "append" | "sub" | "concat" ) ] ->
+            true
+        | [ "Stdlib"; "Bytes"; ("create" | "make" | "init" | "copy" | "sub") ]
+          ->
+            true
+        | [ "Stdlib"; ("Hashtbl" | "Buffer" | "Queue" | "Stack"); "create" ] ->
+            true
+        | parts -> (
+            match List.rev parts with
+            | ("create" | "split" | "split_n" | "copy") :: "Rng" :: _ -> true
+            | _ -> false))
+    | _ -> false
+  in
+  let record_write ?(atomic = false) ~node_ok ~desc loc =
+    writes :=
+      {
+        Callgraph.w_node = !cur_node;
+        w_line = loc_line loc;
+        w_desc = desc;
+        w_sil = !nonsil = 0;
+        w_atomic = atomic;
+        w_node_ok = node_ok;
+        w_in_scope = !scopes <> [];
+        w_anchors = !anchor_stack;
+      }
+      :: !writes
+  in
+  (* Mutable-store primitives: parts -> (description, is-atomic).  The
+     locality verdict checks whether *any* argument mentions a
+     node-derived ident (covering both [a.(node) <- x] container+index
+     shapes and [Hashtbl.replace tbl node v]); [Rng] consumption is
+     judged from call edges, not here. *)
+  let write_prim parts =
+    match parts with
+    | [ "Stdlib"; ":=" ] -> Some (":=", false)
+    | [ "Stdlib"; (("incr" | "decr") as f) ] -> Some (f, false)
+    | [ "Stdlib"; "Array";
+        (("set" | "unsafe_set" | "fill" | "blit" | "sort") as f) ] ->
+        Some ("Array." ^ f, false)
+    | [ "Stdlib"; "Bytes";
+        (("set" | "unsafe_set" | "fill" | "blit" | "blit_string") as f) ] ->
+        Some ("Bytes." ^ f, false)
+    | [ "Stdlib"; "Hashtbl";
+        (("replace" | "add" | "remove" | "clear" | "reset") as f) ] ->
+        Some ("Hashtbl." ^ f, false)
+    | [ "Stdlib"; "Buffer"; f ]
+      when List.mem f [ "clear"; "reset"; "truncate" ]
+           || (String.length f > 4 && String.sub f 0 4 = "add_") ->
+        Some ("Buffer." ^ f, false)
+    | [ "Stdlib"; "Queue";
+        (("push" | "add" | "pop" | "take" | "clear" | "transfer") as f) ] ->
+        Some ("Queue." ^ f, false)
+    | [ "Stdlib"; "Stack"; (("push" | "pop" | "clear") as f) ] ->
+        Some ("Stack." ^ f, false)
+    | [ "Stdlib"; "Atomic";
+        (( "set" | "incr" | "decr" | "fetch_and_add" | "exchange"
+         | "compare_and_set" ) as f) ] ->
+        Some ("Atomic." ^ f, true)
+    | _ -> (
+        match List.rev parts with
+        | (( "set" | "fill" | "clear" | "unsafe_set" | "unsafe_fill"
+           | "unsafe_clear" | "xor_into" ) as f)
+          :: "Bitvec" :: _ ->
+            Some ("Bitvec." ^ f, false)
+        | _ -> None)
   in
   (* --- R9 bounds-guard heuristics ---------------------------------- *)
   let name_has_len s =
@@ -602,9 +776,10 @@ let analyze ~path ~modname str =
               ^ "): share through Atomic.t, or prove exclusive ownership and \
                  suppress with a reasoned rblint:allow R7 marker")
           in
+          let local = Hashtbl.find_opt local_mut_types in
           match p with
           | Path.Pident id when free_local id -> (
-              match mutability env e.exp_type with
+              match mutability ~local env e.exp_type with
               | `Mutable what -> flag what
               | `Atomic | `Immutable ->
                   if
@@ -619,7 +794,7 @@ let analyze ~path ~modname str =
           | Path.Pident _ -> ()
           | _ -> (
               (* Cross-module mutable state referenced from a worker. *)
-              match mutability env e.exp_type with
+              match mutability ~local env e.exp_type with
               | `Mutable what -> flag what
               | `Atomic | `Immutable -> ()))
       | _ -> ());
@@ -689,6 +864,24 @@ let analyze ~path ~modname str =
   in
   (* --- main traversal ---------------------------------------------- *)
   let iter = Tast_iterator.default_iterator in
+  let slot_params rhs =
+    let pos = ref 0 in
+    let rec peel acc e =
+      match e.exp_desc with
+      | Texp_function { arg_label; param; cases = [ c ]; _ } ->
+          let sl =
+            match arg_label with
+            | Asttypes.Nolabel ->
+                let i = !pos in
+                incr pos;
+                Callgraph.Pos i
+            | Asttypes.Labelled l | Asttypes.Optional l -> Callgraph.Lab l
+          in
+          peel ((sl, stamp param) :: acc) c.c_rhs
+      | _ -> List.rev acc
+    in
+    peel [] rhs
+  in
   (* The wrapper maintains the anchor stack; expr_core does the work. *)
   let rec expr_hook it e =
     let loc = e.exp_loc in
@@ -734,16 +927,31 @@ let analyze ~path ~modname str =
               | _ -> None)
             args
         in
-        record_ref ~rng_args p fn.exp_loc;
+        let arg_mentions_scoped =
+          List.exists
+            (fun (_, eo) ->
+              match eo with Some a -> mentions_scoped a | None -> false)
+            args
+        in
+        record_ref ~rng_args ~fwd:arg_mentions_scoped p fn.exp_loc;
+        (match write_prim parts with
+        | Some (desc, atomic) ->
+            record_write ~atomic ~node_ok:arg_mentions_scoped ~desc fn.exp_loc
+        | None -> ());
         let visit_args () =
           List.iter
-            (fun (_, eo) ->
+            (fun (lbl, eo) ->
               match eo with
               | Some a -> (
-                  match is_rng_arg a with
-                  | Some _ when !in_spawn = 0 ->
-                      () (* counted as a call argument, not a plain use *)
-                  | _ -> expr_hook it a)
+                  match lbl with
+                  | Asttypes.Labelled "next_busy_round"
+                  | Asttypes.Optional "next_busy_round" ->
+                      visit_hint_arg it a
+                  | _ -> (
+                      match is_rng_arg a with
+                      | Some _ when !in_spawn = 0 ->
+                          () (* counted as a call argument, not a plain use *)
+                      | _ -> expr_hook it a))
               | None -> ())
             args
         in
@@ -847,6 +1055,87 @@ let analyze ~path ~modname str =
     | Texp_letmodule (Some id, _, _, { mod_desc = Tmod_ident (p, _); _ }, _) ->
         Hashtbl.replace aliases id (resolve_alias aliases p);
         iter.expr it e
+    | Texp_setfield (obj, _, lbl, _) ->
+        record_write ~node_ok:(mentions_scoped obj)
+          ~desc:("mutable-field set (" ^ lbl.Types.lbl_name ^ ")")
+          e.exp_loc;
+        iter.expr it e
+    (* R12: a [~node]-labelled parameter opens a node scope — everything
+       derived from it (and fresh local allocations, see
+       [value_binding_hook]) is per-node state. *)
+    | Texp_function { arg_label = Asttypes.Labelled "node"; param; _ } ->
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.replace tbl param ();
+        scopes := tbl :: !scopes;
+        iter.expr it e;
+        scopes := List.tl !scopes
+    (* A [function]-style reception match (a deliver written as
+       [fun ~round ~node -> function Silence -> () | ...]) shields its
+       non-Silence arms exactly like the explicit Texp_match below. *)
+    | Texp_function { cases = ({ c_lhs; _ } :: _) as cases; _ }
+      when is_reception_type (real_env c_lhs.pat_env) c_lhs.pat_type ->
+        List.iter
+          (fun c ->
+            Option.iter (expr_hook it) c.c_guard;
+            let shield = not (pat_can_silence c.c_lhs) in
+            if shield then incr nonsil;
+            expr_hook it c.c_rhs;
+            if shield then decr nonsil)
+          cases
+    (* R11 silence regions + R12 derived-binding propagation through
+       matches: arms of a reception match that cannot bind [Silence]
+       shield their effects from silent rounds; patterns destructuring a
+       node-derived scrutinee bind node-derived idents. *)
+    | Texp_match (scrut, cases, _) ->
+        expr_hook it scrut;
+        (match !scopes with
+        | tbl :: _ when mentions_scoped scrut ->
+            List.iter
+              (fun c ->
+                List.iter
+                  (fun id -> Hashtbl.replace tbl id ())
+                  (pat_bound_idents c.c_lhs))
+              cases
+        | _ -> ());
+        let recept =
+          is_reception_type (real_env scrut.exp_env) scrut.exp_type
+        in
+        List.iter
+          (fun c ->
+            Option.iter (expr_hook it) c.c_guard;
+            let shield = recept && not (pat_can_silence c.c_lhs) in
+            if shield then incr nonsil;
+            expr_hook it c.c_rhs;
+            if shield then decr nonsil)
+          cases
+    (* R11/R12 roots: a protocol record's decide/deliver callbacks become
+       their own call-graph nodes so their effects are separable from the
+       constructing function's. *)
+    | Texp_record { fields; extended_expression; _ }
+      when is_protocol_type (real_env e.exp_env) e.exp_type ->
+        Option.iter (expr_hook it) extended_expression;
+        let dec = ref `None and del = ref `None in
+        let handle name slot fe =
+          match fe.exp_desc with
+          | Texp_function _ -> slot := `Key (synth_walk it ~tag:name fe)
+          | Texp_ident (p, _, _) ->
+              slot := `Path p;
+              expr_hook it fe
+          | _ -> expr_hook it fe
+        in
+        Array.iter
+          (fun (lbl, def) ->
+            match def with
+            | Overridden (_, fe) -> (
+                match lbl.Types.lbl_name with
+                | "decide" -> handle "decide" dec fe
+                | "deliver" -> handle "deliver" del fe
+                | _ -> expr_hook it fe)
+            | Kept _ -> ())
+          fields;
+        raw_protos :=
+          (!cur_node, loc_line e.exp_loc, !anchor_stack, !dec, !del)
+          :: !raw_protos
     (* R9 guarded contexts: recurse manually so the guard counter covers
        exactly the dominated sub-expressions. *)
     | Texp_for (_, _, lo, hi, _, body) ->
@@ -876,6 +1165,54 @@ let analyze ~path ~modname str =
         expr_hook it e2;
         if g then decr guard
     | _ -> iter.expr it e
+  (* Attribute a callback/hint closure's body to a fresh synthetic
+     call-graph node ("%decide@<line>" under the enclosing node), so the
+     contract analyses can reason about it separately. *)
+  and synth_walk it ~tag fe =
+    let skey =
+      !cur_node @ [ Printf.sprintf "%%%s@%d" tag (loc_line fe.exp_loc) ]
+    in
+    nodes :=
+      {
+        Callgraph.n_key = skey;
+        n_line = loc_line fe.exp_loc;
+        n_params = slot_params fe;
+      }
+      :: !nodes;
+    let prev = !cur_node in
+    cur_node := skey;
+    expr_hook it fe;
+    cur_node := prev;
+    skey
+  (* R13 roots: closures passed (possibly under [Some], through branches,
+     or as a top-level identifier) as a [~next_busy_round] argument. *)
+  and visit_hint_arg it a =
+    match a.exp_desc with
+    | Texp_function _ ->
+        let k = synth_walk it ~tag:"hint" a in
+        raw_hints := (`Key k, loc_line a.exp_loc, !anchor_stack) :: !raw_hints
+    | Texp_construct (_, cd, [ inner ]) when cd.Types.cstr_name = "Some" -> (
+        match inner.exp_desc with
+        | Texp_function _ ->
+            let k = synth_walk it ~tag:"hint" inner in
+            raw_hints :=
+              (`Key k, loc_line inner.exp_loc, !anchor_stack) :: !raw_hints
+        | _ -> visit_hint_arg it inner)
+    | Texp_ident (p, _, _) ->
+        raw_hints := (`Path p, loc_line a.exp_loc, !anchor_stack) :: !raw_hints;
+        expr_hook it a
+    | Texp_ifthenelse (c, t, e') ->
+        expr_hook it c;
+        visit_hint_arg it t;
+        Option.iter (visit_hint_arg it) e'
+    | Texp_match (scrut, cases, _) ->
+        expr_hook it scrut;
+        List.iter
+          (fun c ->
+            Option.iter (expr_hook it) c.c_guard;
+            visit_hint_arg it c.c_rhs)
+          cases
+    | _ -> expr_hook it a
   in
   let module_expr_hook it m =
     (match m.mod_desc with
@@ -921,21 +1258,57 @@ let analyze ~path ~modname str =
               :: !binds
         | _ -> ())
     | _ -> ());
+    (* R12: inside a node scope, a binding computed from node-derived data
+       stays node-derived, and a fresh allocation is node-local scratch. *)
+    (match !scopes with
+    | tbl :: _ when is_allocating vb.vb_expr || mentions_scoped vb.vb_expr ->
+        List.iter
+          (fun id -> Hashtbl.replace tbl id ())
+          (pat_bound_idents vb.vb_pat)
+    | _ -> ());
     let is_hot =
       List.exists
         (fun a -> a.Parsetree.attr_name.txt = "zero_alloc_hot")
         vb.vb_attributes
     in
+    (* A local function later punned into a protocol record becomes its own
+       synthetic node, like a literal callback closure would. *)
+    let cb_node =
+      match vb.vb_pat.pat_desc with
+      | Tpat_var (id, _)
+        when Hashtbl.mem callback_stamps (stamp id)
+             && (not (Hashtbl.mem val_keys (stamp id)))
+             && (match vb.vb_expr.exp_desc with
+                | Texp_function _ -> true
+                | _ -> false) ->
+          let skey =
+            !cur_node
+            @ [ Printf.sprintf "%%%s@%d" (Ident.name id) (loc_line vb.vb_loc) ]
+          in
+          nodes :=
+            {
+              Callgraph.n_key = skey;
+              n_line = loc_line vb.vb_loc;
+              n_params = slot_params vb.vb_expr;
+            }
+            :: !nodes;
+          Hashtbl.replace local_cb (stamp id) skey;
+          Some skey
+      | _ -> None
+    in
     let prev = !anchor_stack in
     (let l = loc_line vb.vb_loc in
      if not (vb.vb_loc.Location.loc_ghost || List.mem l prev) then
        anchor_stack := l :: prev);
+    let prev_node = !cur_node in
+    (match cb_node with Some k -> cur_node := k | None -> ());
     (if is_hot then begin
        incr hot;
        iter.value_binding it vb;
        decr hot
      end
      else iter.value_binding it vb);
+    cur_node := prev_node;
     anchor_stack := prev
   in
   let it =
@@ -951,24 +1324,6 @@ let analyze ~path ~modname str =
      nodes (key = unit key + nested module path + name); everything below
      them is attributed to the enclosing node.  The iterator hooks still
      serve expression-level traversal. *)
-  let slot_params rhs =
-    let pos = ref 0 in
-    let rec peel acc e =
-      match e.exp_desc with
-      | Texp_function { arg_label; param; cases = [ c ]; _ } ->
-          let sl =
-            match arg_label with
-            | Asttypes.Nolabel ->
-                let i = !pos in
-                incr pos;
-                Callgraph.Pos i
-            | Asttypes.Labelled l | Asttypes.Optional l -> Callgraph.Lab l
-          in
-          peel ((sl, stamp param) :: acc) c.c_rhs
-      | _ -> List.rev acc
-    in
-    peel [] rhs
-  in
   let rec walk_items prefix items =
     List.iter
       (fun item ->
@@ -979,6 +1334,19 @@ let analyze ~path ~modname str =
         | Tstr_eval (e, _) ->
             cur_node := prefix @ [ "<init>" ];
             expr_hook it e
+        | Tstr_type (_, decls) ->
+            List.iter
+              (fun d ->
+                match d.typ_kind with
+                | Ttype_record lds
+                  when List.exists
+                         (fun l -> l.ld_mutable = Asttypes.Mutable)
+                         lds ->
+                    Hashtbl.replace local_mut_types
+                      (Ident.unique_name d.typ_id)
+                      "record with mutable fields"
+                | _ -> ())
+              decls
         | Tstr_include i ->
             cur_node := prefix @ [ "<include>" ];
             walk_mod prefix i.incl_mod
@@ -1034,6 +1402,27 @@ let analyze ~path ~modname str =
         cur_node := prefix @ [ "<pattern>" ];
         value_binding_hook it vb
   in
+  (* Pre-scan: collect local idents punned into protocol records, so the
+     main walk can give their bindings synthetic callback nodes. *)
+  (let iter0 = Tast_iterator.default_iterator in
+   let expr it e =
+     (match e.exp_desc with
+     | Texp_record { fields; _ }
+       when is_protocol_type (real_env e.exp_env) e.exp_type ->
+         Array.iter
+           (fun (lbl, def) ->
+             match (def, lbl.Types.lbl_name) with
+             | ( Overridden
+                   (_, { exp_desc = Texp_ident (Path.Pident id, _, _); _ }),
+                 ("decide" | "deliver") ) ->
+                 Hashtbl.replace callback_stamps (stamp id) ()
+             | _ -> ())
+           fields
+     | _ -> ());
+     iter0.expr it e
+   in
+   let pre = { iter0 with expr } in
+   pre.structure pre str);
   walk_items unit_key str.str_items;
   (* R6 pass: top-level bindings only, including nested top-level modules. *)
   let rec scan_structure s =
@@ -1059,30 +1448,32 @@ let analyze ~path ~modname str =
   (* Resolve deferred references into call edges.  Local stamps map to
      node keys; dotted paths rooted in a unit-local module map through the
      module-stamp table; anything else flattens to its global parts. *)
+  let resolve_path p =
+    match p with
+    | Path.Pident id -> (
+        match Hashtbl.find_opt val_keys (stamp id) with
+        | Some k -> Some k
+        | None -> Hashtbl.find_opt local_cb (stamp id))
+    | _ -> (
+        let rec root = function
+          | Path.Pident id -> Some id
+          | Path.Pdot (q, _) -> root q
+          | _ -> None
+        in
+        match root p with
+        | Some rid when Hashtbl.mem mod_keys (stamp rid) -> (
+            match Path.flatten p with
+            | `Ok (_, rest) -> Some (Hashtbl.find mod_keys (stamp rid) @ rest)
+            | `Contains_apply -> None)
+        | _ -> (
+            match parts_of aliases p with
+            | [] -> None
+            | parts -> Some parts))
+  in
   let calls =
     List.filter_map
-      (fun (caller, p, line, rng_args) ->
-        let resolved =
-          match p with
-          | Path.Pident id -> Hashtbl.find_opt val_keys (stamp id)
-          | _ -> (
-              let rec root = function
-                | Path.Pident id -> Some id
-                | Path.Pdot (q, _) -> root q
-                | _ -> None
-              in
-              match root p with
-              | Some rid when Hashtbl.mem mod_keys (stamp rid) -> (
-                  match Path.flatten p with
-                  | `Ok (_, rest) ->
-                      Some (Hashtbl.find mod_keys (stamp rid) @ rest)
-                  | `Contains_apply -> None)
-              | _ -> (
-                  match parts_of aliases p with
-                  | [] -> None
-                  | parts -> Some parts))
-        in
-        match resolved with
+      (fun (caller, p, line, rng_args, sil, fwd, scope) ->
+        match resolve_path p with
         | Some k ->
             Some
               {
@@ -1090,9 +1481,38 @@ let analyze ~path ~modname str =
                 c_callee = k;
                 c_line = line;
                 c_rng_args = rng_args;
+                c_sil = sil;
+                c_fwd = fwd;
+                c_scope = scope;
               }
         | None -> None)
       !raw_refs
+  in
+  let resolve_target = function
+    | `None -> None
+    | `Key k -> Some k
+    | `Path p -> resolve_path p
+  in
+  let protos =
+    List.rev_map
+      (fun (node, line, anchors, dec, del) ->
+        {
+          Callgraph.p_node = node;
+          p_line = line;
+          p_anchors = anchors;
+          p_decide = resolve_target dec;
+          p_deliver = resolve_target del;
+        })
+      !raw_protos
+  in
+  let hints =
+    List.filter_map
+      (fun (target, line, anchors) ->
+        match resolve_target target with
+        | Some k ->
+            Some { Callgraph.h_key = k; h_line = line; h_anchors = anchors }
+        | None -> None)
+      !raw_hints
   in
   let facts =
     {
@@ -1104,6 +1524,9 @@ let analyze ~path ~modname str =
       uf_spawns = List.rev !spawn_caps;
       uf_occs = List.rev !occs;
       uf_binds = List.rev !binds;
+      uf_writes = List.rev !writes;
+      uf_protos = protos;
+      uf_hints = List.rev hints;
     }
   in
   let sort fs =
@@ -1277,6 +1700,12 @@ let finalize_full ?r8_sinks units =
     | Some sinks -> Callgraph.r8_findings ~sinks facts
     | None -> Callgraph.r8_findings facts)
     @ Callgraph.r10_findings facts
+    @ Callgraph.r11_findings facts
+    @ Callgraph.r12_findings facts
+    @ (match r8_sinks with
+      | Some sinks -> Callgraph.r13_findings ~r8_sinks:sinks facts
+      | None -> Callgraph.r13_findings facts)
+    @ Callgraph.r14_findings facts
   in
   let cg_by_file : (string, Callgraph.cg_finding) Hashtbl.t =
     Hashtbl.create 16

@@ -1,0 +1,31 @@
+(* R11 fixture: delivers that treat Silence as an event.  Both effects are
+   Atomic so the per-node locality rule (R12) stays quiet and R11 alone
+   speaks: one deliver counts every delivery unconditionally, the other
+   counts the Silence arm itself. *)
+
+module Engine = struct
+  type reception = Silence | Collision | Received of int
+
+  type protocol = {
+    decide : round:int -> node:int -> int;
+    deliver : round:int -> node:int -> reception -> unit;
+  }
+end
+
+(* every delivery bumps the counter before any guard *)
+let count_all () =
+  let got = Atomic.make 0 in
+  let deliver ~round:_ ~node:_ r =
+    Atomic.incr got;
+    match r with Engine.Silence -> () | Engine.Collision | Engine.Received _ -> ()
+  in
+  ({ Engine.decide = (fun ~round:_ ~node:_ -> 0); deliver }, got)
+
+(* the Silence arm is itself an effect: skipped silent rounds lose it *)
+let count_silence () =
+  let silent = Atomic.make 0 in
+  let deliver ~round:_ ~node:_ = function
+    | Engine.Silence -> Atomic.incr silent
+    | Engine.Collision | Engine.Received _ -> ()
+  in
+  ({ Engine.decide = (fun ~round:_ ~node:_ -> 0); deliver }, silent)

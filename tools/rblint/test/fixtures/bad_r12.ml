@@ -1,0 +1,44 @@
+(* R12 fixture: callback writes that cannot be tied to the delivering
+   node.  All three sit under non-Silence arms (or in decide), so the
+   silence-purity rule (R11) stays quiet and R12 alone speaks: a write
+   indexed by message payload, a shared counter bumped through a helper
+   that never sees the node, and a decide writing by round. *)
+
+module Engine = struct
+  type reception = Silence | Collision | Received of int
+
+  type protocol = {
+    decide : round:int -> node:int -> int;
+    deliver : round:int -> node:int -> reception -> unit;
+  }
+end
+
+(* indexed by the message, not the delivering node *)
+let histogram () =
+  let seen = Array.make 16 0 in
+  let deliver ~round:_ ~node:_ = function
+    | Engine.Silence -> ()
+    | Engine.Received m -> seen.(m land 15) <- seen.(m land 15) + 1
+    | Engine.Collision -> ()
+  in
+  ({ Engine.decide = (fun ~round:_ ~node:_ -> 0); deliver }, seen)
+
+(* the helper writes shared state and is reached without node data *)
+let bump counter = counter := !counter + 1
+
+let tally () =
+  let total = ref 0 in
+  let deliver ~round:_ ~node:_ = function
+    | Engine.Silence -> ()
+    | Engine.Received _ | Engine.Collision -> bump total
+  in
+  ({ Engine.decide = (fun ~round:_ ~node:_ -> 0); deliver }, total)
+
+(* decide writing a slot keyed by round races across shards too *)
+let scheduler () =
+  let sched = Array.make 64 0 in
+  let decide ~round ~node:_ =
+    sched.(round land 63) <- 1;
+    0
+  in
+  ({ Engine.decide; deliver = (fun ~round:_ ~node:_ _ -> ()) }, sched)

@@ -1,0 +1,36 @@
+(* R14 fixture: a protocol-shaped pipeline that drives an engine but is
+   never reachable from a Registry.register call.  The callbacks are
+   contract-clean (node-indexed, silence-guarded), so R14 alone speaks. *)
+
+module Engine = struct
+  type reception = Silence | Collision | Received of int
+
+  type protocol = {
+    decide : round:int -> node:int -> int;
+    deliver : round:int -> node:int -> reception -> unit;
+  }
+
+  let run ~protocol ~max_rounds () =
+    for round = 0 to max_rounds - 1 do
+      for node = 0 to 3 do
+        ignore (protocol.decide ~round ~node);
+        protocol.deliver ~round ~node Silence
+      done
+    done
+end
+
+let run_pipeline () =
+  let state = Array.make 4 0 in
+  let protocol =
+    {
+      Engine.decide = (fun ~round:_ ~node -> state.(node));
+      deliver =
+        (fun ~round:_ ~node r ->
+          match r with
+          | Engine.Silence -> ()
+          | Engine.Received m -> state.(node) <- m
+          | Engine.Collision -> ());
+    }
+  in
+  Engine.run ~protocol ~max_rounds:2 ();
+  state

@@ -1,0 +1,31 @@
+(* R11 clean fixture: every effect sits under a reception-match arm that
+   excludes Silence — directly in the deliver, and through a forwarding
+   helper that opens with its own reception match (the analysis credits a
+   guarded callee with only its silence-reachable effects). *)
+
+module Engine = struct
+  type reception = Silence | Collision | Received of int
+
+  type protocol = {
+    decide : round:int -> node:int -> int;
+    deliver : round:int -> node:int -> reception -> unit;
+  }
+end
+
+let guarded_inline () =
+  let got = Atomic.make 0 in
+  let deliver ~round:_ ~node:_ = function
+    | Engine.Silence -> ()
+    | Engine.Collision | Engine.Received _ -> Atomic.incr got
+  in
+  ({ Engine.decide = (fun ~round:_ ~node:_ -> 0); deliver }, got)
+
+(* the helper's own match shields its effects *)
+let handle got = function
+  | Engine.Silence -> ()
+  | Engine.Collision | Engine.Received _ -> Atomic.incr got
+
+let guarded_via_helper () =
+  let got = Atomic.make 0 in
+  let deliver ~round:_ ~node:_ r = handle got r in
+  ({ Engine.decide = (fun ~round:_ ~node:_ -> 0); deliver }, got)

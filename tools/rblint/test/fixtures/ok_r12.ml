@@ -1,0 +1,25 @@
+(* R12 clean fixture: every callback write is node-local — indexed through
+   the callback's ~node argument, or a shared aggregate made Atomic — so
+   Engine_sharded can run callbacks for different nodes on different
+   domains without racing. *)
+
+module Engine = struct
+  type reception = Silence | Collision | Received of int
+
+  type protocol = {
+    decide : round:int -> node:int -> int;
+    deliver : round:int -> node:int -> reception -> unit;
+  }
+end
+
+let per_node () =
+  let state = Array.make 16 0 in
+  let total = Atomic.make 0 in
+  let deliver ~round:_ ~node = function
+    | Engine.Silence -> ()
+    | Engine.Received m ->
+        state.(node) <- m;
+        Atomic.incr total
+    | Engine.Collision -> ()
+  in
+  ({ Engine.decide = (fun ~round:_ ~node -> state.(node)); deliver }, total)

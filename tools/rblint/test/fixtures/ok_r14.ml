@@ -1,0 +1,45 @@
+(* R14 clean fixture: the same engine-driving pipeline as bad_r14, but an
+   entry wrapping it is handed to Registry.register — the forward closure
+   from the registering function covers the whole pipeline. *)
+
+module Engine = struct
+  type reception = Silence | Collision | Received of int
+
+  type protocol = {
+    decide : round:int -> node:int -> int;
+    deliver : round:int -> node:int -> reception -> unit;
+  }
+
+  let run ~protocol ~max_rounds () =
+    for round = 0 to max_rounds - 1 do
+      for node = 0 to 3 do
+        ignore (protocol.decide ~round ~node);
+        protocol.deliver ~round ~node Silence
+      done
+    done
+end
+
+module Registry = struct
+  type entry = { name : string; run : unit -> int array }
+
+  let register (_ : entry) = ()
+end
+
+let run_pipeline () =
+  let state = Array.make 4 0 in
+  let protocol =
+    {
+      Engine.decide = (fun ~round:_ ~node -> state.(node));
+      deliver =
+        (fun ~round:_ ~node r ->
+          match r with
+          | Engine.Silence -> ()
+          | Engine.Received m -> state.(node) <- m
+          | Engine.Collision -> ());
+    }
+  in
+  Engine.run ~protocol ~max_rounds:2 ();
+  state
+
+let entry = { Registry.name = "pipeline"; run = (fun () -> run_pipeline ()) }
+let ensure_registered () = Registry.register entry

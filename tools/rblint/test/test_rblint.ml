@@ -319,6 +319,47 @@ let test_r10 () =
   let fs = lint_as ~path:"lib/radio/ok_r10_split.ml" "ok_r10_split.ml" in
   Alcotest.(check int) "split-per-owner is clean" 0 (List.length fs)
 
+let test_r11 () =
+  let fs = lint_as ~path:"lib/core/bad_r11.ml" "bad_r11.ml" in
+  check_rules "R11 only" [ "R11" ] fs;
+  (* the unconditional counter and the counted Silence arm *)
+  Alcotest.(check int) "both delivers fire" 2 (count "R11" fs);
+  let fs = lint_as ~path:"lib/core/ok_r11.ml" "ok_r11.ml" in
+  Alcotest.(check int) "guarded delivers are clean" 0 (List.length fs);
+  (* the acceptance probe: un-guarding the Silence arm turns the lint red *)
+  let unguarded =
+    replace ~sub:"| Engine.Silence -> ()"
+      ~by:"| Engine.Silence -> Atomic.incr got"
+      (read_fixture "ok_r11.ml")
+  in
+  let fs = Lint.lint_source ~path:"lib/core/ok_r11b.ml" ~source:unguarded in
+  check_rules "Silence guard deleted: R11 resurfaces" [ "R11" ] fs
+
+let test_r12 () =
+  let fs = lint_as ~path:"lib/core/bad_r12.ml" "bad_r12.ml" in
+  check_rules "R12 only" [ "R12" ] fs;
+  (* message-indexed write, helper's shared counter, round-keyed decide *)
+  Alcotest.(check int) "all three non-local writes fire" 3 (count "R12" fs);
+  let fs = lint_as ~path:"lib/core/ok_r12.ml" "ok_r12.ml" in
+  Alcotest.(check int) "node-indexed + Atomic aggregate is clean" 0
+    (List.length fs)
+
+let test_r13 () =
+  let fs = lint_as ~path:"lib/core/bad_r13.ml" "bad_r13.ml" in
+  check_rules "R13 only" [ "R13" ] fs;
+  (* the Rng-drawing hint and the writing hint *)
+  Alcotest.(check int) "both impure hints fire" 2 (count "R13" fs);
+  let fs = lint_as ~path:"lib/core/ok_r13.ml" "ok_r13.ml" in
+  Alcotest.(check int) "round-pure and state-reading hints are clean" 0
+    (List.length fs)
+
+let test_r14 () =
+  let fs = lint_as ~path:"lib/core/bad_r14.ml" "bad_r14.ml" in
+  check_rules "R14 only" [ "R14" ] fs;
+  Alcotest.(check int) "the unregistered driver fires once" 1 (count "R14" fs);
+  let fs = lint_as ~path:"lib/core/ok_r14.ml" "ok_r14.ml" in
+  Alcotest.(check int) "registered pipeline is covered" 0 (List.length fs)
+
 let test_suppress_multiline () =
   let fs =
     lint_as ~path:"lib/core/ok_suppress_multiline.ml" "ok_suppress_multiline.ml"
@@ -454,6 +495,10 @@ let () =
           Alcotest.test_case "R8 sanctioned sinks" `Quick test_r8_sink;
           Alcotest.test_case "R9 unsafe-index dominance" `Quick test_r9;
           Alcotest.test_case "R10 rng ownership" `Quick test_r10;
+          Alcotest.test_case "R11 silence purity" `Quick test_r11;
+          Alcotest.test_case "R12 write locality" `Quick test_r12;
+          Alcotest.test_case "R13 hint determinism" `Quick test_r13;
+          Alcotest.test_case "R14 registry coverage" `Quick test_r14;
         ] );
       ( "machinery",
         [
