@@ -4,7 +4,8 @@
      rbcast broadcast  single-message broadcast with a chosen algorithm
      rbcast multi      k-message broadcast (Theorems 1.2 / 1.3, baselines)
      rbcast gst        build a GST (centralized or distributed) and report
-     rbcast topo       describe or export a generated topology *)
+     rbcast topo       describe or export a generated topology
+     rbcast campaign   run a sweep campaign (cache, stealing, resume) *)
 
 open Cmdliner
 open Rn_util
@@ -280,6 +281,182 @@ let topo_cmd =
     (Cmd.info "topo" ~doc:"Describe or export a generated topology.")
     Term.(const run $ topo_args $ dot)
 
+(* ------------------------------------------------------------------ *)
+(* campaign *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let campaign_cmd =
+  let run spec_path out journal_path resume domains no_cache static kill_after
+      quiet =
+    match Rn_campaign.Spec.parse (read_file spec_path) with
+    | Error msg ->
+        Printf.eprintf "rbcast campaign: %s\n%!" msg;
+        1
+    | Ok spec ->
+        let journal_path =
+          match journal_path with
+          | Some p -> p
+          | None -> (
+              match out with Some o -> o ^ ".journal" | None -> spec_path ^ ".journal")
+        in
+        let resume_lines =
+          if resume && Sys.file_exists journal_path then read_lines journal_path
+          else []
+        in
+        (* The journal is append-only and flushed per line, so a SIGKILL
+           loses at most the line being written — which resume ignores.
+           The output file is rewritten from scratch each run (resume
+           re-emits the replayed prefix), keeping it byte-identical to an
+           uninterrupted run. *)
+        let jc = open_out_gen [ Open_append; Open_creat ] 0o644 journal_path in
+        let oc = match out with Some p -> open_out p | None -> stdout in
+        let t0 = Unix.gettimeofday () in
+        let stats =
+          Rn_campaign.Campaign.run ?domains
+            ~schedule:
+              (if static then Rn_campaign.Campaign.Static
+               else Rn_campaign.Campaign.Stealing)
+            ~cache:(not no_cache)
+            ~journal:(fun line ->
+              output_string jc line;
+              output_char jc '\n';
+              flush jc)
+            ~resume_lines
+            ?on_cell:
+              (match kill_after with
+              | None -> None
+              | Some n ->
+                  Some
+                    (fun ~completed ~total:_ ->
+                      if completed >= n then (
+                        (* a real, unhandled kill: what CI's crash test
+                           relies on to interrupt mid-flight *)
+                        flush jc;
+                        Unix.kill (Unix.getpid ()) Sys.sigkill)))
+            ~clock:Unix.gettimeofday
+            ~emit:(fun line ->
+              output_string oc line;
+              output_char oc '\n';
+              flush oc)
+            spec
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        flush jc;
+        close_out jc;
+        (match out with Some _ -> close_out oc | None -> flush oc);
+        if not quiet then begin
+          let open Rn_campaign.Campaign in
+          Printf.eprintf
+            "campaign: %d cells (%d run, %d replayed) in %.2fs — %.1f \
+             cells/s, %d steals; gen %.2fs run %.2fs drain %.2fs\n%!"
+            stats.cells stats.executed stats.replayed wall
+            (float_of_int stats.executed /. max 1e-9 wall)
+            stats.steals stats.gen_s stats.run_s stats.drain_s
+        end;
+        0
+  in
+  let spec =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:
+            "Campaign spec: JSONL lines {\"topo\":…}, {\"proto\":…}, \
+             {\"seeds\":[…]} (see DESIGN.md §14).  Cells are the cross \
+             product, each with a stable job key.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Write result JSONL here (default stdout), one line per cell in \
+             spec order, streamed as the in-order prefix completes.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append-only checkpoint journal (default $(b,OUT).journal).  \
+             Every finished cell is flushed here immediately; $(b,--resume) \
+             replays it.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay the journal before running: journaled cells are not \
+             re-run, and the output is byte-identical to an uninterrupted \
+             run.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Scheduler lane count (default: recommended domain count).  \
+             Results never depend on it.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Regenerate each cell's topology instead of building every \
+             distinct topology once (same results, for benchmarking the \
+             cache).")
+  in
+  let static =
+    Arg.(
+      value & flag
+      & info [ "static" ]
+          ~doc:
+            "Disable work stealing: each lane runs exactly its strided share \
+             (same results, for benchmarking the scheduler).")
+  in
+  let kill_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-after" ] ~docv:"N"
+          ~doc:
+            "SIGKILL this process after N cells have been journaled — the \
+             crash half of CI's crash/resume smoke test.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the stderr summary.")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a sweep campaign: topology cache, work-stealing scheduler, \
+          checkpoint/resume.")
+    Term.(
+      const run $ spec $ out $ journal $ resume $ domains $ no_cache $ static
+      $ kill_after $ quiet)
+
 let () =
   let info =
     Cmd.info "rbcast" ~version:"1.0.0"
@@ -288,4 +465,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ broadcast_cmd; multi_cmd; gst_cmd; estimate_cmd; topo_cmd ]))
+          [
+            broadcast_cmd; multi_cmd; gst_cmd; estimate_cmd; topo_cmd;
+            campaign_cmd;
+          ]))

@@ -1,0 +1,83 @@
+(** Deterministic sweep engine: topology cache, work-stealing scheduler,
+    checkpoint/resume.  DESIGN.md §14 documents the architecture and its
+    determinism argument.
+
+    [run] expands nothing itself — it executes the cells of a parsed
+    {!Spec.t} and streams one {!Journal} line per cell, in cell-index
+    order, through [emit].  The emitted bytes are a pure function of the
+    spec: independent of [domains], [schedule], [cache], pool worker
+    availability, resume, and abort history.  Everything nondeterministic
+    (wall-clock, journal file order, the steal count) stays out of the
+    emitted lines and is reported only through {!stats}.
+
+    The engine is quiet (no printing, no file I/O): callers own every
+    channel via the [emit] and [journal] callbacks, and wall-clock enters
+    only through the injected [clock] — which is what keeps the library
+    inside rblint's R4/R8 determinism envelope. *)
+
+type schedule =
+  | Static  (** each lane runs exactly its strided share; no stealing *)
+  | Stealing
+      (** idle executors steal single cells from the most loaded lane —
+          the default; results are identical either way *)
+
+type stats = {
+  cells : int;  (** total cells in the spec *)
+  executed : int;  (** cells actually run this session *)
+  replayed : int;  (** cells restored verbatim from [resume_lines] *)
+  aborted : bool;  (** true when [abort_after] cut the run short *)
+  steals : int;  (** cells executed off their initial lane *)
+  gen_s : float;  (** clock time attributed to topology generation *)
+  run_s : float;  (** clock time attributed to protocol execution *)
+  drain_s : float;  (** coordinator time in journal/emit drains *)
+  cell_wall : float array;
+      (** per-cell clock seconds (generation + run); 0 for replayed cells *)
+  cell_rounds : int array;
+      (** per-cell simulated rounds; parsed from the journal line for
+          replayed cells, so totals survive a resume *)
+}
+
+val run :
+  ?domains:int ->
+  ?schedule:schedule ->
+  ?cache:bool ->
+  ?journal:(string -> unit) ->
+  ?resume_lines:string list ->
+  ?abort_after:int ->
+  ?on_cell:(completed:int -> total:int -> unit) ->
+  ?clock:(unit -> float) ->
+  emit:(string -> unit) ->
+  Spec.t ->
+  stats
+(** Run a campaign.
+
+    - [domains] is the lane count (default {!Rn_radio.Runner.default_domains});
+      executors are pool workers plus the calling domain, at most one per
+      lane.  Lane assignment is static and strided (cell [i] starts on
+      lane [i mod domains]); under [Stealing] an executor whose lanes are
+      dry takes one cell at a time from the back of the most loaded lane.
+    - [cache] (default true) pre-builds every distinct topology once into
+      an immutable array shared read-only by all executors; when false
+      each cell regenerates its graph (same bytes — generators are pure
+      functions of the instance descriptor).
+    - [journal] is called with each finished cell's line as it is
+      drained, in completion order — append it to a file and flush to
+      checkpoint.  [resume_lines] replays a previous journal: lines whose
+      job key matches the spec's cell are restored without re-running
+      (malformed or stale lines are ignored), and are re-emitted — but
+      not re-journaled — so the output stream is complete.
+    - [abort_after n] simulates a kill: after [n] cells have been
+      journaled this session the run stops draining, workers wind down,
+      and [aborted] is reported — buffered-but-undrained results are
+      dropped exactly as a real SIGKILL would drop them.
+    - [on_cell] fires after each journaled cell with this session's
+      completion count (the CLI's [--kill-after] hook).
+    - [clock] (default [fun () -> 0.]) timestamps the profile fields in
+      {!stats}; pass [Unix.gettimeofday] from bin/bench.
+    - [emit] receives every cell line exactly once, in cell-index order,
+      as soon as the index-order prefix is complete (streaming).
+
+    @raise Failure if a protocol name in the spec is not registered
+    (callers run [Rn_broadcast.Protocols.ensure_registered ()] first).
+    Exceptions raised by protocol runs are re-raised after all executors
+    stop. *)

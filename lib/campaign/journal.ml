@@ -1,0 +1,24 @@
+open Rn_util
+
+let line ~idx ~key ~cell ~rounds ~delivered ~details =
+  Jsons.obj
+    ([
+       ("idx", string_of_int idx);
+       ("key", Jsons.quote key);
+       ("cell", Jsons.quote cell);
+       ("rounds", string_of_int rounds);
+       ("delivered", (if delivered then "true" else "false"));
+     ]
+    @ List.map (fun (k, v) -> ("d_" ^ k, Jsons.quote v)) details)
+
+let parse_line s =
+  match Jsons.parse_obj s with
+  | Error _ -> None
+  | Ok fields -> (
+      match
+        ( Jsons.int_mem "idx" fields,
+          Jsons.str_mem "key" fields,
+          Jsons.int_mem "rounds" fields )
+      with
+      | Some idx, Some key, Some rounds -> Some (idx, key, rounds)
+      | _ -> None)

@@ -1,0 +1,35 @@
+(** Checkpoint journal lines.
+
+    The journal is an append-only JSONL file: one object per finished
+    cell, written (and flushed) by the campaign coordinator the moment
+    the cell's result is drained.  Journal lines double as the campaign's
+    output lines — resuming replays them verbatim, which is what makes a
+    resumed run byte-identical to an uninterrupted one.
+
+    Line shape (flat, in the {!Rn_util.Jsons} dialect):
+
+    {v
+    {"idx":17,"key":"89a0c2b4d6e8f001","cell":"grid(w=8,h=8)|decay|seed=3",
+     "rounds":41,"delivered":true,"d_rounds":"41",...}
+    v}
+
+    [idx]/[key]/[cell]/[rounds]/[delivered] are fixed; each protocol
+    detail [(name, value)] follows as a ["d_" ^ name] string field, in
+    the protocol's stable order.  Everything is a pure function of the
+    cell and its result, so the line for a given cell is the same bytes
+    on every run, schedule, and domain count. *)
+
+val line :
+  idx:int ->
+  key:string ->
+  cell:string ->
+  rounds:int ->
+  delivered:bool ->
+  details:(string * string) list ->
+  string
+(** Render one journal/output line (no trailing newline). *)
+
+val parse_line : string -> (int * string * int) option
+(** [parse_line s] is [Some (idx, key, rounds)] when [s] is a well-formed
+    journal line, [None] otherwise — a half-written trailing line from a
+    killed run parses as [None] and is simply re-run on resume. *)

@@ -1,0 +1,376 @@
+open Rn_util
+open Rn_graph
+
+(* ------------------------------------------------------------------ *)
+(* Generator table                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type pkind = I | F
+
+type pval = Pi of int | Pf of float
+
+(* (name, randomized, parameters in canonical label order).  The label
+   order is frozen: it feeds the job-key hash, so reordering a row here
+   would silently orphan every journal written before the change. *)
+let generators =
+  [
+    ("path", false, [ ("n", I) ]);
+    ("cycle", false, [ ("n", I) ]);
+    ("star", false, [ ("n", I) ]);
+    ("complete", false, [ ("n", I) ]);
+    ("grid", false, [ ("w", I); ("h", I) ]);
+    ("tree", false, [ ("arity", I); ("depth", I) ]);
+    ("caterpillar", false, [ ("spine", I); ("legs", I) ]);
+    ("barbell", false, [ ("clique", I); ("bridge", I) ]);
+    ("gnp", true, [ ("n", I); ("p", F) ]);
+    ("random", true, [ ("n", I); ("extra", I) ]);
+    ("layered", true, [ ("depth", I); ("width", I); ("p", F) ]);
+    ("clusters", true, [ ("clusters", I); ("size", I); ("p_intra", F) ]);
+    ("disk", true, [ ("n", I); ("radius", F) ]);
+  ]
+
+let generator_names = List.map (fun (n, _, _) -> n) generators
+
+let find_generator name =
+  let rec go = function
+    | [] -> None
+    | ((n, _, _) as g) :: rest ->
+        if String.equal n name then Some g else go rest
+  in
+  go generators
+
+type instance = {
+  i_gen : string;
+  i_params : (string * pval) list;  (* in table order *)
+  i_tseed : int option;  (* Some for randomized generators *)
+  i_label : string;
+}
+
+type cell = {
+  idx : int;
+  topo : int;
+  proto : string;
+  k : int option;
+  seed : int;
+  label : string;
+  key : string;
+  run_seed : int;
+}
+
+type t = { t_instances : instance array; t_cells : cell array }
+
+let instances t = Array.copy t.t_instances
+let cells t = Array.copy t.t_cells
+let instance_label i = i.i_label
+
+(* ------------------------------------------------------------------ *)
+(* Job keys: FNV-1a 64 over the canonical label.  Hand-rolled because   *)
+(* R2 bans [Hashtbl.hash] (polymorphic, layout-dependent) from the      *)
+(* deterministic core; FNV is stable across runs, OCaml versions, and   *)
+(* architectures.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fnv64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001b3L)
+    s;
+  !h
+
+let key_of_label label = Printf.sprintf "%016Lx" (fnv64 label)
+
+(* Each cell's engine seed is a second hash domain over the key: the cell
+   draws from its own SplitMix64 stream, disjoint by construction from
+   every other cell's, so results cannot depend on execution order. *)
+let run_seed_of_key key = Int64.to_int (fnv64 (key ^ "#rng")) land max_int
+
+let pval_str = function
+  | Pi i -> string_of_int i
+  | Pf f -> Jsons.float_lit f
+
+let make_label gen params tseed =
+  let b = Buffer.create 48 in
+  Buffer.add_string b gen;
+  Buffer.add_char b '(';
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b name;
+      Buffer.add_char b '=';
+      Buffer.add_string b (pval_str v))
+    params;
+  (match tseed with
+  | Some s ->
+      (match params with [] -> () | _ :: _ -> Buffer.add_char b ',');
+      Buffer.add_string b "tseed=";
+      Buffer.add_string b (string_of_int s)
+  | None -> ());
+  Buffer.add_char b ')';
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Building                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let param inst name =
+  let rec go = function
+    | [] -> invalid_arg ("Spec.build: missing param " ^ name)
+    | (n, v) :: rest -> if String.equal n name then v else go rest
+  in
+  go inst.i_params
+
+let gi inst name =
+  match param inst name with
+  | Pi i -> i
+  | Pf _ -> invalid_arg ("Spec.build: param " ^ name ^ " is not an int")
+
+let gf inst name =
+  match param inst name with
+  | Pf f -> f
+  | Pi i -> float_of_int i
+
+let build inst =
+  let rng () =
+    match inst.i_tseed with
+    | Some s -> Rng.create ~seed:s
+    | None -> invalid_arg "Spec.build: deterministic generator has no tseed"
+  in
+  match inst.i_gen with
+  | "path" -> Gen.path (gi inst "n")
+  | "cycle" -> Gen.cycle (gi inst "n")
+  | "star" -> Gen.star (gi inst "n")
+  | "complete" -> Gen.complete (gi inst "n")
+  | "grid" -> Gen.grid ~w:(gi inst "w") ~h:(gi inst "h")
+  | "tree" -> Gen.balanced_tree ~arity:(gi inst "arity") ~depth:(gi inst "depth")
+  | "caterpillar" ->
+      Gen.caterpillar ~spine:(gi inst "spine") ~legs:(gi inst "legs")
+  | "barbell" -> Gen.barbell ~clique:(gi inst "clique") ~bridge:(gi inst "bridge")
+  | "gnp" -> Gen.gnp ~rng:(rng ()) ~n:(gi inst "n") ~p:(gf inst "p")
+  | "random" ->
+      Gen.random_connected ~rng:(rng ()) ~n:(gi inst "n")
+        ~extra:(gi inst "extra")
+  | "layered" ->
+      Gen.layered_random ~rng:(rng ()) ~depth:(gi inst "depth")
+        ~width:(gi inst "width") ~p:(gf inst "p")
+  | "clusters" ->
+      Gen.cluster_path ~rng:(rng ()) ~clusters:(gi inst "clusters")
+        ~size:(gi inst "size") ~p_intra:(gf inst "p_intra")
+  | "disk" -> Gen.unit_disk ~rng:(rng ()) ~n:(gi inst "n") ~radius:(gf inst "radius")
+  | g -> invalid_arg ("Spec.build: unknown generator " ^ g)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type family = {
+  fam_gen : string;
+  fam_params : (string * pval) list;
+  fam_tseeds : int list option;  (* None for deterministic generators *)
+}
+
+let split_lines s = String.split_on_char '\n' s
+
+let is_blank line =
+  let n = String.length line in
+  let rec go i = i >= n || ((match line.[i] with
+    | ' ' | '\t' | '\r' -> true
+    | _ -> false) && go (i + 1))
+  in
+  go 0
+
+let is_comment line =
+  let rec first i =
+    if i >= String.length line then None
+    else
+      match line.[i] with
+      | ' ' | '\t' | '\r' -> first (i + 1)
+      | c -> Some c
+  in
+  match first 0 with Some '#' -> true | _ -> false
+
+exception Spec_error of string
+
+let parse content =
+  let families = ref [] and protos = ref [] and run_seeds = ref [] in
+  let fail lineno msg =
+    raise (Spec_error (Printf.sprintf "spec line %d: %s" lineno msg))
+  in
+  let check_keys lineno allowed fields =
+    List.iter
+      (fun (k, _) ->
+        if not (List.exists (String.equal k) allowed) then
+          fail lineno
+            (Printf.sprintf "unknown field %S (expected one of: %s)" k
+               (String.concat ", " allowed)))
+      fields
+  in
+  let parse_topo lineno fields name =
+    match find_generator name with
+    | None ->
+        fail lineno
+          (Printf.sprintf "unknown generator %S (supported: %s)" name
+             (String.concat ", " generator_names))
+    | Some (_, seeded, params) ->
+        check_keys lineno
+          ("topo" :: "seeds" :: List.map fst params)
+          fields;
+        let vals =
+          List.map
+            (fun (pname, kind) ->
+              match kind with
+              | I -> (
+                  match Jsons.int_mem pname fields with
+                  | Some i -> (pname, Pi i)
+                  | None ->
+                      fail lineno
+                        (Printf.sprintf "generator %s needs integer %S" name
+                           pname))
+              | F -> (
+                  match Jsons.float_mem pname fields with
+                  | Some f -> (pname, Pf f)
+                  | None ->
+                      fail lineno
+                        (Printf.sprintf "generator %s needs number %S" name
+                           pname)))
+            params
+        in
+        let tseeds =
+          match (seeded, Jsons.ints_mem "seeds" fields) with
+          | true, Some [] -> fail lineno "empty topology seed list"
+          | true, Some ss -> Some ss
+          | true, None -> Some [ 1 ]
+          | false, Some _ ->
+              fail lineno
+                (Printf.sprintf "generator %s is deterministic: drop \"seeds\""
+                   name)
+          | false, None -> None
+        in
+        families :=
+          { fam_gen = name; fam_params = vals; fam_tseeds = tseeds }
+          :: !families
+  in
+  let parse_proto lineno fields name =
+    check_keys lineno [ "proto"; "k" ] fields;
+    let k =
+      match Jsons.mem "k" fields with
+      | None -> None
+      | Some (Jsons.Int i) when i >= 1 -> Some i
+      | Some _ -> fail lineno "\"k\" must be a positive integer"
+    in
+    protos := (name, k) :: !protos
+  in
+  try
+    List.iteri
+      (fun i line ->
+        let lineno = i + 1 in
+        if is_blank line || is_comment line then ()
+        else
+          match Jsons.parse_obj line with
+          | Error msg -> fail lineno msg
+          | Ok fields -> (
+              match Jsons.str_mem "topo" fields with
+              | Some name -> parse_topo lineno fields name
+              | None -> (
+                  match Jsons.str_mem "proto" fields with
+                  | Some name -> parse_proto lineno fields name
+                  | None -> (
+                      match Jsons.ints_mem "seeds" fields with
+                      | Some ss ->
+                          check_keys lineno [ "seeds" ] fields;
+                          run_seeds := !run_seeds @ ss
+                      | None ->
+                          fail lineno
+                            "expected a \"topo\", \"proto\", or \"seeds\" line"))))
+      (split_lines content);
+    let families = List.rev !families and protos = List.rev !protos in
+    (match families with
+    | [] -> raise (Spec_error "spec has no \"topo\" line")
+    | _ :: _ -> ());
+    (match protos with
+    | [] -> raise (Spec_error "spec has no \"proto\" line")
+    | _ :: _ -> ());
+    let run_seeds = match !run_seeds with [] -> [ 1 ] | ss -> ss in
+    let instances =
+      List.concat_map
+        (fun fam ->
+          match fam.fam_tseeds with
+          | None ->
+              [
+                {
+                  i_gen = fam.fam_gen;
+                  i_params = fam.fam_params;
+                  i_tseed = None;
+                  i_label = make_label fam.fam_gen fam.fam_params None;
+                };
+              ]
+          | Some ss ->
+              List.map
+                (fun s ->
+                  {
+                    i_gen = fam.fam_gen;
+                    i_params = fam.fam_params;
+                    i_tseed = Some s;
+                    i_label = make_label fam.fam_gen fam.fam_params (Some s);
+                  })
+                ss)
+        families
+    in
+    (* Seed-middle, protocol-minor: the stream groups each seed's
+       protocol comparison together, which is the order a reader wants.
+       Note for the scheduler: with this order a strided lane split can
+       align pathologically (two protocols on two lanes puts the whole
+       slow protocol on one lane) — cell order is chosen for output
+       readability, and balancing is the work-stealing scheduler's job. *)
+    let cells =
+      List.concat_map
+        (fun (ti, inst) ->
+          List.concat_map
+            (fun seed ->
+              List.map
+                (fun (pname, k) ->
+                  let proto_label =
+                    match k with
+                    | None -> pname
+                    | Some k -> Printf.sprintf "%s(k=%d)" pname k
+                  in
+                  let label =
+                    Printf.sprintf "%s|%s|seed=%d" inst.i_label proto_label
+                      seed
+                  in
+                  let key = key_of_label label in
+                  {
+                    idx = 0 (* assigned below *);
+                    topo = ti;
+                    proto = pname;
+                    k;
+                    seed;
+                    label;
+                    key;
+                    run_seed = run_seed_of_key key;
+                  })
+                protos)
+            run_seeds)
+        (List.mapi (fun i inst -> (i, inst)) instances)
+    in
+    let cells = List.mapi (fun i c -> { c with idx = i }) cells in
+    (* Duplicate cells would collide in the journal (same job key), so a
+       spec that lists the same topo/proto/seed twice is an error. *)
+    let labels = List.sort String.compare (List.map (fun c -> c.label) cells) in
+    let rec dup = function
+      | a :: (b :: _ as rest) ->
+          if String.equal a b then Some a else dup rest
+      | _ -> None
+    in
+    (match dup labels with
+    | Some l -> raise (Spec_error (Printf.sprintf "duplicate cell %S" l))
+    | None -> ());
+    Ok
+      {
+        t_instances = Array.of_list instances;
+        t_cells = Array.of_list cells;
+      }
+  with Spec_error msg -> Error msg

@@ -155,30 +155,42 @@ module Pool = struct
     outcome
 end
 
-let map ?domains f items =
-  let items = Array.of_list items in
+let map_array ?domains f items =
   let k = Array.length items in
   let d =
     match domains with
     | Some d -> max 1 (min d k)
     | None -> max 1 (min (default_domains ()) k)
   in
-  if d <= 1 then Array.to_list (Array.map f items)
+  if k = 0 then [||]
+  else if d <= 1 then Array.map f items
   else begin
-    let results = Array.make k None in
     (* Deterministic static sharding: lane [i] takes items i, i+d, i+2d, …
-       Each index is written by exactly one executor, so the plain array is
-       race-free; the pool's mutex handshake publishes the writes.  Results
-       come back in input order, so the output is bit-identical to the
-       serial map — and independent of how many pool workers actually ran
-       the lanes. *)
+       Each lane evaluates its first item, sizes one result array off it,
+       and then fills the remaining slots in place — no per-element option
+       boxing, no list building.  Each lane array is written by exactly
+       one executor and [lane_results.(i)] exactly once, so the plain
+       arrays are race-free; the pool's mutex handshake publishes the
+       writes.  The merge below restores input order, so the output is
+       bit-identical to the serial map — and independent of how many pool
+       workers actually ran the lanes. *)
+    let lane_results = Array.make d [||] in
     let lane i () =
-      let j = ref i in
-      while !j < k do
-        results.(!j) <- Some (f items.(!j));
-        j := !j + d
-      done
-    [@@zero_alloc_hot]
+      let first = f items.(i) in
+      let len = (k - i + d - 1) / d in
+      let out = Array.make len first in
+      let fill () =
+        let j = ref (i + d) in
+        let slot = ref 1 in
+        while !j < k do
+          out.(!slot) <- f items.(!j);
+          incr slot;
+          j := !j + d
+        done
+      [@@zero_alloc_hot]
+      in
+      fill ();
+      lane_results.(i) <- out
     in
     let workers = Pool.borrow ~want:(d - 1) in
     let execs = Array.length workers + 1 in
@@ -202,9 +214,19 @@ let map ?domains f items =
     (match (caller_exn, !worker_exn) with
     | Some e, _ | None, Some e -> raise e
     | None, None -> ());
-    Array.to_list
-      (Array.map (function Some r -> r | None -> assert false) results)
+    (* Every lane is non-empty (d <= k), so lane 0 seeds the merge. *)
+    let out = Array.make k lane_results.(0).(0) in
+    for l = 0 to d - 1 do
+      let lr = lane_results.(l) in
+      for s = 0 to Array.length lr - 1 do
+        out.(l + (s * d)) <- lr.(s)
+      done
+    done;
+    out
   end
+
+let map ?domains f items =
+  Array.to_list (map_array ?domains f (Array.of_list items))
 
 let map_seeds ?domains ~seeds f =
   map ?domains (fun seed -> f ~seed) seeds

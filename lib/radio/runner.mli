@@ -16,14 +16,22 @@
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()], floored at 1. *)
 
-val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [map f items] evaluates [f] on every item, fanned out over
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array f items] evaluates [f] on every item, fanned out over
     [min domains (length items)] deterministic lanes ([default_domains ()]
     if unspecified) executed by pool workers plus the calling domain, and
-    returns the results in input order.  [domains <= 1] runs serially in
-    the calling domain.  The result depends only on [domains], never on
-    how many pool workers were actually available.  An exception raised by
+    returns the results in input order.  Result slots are preallocated
+    per lane (each lane sizes one array off its first result), so the
+    steady-state dispatch loop performs no per-element allocation — no
+    option boxing, no list consing — which [test_alloc.ml] enforces with
+    a [Gc.minor_words] budget.  [domains <= 1] runs serially in the
+    calling domain.  The result depends only on [domains], never on how
+    many pool workers were actually available.  An exception raised by
     any [f] is re-raised after all lanes finish. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List-interface wrapper over {!map_array}: same lanes, same
+    determinism contract, results in input order. *)
 
 val map_seeds : ?domains:int -> seeds:int list -> (seed:int -> 'a) -> 'a list
 (** [map_seeds ~seeds f] is [map] over a seed list — the shape of every

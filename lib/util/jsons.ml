@@ -28,3 +28,242 @@ let int_array xs =
     xs;
   Buffer.add_char b ']';
   Buffer.contents b
+
+let obj fields =
+  let b = Buffer.create 128 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (quote k);
+      Buffer.add_char b ':';
+      Buffer.add_string b v)
+    fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let float_lit f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let s15 = Printf.sprintf "%.15g" f in
+    if Float.equal (float_of_string s15) f then s15
+    else
+      let s16 = Printf.sprintf "%.16g" f in
+      if Float.equal (float_of_string s16) f then s16
+      else Printf.sprintf "%.17g" f
+
+(* ------------------------------------------------------------------ *)
+(* Parsing.  A deliberately small recursive-descent reader covering    *)
+(* exactly the subset the tree emits: one flat object per line whose   *)
+(* values are scalars or arrays of integers.  No nesting, no mixed     *)
+(* arrays — anything else is a parse error, never a silent guess.      *)
+(* ------------------------------------------------------------------ *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Ints of int list
+
+exception Bad of string
+
+let is_ws c =
+  match c with ' ' | '\t' | '\r' | '\n' -> true | _ -> false
+
+let parse_obj line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && is_ws line.[!pos] do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when Char.equal c c' -> incr pos
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail "bad hex digit in \\u escape"
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      let c = line.[!pos] in
+      incr pos;
+      match c with
+      | '"' -> Buffer.contents b
+      | '\\' ->
+          (if !pos >= n then fail "unterminated escape";
+           let e = line.[!pos] in
+           incr pos;
+           match e with
+           | '"' -> Buffer.add_char b '"'
+           | '\\' -> Buffer.add_char b '\\'
+           | '/' -> Buffer.add_char b '/'
+           | 'n' -> Buffer.add_char b '\n'
+           | 't' -> Buffer.add_char b '\t'
+           | 'r' -> Buffer.add_char b '\r'
+           | 'b' -> Buffer.add_char b '\b'
+           | 'f' -> Buffer.add_char b '\012'
+           | 'u' ->
+               if !pos + 4 > n then fail "truncated \\u escape";
+               let v =
+                 (hex line.[!pos] lsl 12)
+                 lor (hex line.[!pos + 1] lsl 8)
+                 lor (hex line.[!pos + 2] lsl 4)
+                 lor hex line.[!pos + 3]
+               in
+               pos := !pos + 4;
+               (* The emitters only produce \u00XX (control bytes); the
+                  reader accepts any BMP scalar and re-encodes UTF-8 so a
+                  hand-written spec file with é still round-trips. *)
+               if v < 0x80 then Buffer.add_char b (Char.chr v)
+               else if v < 0x800 then (
+                 Buffer.add_char b (Char.chr (0xc0 lor (v lsr 6)));
+                 Buffer.add_char b (Char.chr (0x80 lor (v land 0x3f))))
+               else (
+                 Buffer.add_char b (Char.chr (0xe0 lor (v lsr 12)));
+                 Buffer.add_char b (Char.chr (0x80 lor ((v lsr 6) land 0x3f)));
+                 Buffer.add_char b (Char.chr (0x80 lor (v land 0x3f))))
+           | _ -> fail "unknown escape");
+          loop ()
+      | c -> Buffer.add_char b c; loop ()
+    in
+    loop ()
+  in
+  let number_token () =
+    let start = !pos in
+    while
+      !pos < n
+      && (match line.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr pos
+    done;
+    if !pos = start then fail "expected a number";
+    String.sub line start (!pos - start)
+  in
+  let parse_int () =
+    let tok = number_token () in
+    match int_of_string_opt tok with
+    | Some i -> i
+    | None -> fail (Printf.sprintf "expected an integer, got %S" tok)
+  in
+  let parse_number () =
+    let tok = number_token () in
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail (Printf.sprintf "bad number %S" tok))
+  in
+  let literal word v =
+    let k = String.length word in
+    if !pos + k <= n && String.equal (String.sub line !pos k) word then (
+      pos := !pos + k;
+      v)
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "expected a value"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if (match peek () with Some ']' -> true | _ -> false) then (
+          incr pos;
+          Ints [])
+        else
+          let rec items acc =
+            skip_ws ();
+            let i = parse_int () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                items (i :: acc)
+            | Some ']' ->
+                incr pos;
+                List.rev (i :: acc)
+            | _ -> fail "expected ',' or ']' in array"
+          in
+          Ints (items [])
+    | Some _ -> parse_number ()
+  in
+  try
+    expect '{';
+    skip_ws ();
+    let fields =
+      if (match peek () with Some '}' -> true | _ -> false) then (
+        incr pos;
+        [])
+      else
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+              incr pos;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              incr pos;
+              List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}' in object"
+        in
+        members []
+    in
+    (* Tolerate the record-separator tail bench emits (`},`) plus
+       whitespace; any other trailing bytes are an error. *)
+    skip_ws ();
+    (match peek () with Some ',' -> incr pos | _ -> ());
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage after object";
+    Ok fields
+  with Bad msg -> Error msg
+
+let mem key fields =
+  let rec go = function
+    | [] -> None
+    | (k, v) :: rest -> if String.equal k key then Some v else go rest
+  in
+  go fields
+
+let int_mem key fields =
+  match mem key fields with Some (Int i) -> Some i | _ -> None
+
+let float_mem key fields =
+  match mem key fields with
+  | Some (Float f) -> Some f
+  | Some (Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let str_mem key fields =
+  match mem key fields with Some (Str s) -> Some s | _ -> None
+
+let bool_mem key fields =
+  match mem key fields with Some (Bool b) -> Some b | _ -> None
+
+let ints_mem key fields =
+  match mem key fields with Some (Ints xs) -> Some xs | _ -> None

@@ -1,9 +1,16 @@
-(** Minimal JSON construction helpers shared by every emitter in the tree
-    (the observability exporters, the bench perf record, the rblint JSON
-    reports).  Pure string functions — callers own the channel.
+(** Minimal JSON helpers shared by every emitter in the tree (the
+    observability exporters, the bench perf record, the rblint JSON
+    reports) and, since the campaign runner, the line-oriented readers
+    (the campaign journal, campaign spec files, benchdiff).  Pure string
+    functions — callers own the channel.
 
-    Only construction is provided, no parsing: every JSON consumer in this
-    repo is external (CI tooling, benchdiff's span-bounded scanner). *)
+    The dialect is deliberately tiny: one flat object per line whose
+    values are scalars (null, bool, int, float, string) or arrays of
+    integers.  That is exactly what the emitters below produce and what
+    the journal and benchdiff need; nesting or mixed arrays are a parse
+    error, never a silent guess. *)
+
+(** {1 Construction} *)
 
 val escape : string -> string
 (** [escape s] is the body of a JSON string literal encoding [s]: quote,
@@ -21,3 +28,57 @@ val int_array : int list -> string
 (** [int_array xs] is the compact JSON array of [xs], e.g. [[12,8,3]] —
     the shape bench/main.ml embeds as per-phase fields in
     BENCH_engine.json and benchdiff compares exactly. *)
+
+val obj : (string * string) list -> string
+(** [obj fields] is the compact one-line JSON object whose keys are the
+    field names (escaped) and whose values are the given strings spliced
+    in {e verbatim} — callers pass already-rendered JSON ([quote s],
+    [string_of_int n], [int_array xs], [float_lit f]). *)
+
+val float_lit : float -> string
+(** [float_lit f] is a decimal literal that [float_of_string] maps back
+    to exactly [f] (shortest of %.15g/%.16g/%.17g; integral values as
+    ["N.0"]).  [f] must be finite — JSON has no nan/infinity. *)
+
+(** {1 Parsing} *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Ints of int list
+      (** The only array shape the dialect admits: every element an
+          integer literal. *)
+
+val parse_obj : string -> ((string * value) list, string) result
+(** [parse_obj line] parses one JSON object from [line], returning its
+    fields in source order.  Accepts arbitrary surrounding whitespace
+    and tolerates one trailing [','] (the record separator inside
+    BENCH_engine.json's [experiments] block); any other trailing bytes,
+    nesting, duplicate-free-ness violations, or non-integer array
+    elements yield [Error msg] with a byte offset.  A number token is an
+    [Int] when [int_of_string] accepts it and a [Float] otherwise.
+    Deterministic: the result depends only on [line]. *)
+
+val mem : string -> (string * value) list -> value option
+(** First binding of the key, compared with [String.equal] (no
+    polymorphic compare on the lookup path). *)
+
+val int_mem : string -> (string * value) list -> int option
+(** [Some i] iff the key is bound to [Int i]. *)
+
+val float_mem : string -> (string * value) list -> float option
+(** [Some f] for [Float f] bindings, and [Some (float_of_int i)] for
+    [Int i] — numeric fields like [wall_s] print as [0] when exactly
+    zero. *)
+
+val str_mem : string -> (string * value) list -> string option
+(** [Some s] iff the key is bound to [Str s]. *)
+
+val bool_mem : string -> (string * value) list -> bool option
+(** [Some b] iff the key is bound to [Bool b]. *)
+
+val ints_mem : string -> (string * value) list -> int list option
+(** [Some xs] iff the key is bound to [Ints xs]. *)

@@ -305,7 +305,9 @@ let test_sharded_lane_budget () =
 (* Runner shard loop: every domain lane records Gc.minor_words (its own
    domain's counter) at each item it processes; the delta between two
    consecutive items of the same lane is the steady-state cost of one
-   while-loop iteration — the [Some] result cell and nothing else. *)
+   while-loop iteration.  Since [map] rides on [map_array]'s preallocated
+   lane slots there is no per-element [Some] cell any more — the loop
+   body is a bare store. *)
 let test_runner_shard_loop () =
   let k = 1024 and d = 4 in
   let marks = Array.make k 0.0 in
@@ -323,10 +325,37 @@ let test_runner_shard_loop () =
     if delta > !worst then worst := delta
   done;
   Alcotest.(check bool)
-    (Printf.sprintf "shard-loop iteration allocates <= 16 words (worst %.0f)"
+    (Printf.sprintf "shard-loop iteration allocates <= 8 words (worst %.0f)"
        !worst)
     true
-    (!worst <= 16.0)
+    (!worst <= 8.0)
+
+(* map_array steady-state dispatch: the array-in/array-out entry point has
+   no list conversion at either end, so between two consecutive items of a
+   lane the only allocation permitted is whatever [f] itself does (here:
+   none — unboxed int results into the preallocated lane array). *)
+let test_runner_map_array_dispatch () =
+  let k = 2048 and d = 4 in
+  let marks = Array.make k 0.0 in
+  let items = Array.init k (fun i -> i) in
+  let f i =
+    marks.(i) <- Gc.minor_words ();
+    i * 3
+  in
+  let out = Runner.map_array ~domains:d f items in
+  Alcotest.(check int) "all items mapped" k (Array.length out);
+  Alcotest.(check int) "input order restored" 51 out.(17);
+  let worst = ref 0.0 in
+  for i = d to k - d - 1 do
+    let delta = marks.(i + d) -. marks.(i) in
+    if delta > !worst then worst := delta
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "map_array dispatch iteration allocates <= 8 words (worst %.0f)"
+       !worst)
+    true
+    (!worst <= 8.0)
 
 (* Serial path budget: the d <= 1 fast path may allocate the result list
    but must stay O(1) words per item. *)
@@ -379,6 +408,8 @@ let () =
         [
           Alcotest.test_case "shard loop O(1)/item" `Quick
             test_runner_shard_loop;
+          Alcotest.test_case "map_array dispatch zero-alloc" `Quick
+            test_runner_map_array_dispatch;
           Alcotest.test_case "serial path budget" `Quick
             test_runner_serial_budget;
         ] );

@@ -272,6 +272,82 @@ let test_jsons_int_array () =
   Alcotest.(check string) "one" "[7]" (Jsons.int_array [ 7 ]);
   Alcotest.(check string) "many" "[12,8,-3,0]" (Jsons.int_array [ 12; 8; -3; 0 ])
 
+let jsons_value =
+  Alcotest.testable
+    (fun fmt v ->
+      Format.pp_print_string fmt
+        (match v with
+        | Jsons.Null -> "null"
+        | Jsons.Bool b -> string_of_bool b
+        | Jsons.Int i -> string_of_int i
+        | Jsons.Float f -> string_of_float f
+        | Jsons.Str s -> Printf.sprintf "%S" s
+        | Jsons.Ints xs -> Jsons.int_array xs))
+    (fun a b -> a = b)
+
+let fields = Alcotest.(result (list (pair string jsons_value)) string)
+
+let test_jsons_parse_obj () =
+  Alcotest.check fields "empty object" (Ok []) (Jsons.parse_obj "{}");
+  Alcotest.check fields "whitespace + trailing comma"
+    (Ok [ ("a", Jsons.Int 1); ("b", Jsons.Ints [ 1; 2 ]) ])
+    (Jsons.parse_obj "  { \"a\" : 1 , \"b\" : [1, 2] } ,  ");
+  Alcotest.check fields "scalar zoo"
+    (Ok
+       [
+         ("n", Jsons.Null);
+         ("t", Jsons.Bool true);
+         ("f", Jsons.Bool false);
+         ("i", Jsons.Int (-3));
+         ("x", Jsons.Float 2.5);
+         ("s", Jsons.Str "a\nb");
+         ("e", Jsons.Ints []);
+       ])
+    (Jsons.parse_obj
+       "{\"n\":null,\"t\":true,\"f\":false,\"i\":-3,\"x\":2.5,\"s\":\"a\\nb\",\"e\":[]}");
+  Alcotest.check fields "unicode escape decodes"
+    (Ok [ ("s", Jsons.Str "\xc3\xa9") ])
+    (Jsons.parse_obj "{\"s\":\"\\u00e9\"}");
+  let rejects label line =
+    match Jsons.parse_obj line with
+    | Ok _ -> Alcotest.failf "%s: accepted %s" label line
+    | Error _ -> ()
+  in
+  rejects "trailing garbage" "{\"a\":1} x";
+  rejects "nested object" "{\"a\":{\"b\":1}}";
+  rejects "mixed array" "{\"a\":[1,\"x\"]}";
+  rejects "bad number" "{\"a\":1.2.3}";
+  rejects "unterminated string" "{\"a\":\"oops}";
+  rejects "bare value" "42";
+  (* benchdiff's line shape: an experiments record mid-file *)
+  Alcotest.check fields "bench record line"
+    (Ok
+       [
+         ("id", Jsons.Str "E1[decay]");
+         ("wall_s", Jsons.Float 0.123);
+         ("rounds", Jsons.Int 19);
+         ("phase_rounds", Jsons.Ints [ 12; 7 ]);
+       ])
+    (Jsons.parse_obj
+       "    { \"id\": \"E1[decay]\", \"wall_s\": 0.123, \"rounds\": 19, \"phase_rounds\": [12,7] },")
+
+let test_jsons_members () =
+  let f =
+    match
+      Jsons.parse_obj "{\"i\":7,\"z\":0,\"x\":1.5,\"s\":\"v\",\"b\":true,\"a\":[3]}"
+    with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "parse failed: %s" e
+  in
+  Alcotest.(check (option int)) "int_mem" (Some 7) (Jsons.int_mem "i" f);
+  Alcotest.(check (option int)) "int_mem miss" None (Jsons.int_mem "s" f);
+  Alcotest.(check (option (float 0.0))) "float_mem" (Some 1.5) (Jsons.float_mem "x" f);
+  Alcotest.(check (option (float 0.0)))
+    "float_mem coerces int" (Some 0.0) (Jsons.float_mem "z" f);
+  Alcotest.(check (option string)) "str_mem" (Some "v") (Jsons.str_mem "s" f);
+  Alcotest.(check (option bool)) "bool_mem" (Some true) (Jsons.bool_mem "b" f);
+  Alcotest.(check (option (list int))) "ints_mem" (Some [ 3 ]) (Jsons.ints_mem "a" f)
+
 (* Decoder for the escape grammar Jsons.escape emits — used to check the
    round trip property.  Fails loudly on anything outside that grammar,
    which doubles as a "well-formed JSON string body" check: an unescaped
@@ -337,6 +413,48 @@ let qcheck_tests =
       (fun xs ->
         Jsons.int_array xs
         = "[" ^ String.concat "," (List.map string_of_int xs) ^ "]");
+    (* parser vs emitters: any object rendered with the construction
+       helpers parses back to the same fields, byte-exactly *)
+    (Test.make ~name:"jsons obj/parse_obj round-trips" ~count:500
+       (let value_gen =
+          Gen.oneof
+            [
+              Gen.return Jsons.Null;
+              Gen.map (fun b -> Jsons.Bool b) Gen.bool;
+              Gen.map (fun i -> Jsons.Int i) Gen.int;
+              Gen.map
+                (fun f ->
+                  Jsons.Float (if Float.is_finite f then f else 0.5))
+                Gen.float;
+              Gen.map (fun s -> Jsons.Str s) Gen.string;
+              Gen.map
+                (fun xs -> Jsons.Ints xs)
+                (Gen.list_size (Gen.int_range 0 8) Gen.int);
+            ]
+        in
+        make
+          (Gen.list_size (Gen.int_range 0 10)
+             (Gen.pair Gen.string value_gen)))
+       (fun fields ->
+         let render = function
+           | Jsons.Null -> "null"
+           | Jsons.Bool true -> "true"
+           | Jsons.Bool false -> "false"
+           | Jsons.Int i -> string_of_int i
+           | Jsons.Float f -> Jsons.float_lit f
+           | Jsons.Str s -> Jsons.quote s
+           | Jsons.Ints xs -> Jsons.int_array xs
+         in
+         let line =
+           Jsons.obj (List.map (fun (k, v) -> (k, render v)) fields)
+         in
+         match Jsons.parse_obj line with
+         | Ok back -> back = fields
+         | Error _ -> false));
+    Test.make ~name:"jsons float_lit parses back exactly" ~count:500 float
+      (fun f ->
+        let f = if Float.is_finite f then f else 1e300 in
+        Float.compare (float_of_string (Jsons.float_lit f)) f = 0);
     Test.make ~name:"rng int always in range" ~count:500
       (pair small_int (int_range 1 1000))
       (fun (seed, bound) ->
@@ -440,6 +558,8 @@ let () =
         [
           Alcotest.test_case "known escapes" `Quick test_jsons_known_escapes;
           Alcotest.test_case "int_array" `Quick test_jsons_int_array;
+          Alcotest.test_case "parse_obj" `Quick test_jsons_parse_obj;
+          Alcotest.test_case "member accessors" `Quick test_jsons_members;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]

@@ -3,7 +3,12 @@
    Usage: benchdiff BASELINE.json CURRENT.json [--threshold PCT]
 
    Both files are `BENCH_engine.json`-format records written by
-   [bench/main.exe --json].  For every experiment id present in both:
+   [bench/main.exe --json]: a header, then one record per line.  The
+   parser is [Rn_util.Jsons.parse_obj] applied line by line — the bench
+   writer emits exactly one flat object per record line (with a trailing
+   comma, which the parser tolerates), so lines that don't parse as flat
+   objects (the header and the array/object brackets) are skipped.  For
+   every experiment id present in both files:
 
    - [rounds] must match the baseline exactly: the simulation is
      deterministic per seed, so any drift in total simulated rounds is a
@@ -12,6 +17,9 @@
      (default 25%).  Speedups and experiments missing on either side are
      reported but never fail the gate, so the baseline can cover a
      superset of the experiments a smoke run executes;
+   - [cells_per_sec] (campaign capacity rows) is gated with the same
+     floor when the baseline record has it too, and is informational
+     when the baseline predates the field;
    - per-phase aggregate fields ([phase_deliveries]/[phase_tx]/
      [phase_collisions], compact JSON int arrays from the metrics
      registry) are gated exactly when the baseline record has them too —
@@ -23,10 +31,9 @@
    new experiments passes; the ids join the baseline whenever it is next
    re-seeded).
 
-   Exit codes: 0 ok, 1 regression, 2 usage/parse error.
+   Exit codes: 0 ok, 1 regression, 2 usage/parse error. *)
 
-   The parser below handles exactly the flat object/array shape the bench
-   writes — a dependency-free subset of JSON, not a general parser. *)
+open Rn_util
 
 type experiment = {
   id : string;
@@ -35,8 +42,10 @@ type experiment = {
   skipped : int option;
       (* fast-forwarded silent rounds (sparse engine); deterministic like
          [rounds], gated exactly when the baseline records it too *)
-  phases : (string * string) list;
-      (* optional per-phase int-array fields, raw compact text *)
+  cells_per_sec : float option;
+      (* campaign rows only; floor-gated like [rounds_per_sec] *)
+  phases : (string * int list) list;
+      (* optional per-phase int-array fields *)
 }
 
 let phase_field_names = [ "phase_deliveries"; "phase_tx"; "phase_collisions" ]
@@ -45,141 +54,58 @@ let fail_usage () =
   prerr_endline "usage: benchdiff BASELINE.json CURRENT.json [--threshold PCT]";
   exit 2
 
-let read_file path =
+let read_lines path =
   match open_in_bin path with
   | exception Sys_error msg ->
       Printf.eprintf "benchdiff: %s\n" msg;
       exit 2
   | ic ->
-      let len = in_channel_length ic in
-      let s = really_input_string ic len in
-      close_in ic;
-      s
-
-(* Find `"key": value` after position [from]; value is a number or a
-   quoted string, returned as its raw text. *)
-let find_field s key from =
-  let pat = "\"" ^ key ^ "\"" in
-  let n = String.length s and pl = String.length pat in
-  let rec locate i =
-    if i + pl > n then None
-    else if String.sub s i pl = pat then Some (i + pl)
-    else locate (i + 1)
-  in
-  match locate from with
-  | None -> None
-  | Some i ->
-      let i = ref i in
-      while !i < n && (s.[!i] = ':' || s.[!i] = ' ' || s.[!i] = '\t') do
-        incr i
-      done;
-      if !i >= n then None
-      else if s.[!i] = '"' then begin
-        let j = ref (!i + 1) in
-        while !j < n && s.[!j] <> '"' do
-          incr j
-        done;
-        Some (String.sub s (!i + 1) (!j - !i - 1), !j + 1)
-      end
-      else begin
-        let j = ref !i in
-        while
-          !j < n
-          && (match s.[!j] with
-             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-             | _ -> false)
-        do
-          incr j
-        done;
-        if !j = !i then None else Some (String.sub s !i (!j - !i), !j)
-      end
-
-(* Find `"key": [ ... ]` after [from] but before [limit] (the next record's
-   "id" — optional fields must not be picked up from a later record);
-   returns the bracketed text verbatim. *)
-let find_array_field s key from limit =
-  let pat = "\"" ^ key ^ "\"" in
-  let pl = String.length pat in
-  let rec locate i =
-    if i + pl > limit then None
-    else if String.sub s i pl = pat then Some (i + pl)
-    else locate (i + 1)
-  in
-  match locate from with
-  | None -> None
-  | Some i ->
-      let i = ref i in
-      while !i < limit && (s.[!i] = ':' || s.[!i] = ' ' || s.[!i] = '\t') do
-        incr i
-      done;
-      if !i >= limit || s.[!i] <> '[' then None
-      else begin
-        let j = ref !i in
-        while !j < limit && s.[!j] <> ']' do
-          incr j
-        done;
-        if !j >= limit then None else Some (String.sub s !i (!j - !i + 1))
-      end
-
-(* Position of the next record's "id" key, bounding this record's span. *)
-let next_record_start s from =
-  let pat = "\"id\"" in
-  let n = String.length s and pl = String.length pat in
-  let rec locate i =
-    if i + pl > n then n else if String.sub s i pl = pat then i else locate (i + 1)
-  in
-  locate from
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+      in
+      go []
 
 let parse_experiments path =
-  let s = read_file path in
-  let rec collect from acc =
-    match find_field s "id" from with
-    | None -> List.rev acc
-    | Some (id, after_id) -> (
-        match find_field s "rounds" after_id with
-        | None -> List.rev acc
-        | Some (rounds, after_rounds) -> (
-            match find_field s "rounds_per_sec" after_rounds with
-            | None -> List.rev acc
-            | Some (rps, after_rps) ->
-                let span_end = next_record_start s after_rps in
-                let phases =
-                  List.filter_map
-                    (fun k ->
-                      Option.map
-                        (fun v -> (k, v))
-                        (find_array_field s k after_rps span_end))
-                    phase_field_names
-                in
-                (* Bound the optional-field search to this record's span:
-                   searching the raw string would pick the value up from a
-                   later record when this one predates the field. *)
-                let span = String.sub s after_rps (span_end - after_rps) in
-                let skipped =
-                  match find_field span "skipped_rounds" 0 with
-                  | Some (v, _) -> int_of_string_opt v
-                  | None -> None
-                in
-                let exp =
-                  try
-                    {
-                      id;
-                      rounds = int_of_string rounds;
-                      rounds_per_sec = float_of_string rps;
-                      skipped;
-                      phases;
-                    }
-                  with _ ->
-                    Printf.eprintf "benchdiff: malformed record in %s\n" path;
-                    exit 2
-                in
-                collect after_rps (exp :: acc)))
+  let record line =
+    match Jsons.parse_obj line with
+    | Error _ -> None (* header / bracket lines are not records *)
+    | Ok fields -> (
+        match Jsons.str_mem "id" fields with
+        | None -> None (* the suite header object has no "id" *)
+        | Some id -> (
+            match
+              ( Jsons.int_mem "rounds" fields,
+                Jsons.float_mem "rounds_per_sec" fields )
+            with
+            | Some rounds, Some rps ->
+                Some
+                  {
+                    id;
+                    rounds;
+                    rounds_per_sec = rps;
+                    skipped = Jsons.int_mem "skipped_rounds" fields;
+                    cells_per_sec = Jsons.float_mem "cells_per_sec" fields;
+                    phases =
+                      List.filter_map
+                        (fun k ->
+                          Option.map (fun v -> (k, v)) (Jsons.ints_mem k fields))
+                        phase_field_names;
+                  }
+            | _ ->
+                Printf.eprintf "benchdiff: malformed record in %s: %s\n" path
+                  line;
+                exit 2))
   in
-  let exps = collect 0 [] in
-  if exps = [] then begin
-    Printf.eprintf "benchdiff: no experiments found in %s\n" path;
-    exit 2
-  end;
+  let exps = List.filter_map record (read_lines path) in
+  (match exps with
+  | [] ->
+      Printf.eprintf "benchdiff: no experiments found in %s\n" path;
+      exit 2
+  | _ :: _ -> ());
   exps
 
 let () =
@@ -196,9 +122,10 @@ let () =
   let current = parse_experiments current_path in
   let failures = ref 0 in
   let compared = ref 0 in
+  let floor_of base = base *. (1.0 -. (threshold /. 100.0)) in
   List.iter
     (fun cur ->
-      match List.find_opt (fun b -> b.id = cur.id) baseline with
+      match List.find_opt (fun b -> String.equal b.id cur.id) baseline with
       | None ->
           Printf.printf "%-4s new experiment (no baseline), informational\n"
             cur.id
@@ -239,7 +166,7 @@ let () =
                      informational\n"
                     cur.id k
               | Some bv ->
-                  if not (String.equal bv v) then begin
+                  if not (List.equal Int.equal bv v) then begin
                     incr failures;
                     Printf.printf
                       "%-4s FAIL per-phase field %S drifted (deterministic \
@@ -247,17 +174,36 @@ let () =
                       cur.id k
                   end)
             cur.phases;
-          let floor = base.rounds_per_sec *. (1.0 -. (threshold /. 100.0)) in
-          if cur.rounds_per_sec < floor then begin
+          (match (base.cells_per_sec, cur.cells_per_sec) with
+          | Some b, Some c when c < floor_of b ->
+              incr failures;
+              Printf.printf
+                "%-4s FAIL campaign throughput regressed beyond %.0f%%: %.1f \
+                 -> %.1f cells/s (floor %.1f)\n"
+                cur.id threshold b c (floor_of b)
+          | Some _, None ->
+              incr failures;
+              Printf.printf
+                "%-4s FAIL cells_per_sec field disappeared from the current \
+                 record\n"
+                cur.id
+          | None, Some _ ->
+              Printf.printf
+                "%-4s note cells_per_sec absent in baseline, informational\n"
+                cur.id
+          | Some _, Some _ | None, None -> ());
+          if cur.rounds_per_sec < floor_of base.rounds_per_sec then begin
             incr failures;
             Printf.printf
               "%-4s FAIL throughput regressed beyond %.0f%%: %.0f -> %.0f \
                rounds/s (floor %.0f)\n"
-              cur.id threshold base.rounds_per_sec cur.rounds_per_sec floor
+              cur.id threshold base.rounds_per_sec cur.rounds_per_sec
+              (floor_of base.rounds_per_sec)
           end
           else if rounds_ok then
-            Printf.printf "%-4s ok   rounds=%d  %.0f -> %.0f rounds/s (%+.1f%%)\n"
-              cur.id cur.rounds base.rounds_per_sec cur.rounds_per_sec
+            Printf.printf
+              "%-4s ok   rounds=%d  %.0f -> %.0f rounds/s (%+.1f%%)\n" cur.id
+              cur.rounds base.rounds_per_sec cur.rounds_per_sec
               (if base.rounds_per_sec > 0.0 then
                  (cur.rounds_per_sec -. base.rounds_per_sec)
                  /. base.rounds_per_sec *. 100.0
@@ -265,7 +211,7 @@ let () =
     current;
   List.iter
     (fun b ->
-      if not (List.exists (fun c -> c.id = b.id) current) then
+      if not (List.exists (fun c -> String.equal c.id b.id) current) then
         Printf.printf "%-4s not in current run, skipped\n" b.id)
     baseline;
   if !compared = 0 then
@@ -280,5 +226,6 @@ let () =
       !failures baseline_path threshold;
     exit 1
   end
-  else Printf.printf "benchdiff: ok (%d experiment(s) within %.0f%%)\n"
-         !compared threshold
+  else
+    Printf.printf "benchdiff: ok (%d experiment(s) within %.0f%%)\n" !compared
+      threshold

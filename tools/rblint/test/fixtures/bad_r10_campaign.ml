@@ -1,0 +1,39 @@
+(* R10 fixture: the campaign's per-cell stream discipline violated — a
+   cell's Rng stream consumed by two executors after a steal.  The real
+   rn_campaign derives a fresh stream per job key (a second FNV hash
+   domain over the cell label) precisely so a stolen cell never shares a
+   stream with the lane that first owned it, and so the coordinator
+   never draws at all.  The local [Rng] is sealed like Rn_util.Rng, so
+   the stream type carries no visible mutability and R10 alone speaks
+   (same setup as bad_r10.ml). *)
+
+module Rng : sig
+  type t
+
+  val create : seed:int -> t
+  val int : t -> int -> int
+end = struct
+  type t = int ref
+
+  let create ~seed = ref seed
+
+  let int r b =
+    incr r;
+    !r mod b
+end
+
+(* a lane-shared stream instead of per-cell splits: the owner starts the
+   cell, a thief re-runs it — two spawn closures capture one stream *)
+let stolen_cell_race () =
+  let cell_rng = Rng.create ~seed:11 in
+  let owner = Domain.spawn (fun () -> Rng.int cell_rng 10) in
+  let thief = Domain.spawn (fun () -> Rng.int cell_rng 10) in
+  Domain.join owner + Domain.join thief
+
+(* the coordinator keeps drawing from a stream it already handed to a
+   worker — one "campaign stream" threaded through the drain loop *)
+let coordinator_keeps_drawing () =
+  let campaign_rng = Rng.create ~seed:12 in
+  let w = Domain.spawn (fun () -> Rng.int campaign_rng 10) in
+  let x = Rng.int campaign_rng 10 in
+  Domain.join w + x

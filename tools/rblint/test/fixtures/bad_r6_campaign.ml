@@ -1,0 +1,45 @@
+(* Fixture: R6 — the campaign-runner shape gone wrong: a topology cache
+   and steal pointers hoisted to the top of a module that spawns
+   executors.  The real rn_campaign keeps all of this inside [run]: the
+   cache is fully built before workers start and frozen (read-only)
+   after, and each lane's queue indices live behind that run's mutex.
+   Hoisted to the top level they are shared mutable state across stolen
+   work.  The Atomic steal tally is the sanctioned cross-domain counter
+   and must stay clean. *)
+
+let steal_tally : int Atomic.t = Atomic.make 0
+
+(* one slot per instance, filled lazily by whichever executor gets there
+   first — a write/write race once work is stolen across lanes *)
+let topo_cache : int array option array = Array.make 8 None
+
+(* steal pointers: a thief moves [hi] while the owner moves [lo] *)
+let lane_lo = ref 0
+
+let lane_hi = ref 7
+
+let generate i = [| i; i + 1; i + 2 |]
+
+let build i =
+  match topo_cache.(i) with
+  | Some g -> g
+  | None ->
+      let g = generate i in
+      topo_cache.(i) <- Some g;
+      g
+
+let steal () =
+  let i = !lane_hi in
+  decr lane_hi;
+  Array.length (build i)
+
+let run () =
+  (* the spawn closure itself touches only the sanctioned Atomic (R7
+     stays quiet, as in bad_r6.ml); the module-level mutability alone is
+     what R6 flags *)
+  let thief = Domain.spawn (fun () -> Atomic.incr steal_tally) in
+  let stolen = steal () in
+  let own = Array.length (build !lane_lo) in
+  incr lane_lo;
+  Domain.join thief;
+  stolen + own

@@ -319,6 +319,30 @@ let test_r10 () =
   let fs = lint_as ~path:"lib/radio/ok_r10_split.ml" "ok_r10_split.ml" in
   Alcotest.(check int) "split-per-owner is clean" 0 (List.length fs)
 
+let test_r6_campaign () =
+  (* The campaign-runner shape: a lazily-filled topology cache and steal
+     pointers hoisted to the top of a spawning module fire once per
+     binding; rn_campaign keeps them run-local (cache frozen before
+     workers start, queue indices behind the run's mutex). *)
+  let fs =
+    lint_as ~path:"lib/campaign/bad_r6_campaign.ml" "bad_r6_campaign.ml"
+  in
+  check_rules "R6 only" [ "R6" ] fs;
+  Alcotest.(check int) "cache slots and both steal pointers, Atomic exempt" 3
+    (count "R6" fs)
+
+let test_r10_campaign () =
+  (* The campaign's per-cell stream discipline violated: a stolen cell
+     re-consumes the owner lane's stream, and the coordinator draws from
+     a stream it handed off.  rn_campaign derives a fresh stream per job
+     key, so neither shape can occur there. *)
+  let fs =
+    lint_as ~path:"lib/campaign/bad_r10_campaign.ml" "bad_r10_campaign.ml"
+  in
+  check_rules "R10 only" [ "R10" ] fs;
+  Alcotest.(check int) "stolen-cell race and coordinator handoff" 2
+    (count "R10" fs)
+
 let test_r11 () =
   let fs = lint_as ~path:"lib/core/bad_r11.ml" "bad_r11.ml" in
   check_rules "R11 only" [ "R11" ] fs;
@@ -495,6 +519,9 @@ let () =
           Alcotest.test_case "R8 sanctioned sinks" `Quick test_r8_sink;
           Alcotest.test_case "R9 unsafe-index dominance" `Quick test_r9;
           Alcotest.test_case "R10 rng ownership" `Quick test_r10;
+          Alcotest.test_case "R6 campaign cache shape" `Quick test_r6_campaign;
+          Alcotest.test_case "R10 campaign steal shape" `Quick
+            test_r10_campaign;
           Alcotest.test_case "R11 silence purity" `Quick test_r11;
           Alcotest.test_case "R12 write locality" `Quick test_r12;
           Alcotest.test_case "R13 hint determinism" `Quick test_r13;
