@@ -34,11 +34,23 @@ type lane_queue = {
 type buffer = { block : Mutex.t; mutable items : (int * string) list }
 
 let run ?domains ?(schedule = Stealing) ?(cache = true) ?journal
-    ?(resume_lines = []) ?abort_after ?on_cell ?(clock = fun () -> 0.) ~emit
-    spec =
+    ?(resume_lines = []) ?select ?abort_after ?on_cell ?(clock = fun () -> 0.)
+    ~emit spec =
   let instances = Spec.instances spec in
   let cells = Spec.cells spec in
   let ncells = Array.length cells in
+  (* [select] restricts the run to a subset of cell indices — the shard a
+     distributed campaign-worker owns.  Unselected cells are invisible:
+     never queued, cached, journaled, or emitted; resume lines naming
+     them are ignored. *)
+  let selected =
+    match select with
+    | None -> Array.make ncells true
+    | Some idxs ->
+        let a = Array.make ncells false in
+        Array.iter (fun i -> if i >= 0 && i < ncells then a.(i) <- true) idxs;
+        a
+  in
   let d =
     let want =
       match domains with Some d -> d | None -> Runner.default_domains ()
@@ -48,14 +60,16 @@ let run ?domains ?(schedule = Stealing) ?(cache = true) ?journal
   let entry_of =
     Array.map
       (fun (c : Spec.cell) ->
-        match Registry.find c.proto with
-        | Some e -> e
-        | None ->
-            failwith
-              (Printf.sprintf
-                 "campaign: protocol %S is not registered (run \
-                  Protocols.ensure_registered first)"
-                 c.proto))
+        if not selected.(c.idx) then None
+        else
+          match Registry.find c.proto with
+          | Some e -> Some e
+          | None ->
+              failwith
+                (Printf.sprintf
+                   "campaign: protocol %S is not registered (run \
+                    Protocols.ensure_registered first)"
+                   c.proto))
       cells
   in
   (* --- resume: replay journal lines into their output slots --------- *)
@@ -66,7 +80,8 @@ let run ?domains ?(schedule = Stealing) ?(cache = true) ?journal
     (fun line ->
       match Journal.parse_line line with
       | Some (idx, key, rounds)
-        when idx >= 0 && idx < ncells && String.equal key cells.(idx).key -> (
+        when idx >= 0 && idx < ncells && selected.(idx)
+             && String.equal key cells.(idx).key -> (
           match slots.(idx) with
           | None ->
               slots.(idx) <- Some line;
@@ -82,9 +97,10 @@ let run ?domains ?(schedule = Stealing) ?(cache = true) ?journal
   let needed = Array.make (Array.length instances) false in
   Array.iter
     (fun (c : Spec.cell) ->
-      match slots.(c.idx) with
-      | None -> needed.(c.topo) <- true
-      | Some _ -> ())
+      if selected.(c.idx) then
+        match slots.(c.idx) with
+        | None -> needed.(c.topo) <- true
+        | Some _ -> ())
     cells;
   let t_cache0 = clock () in
   let topo_cache =
@@ -101,7 +117,9 @@ let run ?domains ?(schedule = Stealing) ?(cache = true) ?journal
         let count = ref 0 in
         let i = ref l in
         while !i < ncells do
-          (match slots.(!i) with None -> incr count | Some _ -> ());
+          (match slots.(!i) with
+          | None when selected.(!i) -> incr count
+          | _ -> ());
           i := !i + d
         done;
         let order = Array.make (max 1 !count) 0 in
@@ -109,10 +127,10 @@ let run ?domains ?(schedule = Stealing) ?(cache = true) ?journal
         let i = ref l in
         while !i < ncells do
           (match slots.(!i) with
-          | None ->
+          | None when selected.(!i) ->
               order.(!pos) <- !i;
               incr pos
-          | Some _ -> ());
+          | _ -> ());
           i := !i + d
         done;
         { qlock = Mutex.create (); order; lo = 0; hi = !count })
@@ -199,7 +217,7 @@ let run ?domains ?(schedule = Stealing) ?(cache = true) ?journal
       | None -> Spec.build instances.(c.topo)
     in
     let t1 = clock () in
-    let entry = entry_of.(idx) in
+    let entry = Option.get entry_of.(idx) in
     let { Registry.rounds; delivered; details } =
       entry.Registry.run ?k:c.k ~seed:c.run_seed ~graph:g ~source:0 ()
     in
@@ -264,11 +282,13 @@ let run ?domains ?(schedule = Stealing) ?(cache = true) ?journal
     if not !aborted then begin
       let advancing = ref true in
       while !advancing && !cursor < ncells do
-        match slots.(!cursor) with
-        | Some l ->
-            emit l;
-            incr cursor
-        | None -> advancing := false
+        if not selected.(!cursor) then incr cursor
+        else
+          match slots.(!cursor) with
+          | Some l ->
+              emit l;
+              incr cursor
+          | None -> advancing := false
       done
     end;
     drain_s := !drain_s +. (clock () -. t0)

@@ -43,6 +43,7 @@ val run :
   ?cache:bool ->
   ?journal:(string -> unit) ->
   ?resume_lines:string list ->
+  ?select:int array ->
   ?abort_after:int ->
   ?on_cell:(completed:int -> total:int -> unit) ->
   ?clock:(unit -> float) ->
@@ -66,6 +67,11 @@ val run :
       job key matches the spec's cell are restored without re-running
       (malformed or stale lines are ignored), and are re-emitted — but
       not re-journaled — so the output stream is complete.
+    - [select] restricts the run to the given cell indices — the shard a
+      distributed campaign worker owns.  Unselected cells are invisible:
+      never executed, journaled, or emitted, and resume lines naming them
+      are ignored; [stats.cells] still reports the full spec size.
+      Out-of-range indices are ignored; [Some [||]] runs nothing.
     - [abort_after n] simulates a kill: after [n] cells have been
       journaled this session the run stops draining, workers wind down,
       and [aborted] is reported — buffered-but-undrained results are

@@ -118,18 +118,44 @@ let parse_obj line =
            | 'b' -> Buffer.add_char b '\b'
            | 'f' -> Buffer.add_char b '\012'
            | 'u' ->
-               if !pos + 4 > n then fail "truncated \\u escape";
-               let v =
-                 (hex line.[!pos] lsl 12)
-                 lor (hex line.[!pos + 1] lsl 8)
-                 lor (hex line.[!pos + 2] lsl 4)
-                 lor hex line.[!pos + 3]
+               let hex4 () =
+                 if !pos + 4 > n then fail "truncated \\u escape";
+                 let v =
+                   (hex line.[!pos] lsl 12)
+                   lor (hex line.[!pos + 1] lsl 8)
+                   lor (hex line.[!pos + 2] lsl 4)
+                   lor hex line.[!pos + 3]
+                 in
+                 pos := !pos + 4;
+                 v
                in
-               pos := !pos + 4;
+               let v = hex4 () in
                (* The emitters only produce \u00XX (control bytes); the
-                  reader accepts any BMP scalar and re-encodes UTF-8 so a
-                  hand-written spec file with é still round-trips. *)
-               if v < 0x80 then Buffer.add_char b (Char.chr v)
+                  reader accepts any Unicode scalar — surrogate pairs
+                  included — and re-encodes UTF-8, so a hand-written spec
+                  file with é or an emoji still round-trips.  A lone
+                  surrogate half has no scalar value and is an error, not
+                  a CESU-8 byte blob masquerading as UTF-8. *)
+               if v >= 0xd800 && v <= 0xdbff then begin
+                 if
+                   not
+                     (!pos + 2 <= n
+                     && Char.equal line.[!pos] '\\'
+                     && Char.equal line.[!pos + 1] 'u')
+                 then fail "lone high surrogate in \\u escape";
+                 pos := !pos + 2;
+                 let w = hex4 () in
+                 if w < 0xdc00 || w > 0xdfff then
+                   fail "high surrogate not followed by a low surrogate";
+                 let cp = 0x10000 + ((v - 0xd800) lsl 10) + (w - 0xdc00) in
+                 Buffer.add_char b (Char.chr (0xf0 lor (cp lsr 18)));
+                 Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+                 Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+                 Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+               end
+               else if v >= 0xdc00 && v <= 0xdfff then
+                 fail "lone low surrogate in \\u escape"
+               else if v < 0x80 then Buffer.add_char b (Char.chr v)
                else if v < 0x800 then (
                  Buffer.add_char b (Char.chr (0xc0 lor (v lsr 6)));
                  Buffer.add_char b (Char.chr (0x80 lor (v land 0x3f))))
@@ -154,22 +180,44 @@ let parse_obj line =
       incr pos
     done;
     if !pos = start then fail "expected a number";
-    String.sub line start (!pos - start)
+    let tok = String.sub line start (!pos - start) in
+    (* [int_of_string] accepts OCaml-isms JSON forbids; a leading '+' is
+       the only one the token charset lets through. *)
+    if Char.equal tok.[0] '+' then fail "leading '+' is not JSON";
+    tok
+  in
+  (* An optional '-' followed by digits only: a token JSON calls an
+     integer.  Such a token must round-trip through native int exactly —
+     the journal merge compares idx/rounds by value — so one that
+     overflows is an error, never a silently-lossy [Float]. *)
+  let is_integral tok =
+    let k = String.length tok in
+    let s = if Char.equal tok.[0] '-' then 1 else 0 in
+    let rec digits i =
+      i >= k || (match tok.[i] with '0' .. '9' -> digits (i + 1) | _ -> false)
+    in
+    k > s && digits s
   in
   let parse_int () =
     let tok = number_token () in
     match int_of_string_opt tok with
     | Some i -> i
-    | None -> fail (Printf.sprintf "expected an integer, got %S" tok)
+    | None ->
+        if is_integral tok then
+          fail (Printf.sprintf "integer literal %s out of native range" tok)
+        else fail (Printf.sprintf "expected an integer, got %S" tok)
   in
   let parse_number () =
     let tok = number_token () in
-    match int_of_string_opt tok with
-    | Some i -> Int i
-    | None -> (
-        match float_of_string_opt tok with
-        | Some f -> Float f
-        | None -> fail (Printf.sprintf "bad number %S" tok))
+    if is_integral tok then
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None ->
+          fail (Printf.sprintf "integer literal %s out of native range" tok)
+    else
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "bad number %S" tok)
   in
   let literal word v =
     let k = String.length word in

@@ -57,13 +57,29 @@ val parse_obj : string -> ((string * value) list, string) result
     fields in source order.  Accepts arbitrary surrounding whitespace
     and tolerates one trailing [','] (the record separator inside
     BENCH_engine.json's [experiments] block); any other trailing bytes,
-    nesting, duplicate-free-ness violations, or non-integer array
-    elements yield [Error msg] with a byte offset.  A number token is an
-    [Int] when [int_of_string] accepts it and a [Float] otherwise.
-    Deterministic: the result depends only on [line]. *)
+    nesting, or non-integer array elements yield [Error msg] with a byte
+    offset.  Deterministic: the result depends only on [line].
+
+    Pinned number semantics: an integral token (optional ['-'] then
+    digits) is an [Int] and {e must} fit the native [int] — an
+    out-of-range integer literal is an [Error], never a silently-lossy
+    [Float] (journal merge compares [idx]/[rounds] by exact value).
+    Tokens with ['.'/'e'/'E'] are [Float]s; a leading ['+'] is rejected
+    (JSON forbids it; [int_of_string] does not).  Leading zeros are
+    tolerated.
+
+    Pinned string semantics: [\uXXXX] escapes decode to UTF-8;
+    surrogate {e pairs} combine into one supplementary-plane scalar
+    (4-byte UTF-8), and a lone or mispaired surrogate half is an
+    [Error] — never CESU-8 bytes passed off as UTF-8.
+
+    Pinned duplicate-key semantics: duplicated keys parse fine and are
+    kept in source order; every accessor below resolves {e first-wins}.
+    Journal-merge duplicate resolution relies on this being stable. *)
 
 val mem : string -> (string * value) list -> value option
-(** First binding of the key, compared with [String.equal] (no
+(** {e First} binding of the key (first-wins on duplicate keys; pinned —
+    merge resolution depends on it), compared with [String.equal] (no
     polymorphic compare on the lookup path). *)
 
 val int_mem : string -> (string * value) list -> int option

@@ -111,6 +111,60 @@ let test_journal_roundtrip () =
     "non-journal object rejected" None
     (Journal.parse_line "{\"rounds\":3}")
 
+(* Regression for ISSUE 10 satellite: a journal line torn inside the
+   details can still close as valid JSON with idx/key/rounds intact —
+   before the end-of-record seal, merge/resume mistook it for a complete
+   cell. *)
+let test_journal_truncated_but_valid_json () =
+  let full =
+    Journal.line ~idx:5 ~key:"00ff00ff00ff00ff" ~cell:"path(n=4)|decay|seed=1"
+      ~rounds:42 ~delivered:true
+      ~details:[ ("phase_rounds", "12,8"); ("gst_rounds", "9") ]
+  in
+  (match Journal.parse_line full with
+  | Some _ -> ()
+  | None -> Alcotest.fail "sealed full line must parse");
+  (* byte-level truncation at the start of the details, re-closed by the
+     torn byte stream: the result is valid JSON carrying idx/key/rounds *)
+  let cut =
+    let rec find i =
+      if i + 4 > String.length full then Alcotest.fail "no details found"
+      else if String.equal (String.sub full i 4) ",\"d_" then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let torn = String.sub full 0 cut ^ "}" in
+  (match Rn_util.Jsons.parse_obj torn with
+  | Ok fields ->
+      (* the trap: the torn line still looks complete field-wise *)
+      Alcotest.(check (option int))
+        "torn line still has idx" (Some 5)
+        (Rn_util.Jsons.int_mem "idx" fields)
+  | Error _ -> Alcotest.fail "torn line should still be valid JSON");
+  Alcotest.(check (option (triple int string int)))
+    "torn-but-valid-JSON line rejected" None (Journal.parse_line torn);
+  (* an unsealed (pre-ISSUE-10) line is rejected too: resume re-runs it *)
+  let unsealed =
+    "{\"idx\":5,\"key\":\"00ff00ff00ff00ff\",\"cell\":\"c\",\"rounds\":42,\
+     \"delivered\":true}"
+  in
+  Alcotest.(check (option (triple int string int)))
+    "unsealed line rejected" None (Journal.parse_line unsealed);
+  (* a glued line (torn tail + later record appended) must not parse even
+     when the glue point makes the bytes scan as one JSON object *)
+  let glued = String.sub full 0 cut ^ String.sub full cut (String.length full - cut) ^ "" in
+  Alcotest.(check (option (triple int string int)))
+    "identity glue still parses (sanity)" (Some (5, "00ff00ff00ff00ff", 42))
+    (Journal.parse_line glued);
+  let padded =
+    (* extra bytes between details and seal: length check must fail *)
+    let l = String.length full in
+    String.sub full 0 (l - 1) ^ ",\"d_x\":\"1\"}"
+  in
+  Alcotest.(check (option (triple int string int)))
+    "seal not last field rejected" None (Journal.parse_line padded)
+
 (* --- campaign runs --------------------------------------------------- *)
 
 let run_collect ?domains ?schedule ?cache ?journal ?resume_lines ?abort_after
@@ -305,7 +359,11 @@ let () =
           Alcotest.test_case "errors" `Quick test_spec_errors;
         ] );
       ( "journal",
-        [ Alcotest.test_case "round trip" `Quick test_journal_roundtrip ] );
+        [
+          Alcotest.test_case "round trip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "truncated-but-valid-JSON line rejected" `Quick
+            test_journal_truncated_but_valid_json;
+        ] );
       ( "run",
         [
           Alcotest.test_case "complete run" `Quick test_run_complete;

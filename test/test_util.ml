@@ -319,6 +319,27 @@ let test_jsons_parse_obj () =
   rejects "bad number" "{\"a\":1.2.3}";
   rejects "unterminated string" "{\"a\":\"oops}";
   rejects "bare value" "42";
+  (* pinned number edge cases (ISSUE 10 audit) *)
+  rejects "leading + is not JSON" "{\"a\":+5}";
+  rejects "leading + in array" "{\"a\":[+5]}";
+  rejects "max_int+1 literal" "{\"a\":4611686018427387904}";
+  rejects "min_int-1 literal" "{\"a\":-4611686018427387905}";
+  Alcotest.check fields "max_int literal fits"
+    (Ok [ ("a", Jsons.Int max_int) ])
+    (Jsons.parse_obj (Printf.sprintf "{\"a\":%d}" max_int));
+  Alcotest.check fields "min_int literal fits"
+    (Ok [ ("a", Jsons.Int min_int) ])
+    (Jsons.parse_obj (Printf.sprintf "{\"a\":%d}" min_int));
+  Alcotest.check fields "large float still floats"
+    (Ok [ ("a", Jsons.Float 1e300) ])
+    (Jsons.parse_obj "{\"a\":1e300}");
+  (* pinned surrogate edge cases *)
+  Alcotest.check fields "surrogate pair decodes"
+    (Ok [ ("s", Jsons.Str "\xf0\x9f\x98\x80") ])
+    (Jsons.parse_obj "{\"s\":\"\\ud83d\\ude00\"}");
+  rejects "lone high surrogate" "{\"s\":\"\\ud83d\"}";
+  rejects "lone low surrogate" "{\"s\":\"\\ude00\"}";
+  rejects "swapped surrogate pair" "{\"s\":\"\\ude00\\ud83d\"}";
   (* benchdiff's line shape: an experiments record mid-file *)
   Alcotest.check fields "bench record line"
     (Ok
@@ -509,6 +530,79 @@ let qcheck_tests =
         Rng.shuffle rng a;
         let x = List.sort compare (Array.to_list a) in
         x = List.sort compare l);
+    (* --- the three parse_obj audit properties (ISSUE 10) ------------- *)
+    (* 1. integer exactness: every native int round-trips bit-exactly,
+       and an integral literal beyond the native range is an Error, never
+       a silently-lossy Float. *)
+    Test.make ~name:"jsons int literals round-trip exactly" ~count:500
+      (oneof [ int; oneofl [ max_int; min_int; 0; -1; 1 ] ])
+      (fun i ->
+        match Jsons.parse_obj (Printf.sprintf "{\"v\":%d}" i) with
+        | Ok f -> Jsons.int_mem "v" f = Some i
+        | Error _ -> false);
+    Test.make ~name:"jsons out-of-range integer literal is an error"
+      ~count:300
+      (pair (int_range 0 1_000_000) bool)
+      (fun (i, neg) ->
+        (* 9<digits>000000000000000000 has ≥ 19 significant digits with a
+           leading 9, so it always exceeds |min_int| = 2^62. *)
+        let lit =
+          Printf.sprintf "%s9%d000000000000000000" (if neg then "-" else "") i
+        in
+        match Jsons.parse_obj (Printf.sprintf "{\"v\":%s}" lit) with
+        | Ok _ -> false
+        | Error msg ->
+            (* pinned: rejected as out-of-range, not mistyped as float *)
+            let needle = "out of native range" in
+            let k = String.length needle in
+            let rec find i =
+              i + k <= String.length msg
+              && (String.equal (String.sub msg i k) needle || find (i + 1))
+            in
+            find 0);
+    (* 2. surrogates: a valid pair decodes to the supplementary-plane
+       scalar's 4-byte UTF-8; a lone half is an error. *)
+    Test.make ~name:"jsons surrogate pair decodes to 4-byte UTF-8" ~count:300
+      (int_range 0x10000 0x10FFFF)
+      (fun cp ->
+        let u = cp - 0x10000 in
+        let hi = 0xd800 lor (u lsr 10) and lo = 0xdc00 lor (u land 0x3ff) in
+        let line = Printf.sprintf "{\"v\":\"\\u%04x\\u%04x\"}" hi lo in
+        let expect =
+          let b = Bytes.create 4 in
+          Bytes.set b 0 (Char.chr (0xf0 lor (cp lsr 18)));
+          Bytes.set b 1 (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+          Bytes.set b 2 (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+          Bytes.set b 3 (Char.chr (0x80 lor (cp land 0x3f)));
+          Bytes.to_string b
+        in
+        match Jsons.parse_obj line with
+        | Ok f -> Jsons.str_mem "v" f = Some expect
+        | Error _ -> false);
+    Test.make ~name:"jsons lone surrogate half is an error" ~count:300
+      (pair (int_range 0xd800 0xdfff) bool)
+      (fun (half, pad) ->
+        (* alone, or followed by a non-surrogate escape: both invalid *)
+        let tail = if pad then "\\u0041" else "" in
+        let line = Printf.sprintf "{\"v\":\"\\u%04x%s\"}" half tail in
+        match Jsons.parse_obj line with Ok _ -> false | Error _ -> true);
+    (* 3. duplicate keys: both bindings survive in source order and every
+       accessor resolves first-wins — pinned because journal-merge
+       duplicate resolution depends on it. *)
+    Test.make ~name:"jsons duplicate keys resolve first-wins" ~count:300
+      (triple (int_range 0 9) int int)
+      (fun (koffset, v1, v2) ->
+        let k = Printf.sprintf "k%d" koffset in
+        let line =
+          Printf.sprintf "{\"%s\":%d,\"other\":true,\"%s\":%d}" k v1 k v2
+        in
+        match Jsons.parse_obj line with
+        | Error _ -> false
+        | Ok f ->
+            Jsons.int_mem k f = Some v1
+            && Jsons.mem k f = Some (Jsons.Int v1)
+            && List.length (List.filter (fun (k', _) -> String.equal k' k) f)
+               = 2);
   ]
 
 let () =
